@@ -1,0 +1,7 @@
+"""Ablation A6 — adaptive purge-threshold control vs fixed thresholds."""
+
+from repro.experiments.ablations import ablation_adaptive_purge
+
+
+def test_ablation_adaptive_purge(figure_bench):
+    figure_bench(ablation_adaptive_purge, chart_series="output")

@@ -1,0 +1,7 @@
+"""Ablation A1 — eager vs lazy punctuation index building."""
+
+from repro.experiments.ablations import ablation_index_building
+
+
+def test_ablation_index_building(figure_bench):
+    figure_bench(ablation_index_building, chart_series="punct_output")

@@ -1,0 +1,7 @@
+"""Ablation A5 — disk traffic under a tight memory threshold."""
+
+from repro.experiments.ablations import ablation_memory_threshold
+
+
+def test_ablation_memory_threshold(figure_bench):
+    figure_bench(ablation_memory_threshold, chart_series="state_total")

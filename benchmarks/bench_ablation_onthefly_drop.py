@@ -1,0 +1,7 @@
+"""Ablation A4 — the on-the-fly drop's effect on the B state."""
+
+from repro.experiments.ablations import ablation_on_the_fly_drop
+
+
+def test_ablation_on_the_fly_drop(figure_bench):
+    figure_bench(ablation_on_the_fly_drop, chart_series="state_b")

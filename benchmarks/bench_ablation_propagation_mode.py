@@ -1,0 +1,7 @@
+"""Ablation A2 — push(count) vs push(time) vs pull propagation."""
+
+from repro.experiments.ablations import ablation_propagation_mode
+
+
+def test_ablation_propagation_mode(figure_bench):
+    figure_bench(ablation_propagation_mode, chart_series="punct_output")

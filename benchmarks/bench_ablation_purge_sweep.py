@@ -1,0 +1,7 @@
+"""Ablation A3 — purge-threshold sweep locating the output optimum."""
+
+from repro.experiments.ablations import ablation_purge_sweep
+
+
+def test_ablation_purge_sweep(figure_bench):
+    figure_bench(ablation_purge_sweep, chart_series="output")

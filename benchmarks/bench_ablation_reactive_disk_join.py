@@ -1,0 +1,7 @@
+"""Ablation A7 — reactive disk join during stream lulls."""
+
+from repro.experiments.ablations import ablation_reactive_disk_join
+
+
+def test_ablation_reactive_disk_join(figure_bench):
+    figure_bench(ablation_reactive_disk_join, chart_series="output")

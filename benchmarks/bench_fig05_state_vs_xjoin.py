@@ -1,0 +1,12 @@
+"""Figure 5 — PJoin-1 vs XJoin, total join-state size over time.
+
+Punctuation inter-arrival 40 tuples/punctuation on both streams.
+Expected shape: PJoin's state is almost insignificant compared to
+XJoin's ever-growing state.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5_state_vs_xjoin(figure_bench):
+    figure_bench(figure5, chart_series="state_total")

@@ -1,0 +1,12 @@
+"""Figure 6 — PJoin state size vs punctuation inter-arrival (10/20/30).
+
+Expected shape: the slower the punctuations, the larger the average
+state ("as the punctuation inter-arrival increases, the average size of
+the PJoin state becomes larger correspondingly").
+"""
+
+from repro.experiments.figures import figure6
+
+
+def test_figure6_state_vs_punctuation_rate(figure_bench):
+    figure_bench(figure6, chart_series="state_total")

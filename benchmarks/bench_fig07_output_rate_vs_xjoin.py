@@ -1,0 +1,11 @@
+"""Figure 7 — tuple output rate over time, PJoin vs XJoin (40 t/p).
+
+Expected shape: PJoin maintains an almost steady output rate whereas
+XJoin's rate drops as its growing state makes probing ever costlier.
+"""
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7_output_rate_vs_xjoin(figure_bench):
+    figure_bench(figure7, chart_series="output")

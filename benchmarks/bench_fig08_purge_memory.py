@@ -1,0 +1,11 @@
+"""Figure 8 — eager vs lazy purge, memory overhead (10 t/p).
+
+Expected shape: eager purge (PJoin-1) minimises the join state; lazy
+purge (PJoin-10) needs somewhat more memory but stays bounded.
+"""
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8_eager_vs_lazy_memory(figure_bench):
+    figure_bench(figure8, chart_series="state_total")

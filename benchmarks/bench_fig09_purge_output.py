@@ -1,0 +1,12 @@
+"""Figure 9 — cumulative output for purge thresholds 1/100/400/800.
+
+Expected shape: up to a limit, a higher purge threshold gives a higher
+output rate (fewer purge activations); past the optimum the growing
+state makes probing so costly that PJoin-400 and PJoin-800 lose again.
+"""
+
+from repro.experiments.figures import figure9
+
+
+def test_figure9_purge_thresholds_output(figure_bench):
+    figure_bench(figure9, chart_series="output")

@@ -1,0 +1,13 @@
+"""Figure 10 — asymmetric punctuation inter-arrival, state requirement.
+
+Stream A punctuates every ~10 tuples; stream B varies (10/20/40).
+Expected shape: the larger the rate difference, the larger the A state,
+while the B state stays insignificant (most B tuples are dropped on the
+fly by A punctuations).
+"""
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10_asymmetric_state(figure_bench):
+    figure_bench(figure10, chart_series="state_a")

@@ -1,0 +1,11 @@
+"""Figure 11 — asymmetric punctuation inter-arrival, output rate.
+
+Expected shape: the slower the punctuation arrival, the greater the
+tuple output rate — fewer purge activations mean less overhead.
+"""
+
+from repro.experiments.figures import figure11
+
+
+def test_figure11_asymmetric_output(figure_bench):
+    figure_bench(figure11, chart_series="output")

@@ -1,0 +1,12 @@
+"""Figure 12 — PJoin vs XJoin output under asymmetric punctuations.
+
+A = 10 t/p, B = 20 t/p.  Expected shape: eager PJoin-1 lags behind
+XJoin (cost of frequent purging); lazy purge with a suitable threshold
+makes PJoin at least as fast as XJoin.
+"""
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12_asymmetric_output_vs_xjoin(figure_bench):
+    figure_bench(figure12, chart_series="output")

@@ -1,0 +1,11 @@
+"""Figure 13 — state requirements for the Figure 12 configuration.
+
+Expected shape: both PJoin variants keep a small bounded state while
+XJoin grows; the lazy threshold costs only an insignificant increase.
+"""
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13_asymmetric_state_vs_xjoin(figure_bench):
+    figure_bench(figure13, chart_series="state_total")

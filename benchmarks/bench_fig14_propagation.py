@@ -1,0 +1,12 @@
+"""Figure 14 — punctuation propagation over time (ideal case).
+
+Aligned constant punctuations every 40 tuples from both streams;
+propagation triggered after each pair of equivalent punctuations.
+Expected shape: a steady punctuation output rate over the whole run.
+"""
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14_propagation_rate(figure_bench):
+    figure_bench(figure14, chart_series="punct_output")

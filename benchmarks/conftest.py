@@ -1,0 +1,50 @@
+"""Shared machinery for the figure benchmarks.
+
+Each benchmark runs one figure preset from
+:mod:`repro.experiments.figures` (or an ablation), times it with
+pytest-benchmark, prints the rendered report — the same table/series
+the paper's figure shows — and saves it under ``benchmarks/reports/``.
+
+Scale can be reduced for quick runs::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    """Benchmark scale factor, settable via ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a figure function under pytest-benchmark and report it."""
+
+    def run(figure_fn, chart_series: str = "state_total", **kwargs):
+        kwargs.setdefault("scale", bench_scale())
+        result = benchmark.pedantic(
+            lambda: figure_fn(**kwargs), rounds=1, iterations=1
+        )
+        report = result.render(chart_series=chart_series)
+        REPORT_DIR.mkdir(exist_ok=True)
+        slug = result.figure_id.lower().replace(" ", "_")
+        (REPORT_DIR / f"{slug}.txt").write_text(report + "\n")
+        from repro.experiments.export import save_figure_json
+
+        save_figure_json(result, REPORT_DIR / f"{slug}.json")
+        print()
+        print(report)
+        failed = [check for check in result.checks if not check.passed]
+        assert not failed, f"{result.figure_id} shape checks failed: {failed}"
+        return result
+
+    return run

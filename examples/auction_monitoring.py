@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The paper's running example: online auction monitoring (Figure 1).
+
+Query (paper §2.1): join every item for sale (``Open``) with its bids
+(``Bid``) on ``item_id``, then sum ``bid_increase`` per item that got
+at least one bid.
+
+The interesting part is what punctuations buy:
+
+* the auction system embeds a punctuation into ``Bid`` when an item's
+  auction closes, letting PJoin purge that item's Open tuple;
+* ``item_id`` is unique in ``Open``, so a punctuation is derived after
+  every Open tuple, letting PJoin drop late bids on the fly;
+* PJoin *propagates* punctuations to the group-by, which can emit an
+  item's final total the moment its auction closes rather than holding
+  every group until end-of-stream.
+
+Run:
+    python examples/auction_monitoring.py
+"""
+
+from repro import PJoin, PJoinConfig, QueryPlan, Sink
+from repro.operators.groupby import GroupBy, count_agg, sum_agg
+from repro.workloads.auction import (
+    BID_SCHEMA,
+    OPEN_SCHEMA,
+    AuctionSpec,
+    AuctionWorkloadGenerator,
+)
+
+
+def build_plan(propagation: bool):
+    spec = AuctionSpec(n_items=150, auction_duration_ms=100.0, seed=7)
+    open_schedule, bid_schedule = AuctionWorkloadGenerator(spec).generate()
+    plan = QueryPlan()
+    config = PJoinConfig(
+        purge_threshold=1,
+        index_building="eager",
+        propagation_mode="push_count" if propagation else "off",
+        propagate_count_threshold=5,
+    )
+    join = PJoin(
+        plan.engine, plan.cost_model, OPEN_SCHEMA, BID_SCHEMA,
+        "item_id", "item_id", config=config, name="pjoin",
+    )
+    groupby = GroupBy(
+        plan.engine, plan.cost_model, join.out_schema, "Open.item_id",
+        [sum_agg("bid_increase", "total_increase"), count_agg("bids")],
+        name="groupby",
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(groupby)
+    groupby.connect(sink)
+    plan.add_source(open_schedule, join, port=0, name="Open")
+    plan.add_source(bid_schedule, join, port=1, name="Bid")
+    return plan, join, groupby, sink
+
+
+def main() -> None:
+    print("Auction monitoring: SELECT item_id, SUM(bid_increase)")
+    print("                    FROM Open JOIN Bid USING (item_id)")
+    print("                    GROUP BY item_id;\n")
+    for propagation in (True, False):
+        plan, join, groupby, sink = build_plan(propagation)
+        plan.run()
+        early = sum(1 for t in sink.tuple_arrival_times if t < sink.eos_time)
+        label = "with propagation   " if propagation else "without propagation"
+        print(f"{label}: {sink.tuple_count} item totals, "
+              f"{early} emitted before end-of-stream, "
+              f"join state left: {join.total_state_size()} tuples, "
+              f"bids dropped on the fly: {join.tuples_dropped_on_fly}")
+        if propagation:
+            sample = sorted(
+                sink.results, key=lambda r: r["total_increase"], reverse=True
+            )[:5]
+            print("  top items by total bid increase:")
+            for row in sample:
+                print(
+                    f"    item {row['Open.item_id']:>4}: "
+                    f"+{row['total_increase']:8.2f} over {row['bids']} bids"
+                )
+    print("\nPunctuation propagation turns the blocking group-by into an")
+    print("incremental one: totals stream out as auctions close.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deriving punctuations from static constraints (paper §1.1).
+
+Some sources never embed punctuations — but the query system can derive
+them from constraints it knows statically.  This example builds a log
+pipeline:
+
+* events arrive with a non-decreasing ``epoch`` (ordered arrival) but
+  shuffled *within* an epoch — the classic slightly-out-of-order log;
+* :class:`OrderedArrivalPunctuator` derives watermark punctuations
+  ("every epoch below e is finished") from the order constraint;
+* a :class:`PunctuationSort` uses those watermarks to emit the log in
+  global epoch order *while streaming* — a blocking sort, unblocked;
+* a :class:`DuplicateElimination` downstream uses the same punctuations
+  to keep its seen-set tiny instead of remembering every event forever.
+
+Run:
+    python examples/derived_punctuations.py
+"""
+
+import random
+
+from repro import QueryPlan, Schema, Sink, Tuple
+from repro.operators.dupelim import DuplicateElimination, PunctuationSort
+from repro.punctuations.derive import OrderedArrivalPunctuator, annotate_schedule
+from repro.sim.trace import Tracer
+
+LOG_SCHEMA = Schema.of("epoch", "event_id", name="Log")
+
+
+def generate_log(n_epochs=300, events_per_epoch=5, duplicate_rate=0.2, seed=13):
+    """A log whose epochs advance monotonically, shuffled within epochs,
+    with some duplicated deliveries (an at-least-once transport)."""
+    rng = random.Random(seed)
+    schedule = []
+    t = 0.0
+    for epoch in range(n_epochs):
+        events = []
+        for i in range(events_per_epoch):
+            events.append((epoch, epoch * 1000 + i))
+            if rng.random() < duplicate_rate:
+                events.append((epoch, epoch * 1000 + i))  # duplicate
+        rng.shuffle(events)
+        for epoch_value, event_id in events:
+            t += rng.expovariate(0.5)
+            schedule.append(
+                (t, Tuple(LOG_SCHEMA, (epoch_value, event_id), ts=t))
+            )
+    return schedule
+
+
+def main() -> None:
+    raw = generate_log()
+    n_raw = len(raw)
+    punctuator = OrderedArrivalPunctuator(LOG_SCHEMA, "epoch")
+    annotated = annotate_schedule(raw, punctuator)
+
+    plan = QueryPlan()
+    plan.engine.tracer = Tracer(actions=["purge"])
+    sort = PunctuationSort(plan.engine, plan.cost_model, LOG_SCHEMA, "epoch")
+    dedup = DuplicateElimination(plan.engine, plan.cost_model, LOG_SCHEMA)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    sort.connect(dedup)
+    dedup.connect(sink)
+    plan.add_source(annotated, sort, name="log")
+    plan.run()
+
+    epochs = [t["epoch"] for t in sink.results]
+    early = sum(1 for t in sink.tuple_arrival_times if t < sink.eos_time)
+    print("Derived punctuations: ordered log -> watermarks -> sort -> dedup\n")
+    print(f"  raw events (with duplicates)  : {n_raw:,}")
+    print(f"  punctuations derived          : {punctuator.punctuations_derived:,}")
+    print(f"  distinct events output        : {sink.tuple_count:,}")
+    print(f"  duplicates suppressed         : {dedup.duplicates_suppressed:,}")
+    print(f"  output globally epoch-ordered : {epochs == sorted(epochs)}")
+    print(f"  emitted before end-of-stream  : {early:,} "
+          f"({100 * early // max(sink.tuple_count, 1)}%)")
+    print(f"  dedup seen-set at the end     : {dedup.state_size} entries "
+          f"(purged {dedup.entries_purged:,})")
+    assert epochs == sorted(epochs)
+    print("\nNo source embedded a single punctuation — the order constraint")
+    print("alone unblocked the sort and bounded the dedup state.")
+
+
+if __name__ == "__main__":
+    main()

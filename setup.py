@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on environments whose pip/setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available,
+e.g. offline boxes): ``pip install -e . --no-use-pep517`` falls back to
+this classic path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

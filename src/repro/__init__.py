@@ -1,0 +1,88 @@
+"""repro — a reproduction of "Joining Punctuated Streams" (EDBT 2004).
+
+The library implements **PJoin**, the punctuation-exploiting stream
+join, together with every substrate it needs: the punctuation algebra,
+a discrete-event stream-processing runtime with an explicit cost model,
+simulated secondary storage, the XJoin and symmetric-hash-join
+baselines, punctuation-aware downstream operators, synthetic workload
+generators and the experiment harness that regenerates the paper's
+figures.
+
+Quickstart
+----------
+>>> from repro import (PJoin, PJoinConfig, Sink, QueryPlan,
+...                    generate_workload)
+>>> workload = generate_workload(n_tuples_per_stream=2000,
+...                              punct_spacing_a=10, punct_spacing_b=10)
+>>> plan = QueryPlan()
+>>> join = PJoin(plan.engine, plan.cost_model,
+...              workload.schemas[0], workload.schemas[1], "key", "key",
+...              config=PJoinConfig(purge_threshold=1))
+>>> sink = Sink(plan.engine, plan.cost_model)
+>>> _ = join.connect(sink)
+>>> _ = plan.add_source(workload.schedule_a, join, port=0)
+>>> _ = plan.add_source(workload.schedule_b, join, port=1)
+>>> plan.run()
+>>> sink.tuple_count > 0 and join.total_state_size() < 1000
+True
+"""
+
+from repro.core import (
+    AdaptivePurgeController,
+    NaryPJoin,
+    PJoin,
+    PJoinConfig,
+    WindowedPJoin,
+    table1_registry,
+)
+from repro.operators import (
+    GroupBy,
+    Project,
+    Select,
+    Sink,
+    SlidingWindowJoin,
+    SymmetricHashJoin,
+    Union,
+    XJoin,
+)
+from repro.punctuations import Punctuation, PunctuationStore, parse_pattern
+from repro.query import QueryPlan
+from repro.sim import CostModel, SimulationEngine
+from repro.tuples import Field, Schema, Tuple
+from repro.workloads import WorkloadSpec, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "PJoin",
+    "PJoinConfig",
+    "NaryPJoin",
+    "WindowedPJoin",
+    "AdaptivePurgeController",
+    "table1_registry",
+    # operators
+    "Sink",
+    "Select",
+    "Project",
+    "Union",
+    "GroupBy",
+    "SymmetricHashJoin",
+    "SlidingWindowJoin",
+    "XJoin",
+    # data model
+    "Schema",
+    "Field",
+    "Tuple",
+    "Punctuation",
+    "PunctuationStore",
+    "parse_pattern",
+    # runtime
+    "SimulationEngine",
+    "CostModel",
+    "QueryPlan",
+    # workloads
+    "WorkloadSpec",
+    "generate_workload",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``figures`` — run paper-figure presets (and ablations) and print their
+  reports;
+* ``demo`` — a one-shot PJoin-vs-XJoin comparison on a configurable
+  workload;
+* ``list`` — show every available experiment.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro figures figure5 figure7 --scale 0.5
+    python -m repro figures --all --scale 0.2
+    python -m repro demo --tuples 5000 --spacing-a 10 --spacing-b 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import PJoinConfig
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import (
+    pjoin_factory,
+    run_join_experiment,
+    xjoin_factory,
+)
+from repro.metrics.report import render_table
+from repro.workloads.generator import generate_workload
+
+ALL_EXPERIMENTS = {**ALL_FIGURES, **ALL_ABLATIONS}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Joining Punctuated Streams' (EDBT 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list available experiments")
+    list_cmd.set_defaults(func=cmd_list)
+
+    figures_cmd = sub.add_parser(
+        "figures", help="run paper-figure presets and print their reports"
+    )
+    figures_cmd.add_argument(
+        "names", nargs="*",
+        help="experiment names (e.g. figure5 ablation_purge_sweep)",
+    )
+    figures_cmd.add_argument(
+        "--all", action="store_true", help="run every figure and ablation"
+    )
+    figures_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0 = paper scale)",
+    )
+    figures_cmd.set_defaults(func=cmd_figures)
+
+    demo_cmd = sub.add_parser(
+        "demo", help="compare PJoin and XJoin on one synthetic workload"
+    )
+    demo_cmd.add_argument("--tuples", type=int, default=5000,
+                          help="tuples per stream")
+    demo_cmd.add_argument("--spacing-a", type=float, default=20.0,
+                          help="stream A punctuation spacing (tuples)")
+    demo_cmd.add_argument("--spacing-b", type=float, default=20.0,
+                          help="stream B punctuation spacing (tuples)")
+    demo_cmd.add_argument("--purge-threshold", type=int, default=10,
+                          help="PJoin purge threshold (1 = eager)")
+    demo_cmd.add_argument("--seed", type=int, default=42)
+    demo_cmd.set_defaults(func=cmd_demo)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run a small PJoin with the execution tracer and print the "
+             "component timeline (purges, relocations, disk joins, "
+             "propagations)",
+    )
+    trace_cmd.add_argument("--tuples", type=int, default=500)
+    trace_cmd.add_argument("--spacing-a", type=float, default=10.0)
+    trace_cmd.add_argument("--spacing-b", type=float, default=10.0)
+    trace_cmd.add_argument("--purge-threshold", type=int, default=5)
+    trace_cmd.add_argument("--memory-threshold", type=int, default=None)
+    trace_cmd.add_argument("--max-events", type=int, default=40,
+                           help="timeline lines to print")
+    trace_cmd.add_argument("--seed", type=int, default=42)
+    trace_cmd.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, (fn.__doc__ or "").strip().splitlines()[0]]
+        for name, fn in ALL_EXPERIMENTS.items()
+    ]
+    print(render_table(["experiment", "description"], rows))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names: List[str] = list(ALL_EXPERIMENTS) if args.all else args.names
+    if not names:
+        print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for name in names:
+        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        print(result.render())
+        print()
+        if not result.all_passed:
+            failures.append(name)
+    if failures:
+        print(f"shape-check failures: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    workload = generate_workload(
+        n_tuples_per_stream=args.tuples,
+        punct_spacing_a=args.spacing_a,
+        punct_spacing_b=args.spacing_b,
+        seed=args.seed,
+    )
+    pjoin = run_join_experiment(
+        pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
+        workload,
+        label=f"PJoin-{args.purge_threshold}",
+    )
+    xjoin = run_join_experiment(xjoin_factory(), workload, label="XJoin")
+    rows = []
+    for run in (pjoin, xjoin):
+        summary = run.summary()
+        rows.append(
+            [
+                summary["label"],
+                summary["results"],
+                round(summary["mean_state"], 1),
+                summary["max_state"],
+                round(summary["rate_second_half"], 2),
+                round(summary["duration_ms"]),
+            ]
+        )
+    print(
+        render_table(
+            ["variant", "results", "state mean", "state max",
+             "late rate (t/ms)", "finished (ms)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.pjoin import PJoin
+    from repro.operators.sink import Sink
+    from repro.query.plan import QueryPlan
+    from repro.sim.trace import Tracer
+
+    workload = generate_workload(
+        n_tuples_per_stream=args.tuples,
+        punct_spacing_a=args.spacing_a,
+        punct_spacing_b=args.spacing_b,
+        seed=args.seed,
+    )
+    plan = QueryPlan()
+    plan.engine.tracer = Tracer()
+    join = PJoin(
+        plan.engine, plan.cost_model,
+        workload.schemas[0], workload.schemas[1], "key", "key",
+        config=PJoinConfig(
+            purge_threshold=args.purge_threshold,
+            memory_threshold=args.memory_threshold,
+            propagation_mode="push_count",
+            propagate_count_threshold=max(2, args.purge_threshold),
+        ),
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=False)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0, name="A")
+    plan.add_source(workload.schedule_b, join, port=1, name="B")
+    plan.run()
+    tracer = plan.engine.tracer
+    print(tracer.render(max_events=args.max_events))
+    print()
+    print(render_table(
+        ["action", "count"], sorted(tracer.counts().items())
+    ))
+    print()
+    stats = join.stats()
+    rows = [[key, value] for key, value in stats.items()
+            if not isinstance(value, (dict, tuple))]
+    print(render_table(["join statistic", "value"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""PJoin — the paper's contribution.
+
+A binary hash-based equi-join that exploits punctuations to (1) purge
+no-longer-useful tuples from its state and (2) propagate punctuations
+to downstream operators.  The operator is assembled from the paper's
+six components — memory join, state relocation, disk join, state
+purge, punctuation index building and punctuation propagation — wired
+together by an event-driven framework (monitor + event-listener
+registry, Section 3.6).
+
+Public entry points
+-------------------
+:class:`~repro.core.pjoin.PJoin`
+    The operator itself.
+:class:`~repro.core.config.PJoinConfig`
+    All tuning knobs: purge threshold (eager = 1 / lazy = n), index
+    building strategy, propagation mode, memory threshold.
+:func:`~repro.core.registry.table1_registry`
+    The example event-listener registry of the paper's Table 1.
+:class:`~repro.core.nary.NaryPJoin`
+    The n-ary extension sketched in Section 6.
+:class:`~repro.core.windowed.WindowedPJoin`
+    The sliding-window extension sketched in Section 6.
+"""
+
+from repro.core.config import PJoinConfig
+from repro.core.events import (
+    DiskJoinActivateEvent,
+    Event,
+    PropagateCountReachEvent,
+    PropagateRequestEvent,
+    PropagateTimeExpireEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+    StreamEmptyEvent,
+)
+from repro.core.registry import EventListenerRegistry, table1_registry
+from repro.core.pjoin import PJoin
+from repro.core.nary import NaryPJoin
+from repro.core.windowed import WindowedPJoin
+from repro.core.adaptive import AdaptivePurgeController
+
+__all__ = [
+    "PJoin",
+    "PJoinConfig",
+    "Event",
+    "StreamEmptyEvent",
+    "PurgeThresholdReachEvent",
+    "StateFullEvent",
+    "DiskJoinActivateEvent",
+    "PropagateRequestEvent",
+    "PropagateTimeExpireEvent",
+    "PropagateCountReachEvent",
+    "EventListenerRegistry",
+    "table1_registry",
+    "NaryPJoin",
+    "WindowedPJoin",
+    "AdaptivePurgeController",
+]

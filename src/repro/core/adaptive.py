@@ -1,0 +1,116 @@
+"""Adaptive purge-threshold control (paper Section 6's future work).
+
+The paper leaves "designing a correlated purge threshold" as an open
+optimisation task: the best threshold depends on the punctuation rate
+and the probing-cost growth, both of which shift at runtime.  This
+controller closes the loop using the knob the paper explicitly provides
+("all parameters ... can also be changed at runtime"):
+
+every ``interval_ms`` of virtual time it compares how much time the
+join spent *purging* versus *probing* since the last adjustment —
+
+* purging dominating means the threshold is too low (runs fire too
+  often for the little state they reclaim): **raise** it;
+* probing dominating means the state has grown past the sweet spot:
+  **lower** it;
+* otherwise leave it alone.
+
+Multiplicative-increase / multiplicative-decrease keeps the controller
+stable, and the threshold is clamped to ``[1, max_threshold]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple as PyTuple
+
+from repro.core.pjoin import PJoin
+from repro.errors import ConfigError
+
+
+class AdaptivePurgeController:
+    """Hill-climbs a PJoin's purge threshold at runtime.
+
+    Parameters
+    ----------
+    join:
+        The PJoin to steer.
+    interval_ms:
+        Virtual time between adjustments.
+    high_ratio:
+        Raise the threshold when ``purge_time > high_ratio * probe_time``
+        over the last interval.
+    low_ratio:
+        Lower it when ``purge_time < low_ratio * probe_time``.
+    factor:
+        Multiplicative step for both directions.
+    max_threshold:
+        Upper clamp.
+    """
+
+    def __init__(
+        self,
+        join: PJoin,
+        interval_ms: float = 2_000.0,
+        high_ratio: float = 1.5,
+        low_ratio: float = 0.25,
+        factor: float = 2.0,
+        max_threshold: int = 1024,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ConfigError(f"interval_ms must be positive, got {interval_ms}")
+        if factor <= 1.0:
+            raise ConfigError(f"factor must exceed 1.0, got {factor}")
+        if not 0 <= low_ratio < high_ratio:
+            raise ConfigError(
+                f"need 0 <= low_ratio < high_ratio, got {low_ratio}, {high_ratio}"
+            )
+        if max_threshold < 1:
+            raise ConfigError(f"max_threshold must be >= 1, got {max_threshold}")
+        self.join = join
+        self.interval_ms = interval_ms
+        self.high_ratio = high_ratio
+        self.low_ratio = low_ratio
+        self.factor = factor
+        self.max_threshold = max_threshold
+        self._last_purge_time = join.purge_time_total
+        self._last_probe_time = join.probe_time_total
+        self.adjustments: List[PyTuple[float, int]] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the periodic adjustment timer.  Call before ``run()``."""
+        if self._started:
+            raise ConfigError("controller already started")
+        self._started = True
+        self.join.engine.schedule(self.interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        if self.join.finished:
+            return
+        self._adjust()
+        self.join.engine.schedule(self.interval_ms, self._tick)
+
+    def _adjust(self) -> None:
+        purge_delta = self.join.purge_time_total - self._last_purge_time
+        probe_delta = self.join.probe_time_total - self._last_probe_time
+        self._last_purge_time = self.join.purge_time_total
+        self._last_probe_time = self.join.probe_time_total
+        current = self.join.monitor.purge_threshold
+        new = current
+        if purge_delta > self.high_ratio * probe_delta:
+            new = min(self.max_threshold, max(current + 1, int(current * self.factor)))
+        elif purge_delta < self.low_ratio * probe_delta:
+            new = max(1, int(current / self.factor))
+        if new != current:
+            self.join.reconfigure(purge_threshold=new)
+            self.adjustments.append((self.join.engine.now, new))
+
+    @property
+    def current_threshold(self) -> int:
+        return self.join.monitor.purge_threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptivePurgeController(threshold={self.current_threshold}, "
+            f"adjustments={len(self.adjustments)})"
+        )

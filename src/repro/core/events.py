@@ -1,0 +1,86 @@
+"""The events of PJoin's event-driven framework (paper Section 3.6).
+
+The monitor watches runtime parameters; when one crosses its threshold
+the monitor *invokes* the corresponding event, and the listeners
+registered for it in the event-listener registry execute in order.
+The seven events below are exactly those the paper defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all framework events."""
+
+    @property
+    def event_name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class StreamEmptyEvent(Event):
+    """Both input streams have (temporarily) run out of tuples."""
+
+    idle_since: float = 0.0
+
+
+@dataclass(frozen=True)
+class PurgeThresholdReachEvent(Event):
+    """The number of new punctuations reached the purge threshold."""
+
+    punctuations_pending: int = 0
+
+
+@dataclass(frozen=True)
+class StateFullEvent(Event):
+    """The in-memory join state reached the memory threshold."""
+
+    memory_tuples: int = 0
+    threshold: int = 0
+
+
+@dataclass(frozen=True)
+class DiskJoinActivateEvent(Event):
+    """The disk-join activation threshold was reached during a lull."""
+
+    idle_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class PropagateRequestEvent(Event):
+    """A downstream operator requested propagation (pull mode)."""
+
+    requester: str = ""
+
+
+@dataclass(frozen=True)
+class PropagateTimeExpireEvent(Event):
+    """The time propagation threshold expired (push mode, timed)."""
+
+    interval_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class PropagateCountReachEvent(Event):
+    """The count propagation threshold was reached (push mode, counted).
+
+    Also fired by the paired-punctuation trigger used in the paper's
+    propagation experiment (§4.4): ``paired`` is then ``True``.
+    """
+
+    punctuations_pending: int = 0
+    paired: bool = field(default=False)
+
+
+ALL_EVENT_TYPES = (
+    StreamEmptyEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+    DiskJoinActivateEvent,
+    PropagateRequestEvent,
+    PropagateTimeExpireEvent,
+    PropagateCountReachEvent,
+)

@@ -1,0 +1,126 @@
+"""The monitor (paper Section 3.6, Figure 4).
+
+The monitor keeps track of the runtime parameters that change while the
+memory join executes — punctuations since the last purge, in-memory
+state size, punctuations since the last propagation, equivalent
+punctuation pairs — together with their thresholds.  When a parameter
+crosses its threshold the monitor *invokes* the corresponding event;
+PJoin dispatches it through the event-listener registry.
+
+All thresholds are plain mutable attributes, initialised from the
+:class:`~repro.core.config.PJoinConfig`, because the paper requires
+them to be changeable at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import (
+    PJoinConfig,
+    PROPAGATE_PUSH_COUNT,
+    PROPAGATE_PUSH_PAIRS,
+    PROPAGATE_PUSH_TIME,
+)
+from repro.core.events import (
+    Event,
+    PropagateCountReachEvent,
+    PropagateTimeExpireEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+)
+
+
+class Monitor:
+    """Threshold bookkeeping for PJoin's event-driven framework."""
+
+    def __init__(self, config: PJoinConfig) -> None:
+        # Thresholds (runtime-mutable copies of the static config).
+        self.purge_threshold = config.purge_threshold
+        self.memory_threshold: Optional[int] = config.memory_threshold
+        self.propagation_mode = config.propagation_mode
+        self.propagate_count_threshold = config.propagate_count_threshold
+        self.propagate_time_threshold_ms = config.propagate_time_threshold_ms
+        self.propagate_pairs_threshold = config.propagate_pairs_threshold
+        self.disk_join_idle_ms = config.disk_join_idle_ms
+        # Monitored runtime parameters.
+        self.punctuations_since_purge = 0
+        self.punctuations_since_propagation = 0
+        self.pairs_since_propagation = 0
+        self.last_propagation_time = 0.0
+        # Tallies.
+        self.purge_events_fired = 0
+        self.state_full_events_fired = 0
+        self.propagation_events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Hooks called by PJoin
+    # ------------------------------------------------------------------
+
+    def on_punctuation(self, paired: bool) -> List[Event]:
+        """Record a punctuation arrival; return the events it triggers.
+
+        *paired* is ``True`` when an equivalent punctuation from the
+        opposite stream is already stored — the trigger of the paper's
+        propagation experiment (§4.4).
+        """
+        events: List[Event] = []
+        self.punctuations_since_purge += 1
+        if self.punctuations_since_purge >= self.purge_threshold:
+            events.append(
+                PurgeThresholdReachEvent(
+                    punctuations_pending=self.punctuations_since_purge
+                )
+            )
+            self.punctuations_since_purge = 0
+            self.purge_events_fired += 1
+        if self.propagation_mode == PROPAGATE_PUSH_COUNT:
+            self.punctuations_since_propagation += 1
+            if self.punctuations_since_propagation >= self.propagate_count_threshold:
+                events.append(
+                    PropagateCountReachEvent(
+                        punctuations_pending=self.punctuations_since_propagation
+                    )
+                )
+                self.punctuations_since_propagation = 0
+                self.propagation_events_fired += 1
+        elif self.propagation_mode == PROPAGATE_PUSH_PAIRS and paired:
+            self.pairs_since_propagation += 1
+            if self.pairs_since_propagation >= self.propagate_pairs_threshold:
+                events.append(
+                    PropagateCountReachEvent(
+                        punctuations_pending=self.pairs_since_propagation,
+                        paired=True,
+                    )
+                )
+                self.pairs_since_propagation = 0
+                self.propagation_events_fired += 1
+        return events
+
+    def on_insert(self, memory_tuples: int) -> Optional[Event]:
+        """Check the memory threshold after a state insert."""
+        if self.memory_threshold is None:
+            return None
+        if memory_tuples < self.memory_threshold:
+            return None
+        self.state_full_events_fired += 1
+        return StateFullEvent(
+            memory_tuples=memory_tuples, threshold=self.memory_threshold
+        )
+
+    def on_propagation_timer(self, now: float) -> Optional[Event]:
+        """Fire the timed propagation event (push_time mode)."""
+        if self.propagation_mode != PROPAGATE_PUSH_TIME:
+            return None
+        self.last_propagation_time = now
+        self.propagation_events_fired += 1
+        return PropagateTimeExpireEvent(
+            interval_ms=self.propagate_time_threshold_ms
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Monitor(purge@{self.purge_threshold}, "
+            f"since_purge={self.punctuations_since_purge}, "
+            f"mode={self.propagation_mode})"
+        )

@@ -1,0 +1,257 @@
+"""The n-ary PJoin extension (paper Section 6).
+
+Joins *n* punctuated streams on one shared join attribute.  Per the
+paper's sketch:
+
+* **memory join**: a new tuple from stream *i* probes the states of all
+  other streams; a result is the concatenation of one matching tuple
+  from every stream (cross product of the per-stream matches);
+* **state purge**: a state tuple is purged once the punctuation sets of
+  *all* other streams cover its join value — then no future tuple from
+  any other stream can complete a new result with it.  (This is the
+  sound generalisation of the binary rule; purging on a single other
+  stream's punctuation would be premature when a third stream can still
+  deliver partners.)
+* **on-the-fly drop**: an arriving tuple already covered by all other
+  streams' punctuation sets joins the current states and is dropped;
+* **index building and propagation** per input stream are unchanged;
+  a propagated punctuation constrains every join column of the output.
+
+This extension keeps all states memory-resident (no relocation / disk
+join); the binary operator remains the fully-featured one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.core.config import INDEX_EAGER, PROPAGATE_OFF, PJoinConfig
+from repro.core.monitor import Monitor
+from repro.core.propagation import run_propagation
+from repro.core.state import JoinStateSide
+from repro.errors import ConfigError, OperatorError, PunctuationError
+from repro.operators.base import Operator
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+class NaryPJoin(Operator):
+    """Punctuation-exploiting n-ary hash equi-join on one attribute."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        schemas: Sequence[Schema],
+        join_fields: Sequence[str],
+        config: Optional[PJoinConfig] = None,
+        name: str = "nary-pjoin",
+    ) -> None:
+        if len(schemas) < 2:
+            raise OperatorError("NaryPJoin needs at least two input streams")
+        if len(schemas) != len(join_fields):
+            raise OperatorError("need exactly one join field per input schema")
+        super().__init__(engine, cost_model, n_inputs=len(schemas), name=name)
+        self.config = config if config is not None else PJoinConfig()
+        if self.config.memory_threshold is not None:
+            raise ConfigError(
+                "NaryPJoin keeps its states memory-resident; "
+                "set memory_threshold=None"
+            )
+        if self.config.propagation_mode not in (PROPAGATE_OFF, "push_count"):
+            raise ConfigError(
+                "NaryPJoin supports propagation modes 'off' and "
+                f"'push_count', got {self.config.propagation_mode!r}"
+            )
+        self.schemas = list(schemas)
+        self.join_fields = list(join_fields)
+        self.join_indices = [
+            schema.index_of(field) for schema, field in zip(schemas, join_fields)
+        ]
+        self.out_schema = self._build_out_schema()
+        self.sides = [
+            JoinStateSide(
+                schema, field, self.config.n_partitions, side_name=f"input{i}"
+            )
+            for i, (schema, field) in enumerate(zip(schemas, join_fields))
+        ]
+        self.monitor = Monitor(self.config)
+        self._out_join_indices = self._compute_out_join_indices()
+        self.results_produced = 0
+        self.tuples_dropped_on_fly = 0
+        self.tuples_purged = 0
+        self.purge_runs = 0
+        self.punctuations_propagated = 0
+        self.punctuation_violations = 0
+
+    def _build_out_schema(self) -> Schema:
+        out = self.schemas[0]
+        for schema in self.schemas[1:]:
+            out = out.concat(schema)
+        return Schema(out.fields, name=self.name + ".out")
+
+    def _compute_out_join_indices(self) -> List[int]:
+        """Propagation constrains the first stream's join column only.
+
+        One constrained column keeps the punctuation exploitable by a
+        downstream group-by (see the binary operator for the rationale);
+        all join columns carry equal values in every result anyway.
+        """
+        return [self.join_indices[0]]
+
+    # ------------------------------------------------------------------
+    # Item handling
+    # ------------------------------------------------------------------
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Punctuation):
+            return self._handle_punctuation(item, port)
+        if isinstance(item, Tuple):
+            return self._handle_tuple(item, port)
+        return 0.0
+
+    def _handle_tuple(self, tup: Tuple, side: int) -> float:
+        value = tup.values[self.join_indices[side]]
+        cost = self.cost_model.tuple_overhead
+        if self.config.validate_inputs != "off" and self.sides[side].covers(value):
+            self.punctuation_violations += 1
+            if self.config.validate_inputs == "raise":
+                raise PunctuationError(
+                    f"{self.name}: tuple {tup!r} arrived after a punctuation "
+                    f"covering join value {value!r} on stream {side}"
+                )
+            return cost
+        # Probe every other state; a result needs a match from each.
+        match_lists: List[List[Tuple]] = []
+        complete = True
+        for other in range(self.n_inputs):
+            if other == side:
+                continue
+            occupancy, matches = self.sides[other].probe(value)
+            cost += self.cost_model.probe_cost(occupancy, len(matches))
+            if not matches:
+                complete = False
+                break
+            match_lists.append([entry.tup for entry in matches])
+        if complete:
+            cost += self._emit_combinations(tup, side, match_lists)
+        # On-the-fly drop: covered by all other streams' punctuations.
+        dropped = False
+        if self.config.on_the_fly_drop:
+            cost += self.cost_model.drop_check
+            if all(
+                self.sides[other].covers(value)
+                for other in range(self.n_inputs)
+                if other != side
+            ):
+                dropped = True
+                self.tuples_dropped_on_fly += 1
+        if not dropped:
+            self.sides[side].insert(tup, value, self.engine.now)
+            cost += self.cost_model.insert
+        return cost
+
+    def _emit_combinations(
+        self, tup: Tuple, side: int, match_lists: List[List[Tuple]]
+    ) -> float:
+        """Emit the cross product of per-stream matches with *tup*.
+
+        *match_lists* holds matches for the other streams in stream
+        order (stream *side* excluded); the result column order is
+        stream order with *tup* slotted into its own position.
+        """
+        combos: List[PyTuple[Tuple, ...]] = [()]
+        for matches in match_lists:
+            combos = [combo + (m,) for combo in combos for m in matches]
+        emitted = 0
+        for combo in combos:
+            values: PyTuple[Any, ...] = ()
+            combo_iter = iter(combo)
+            for stream in range(self.n_inputs):
+                source = tup if stream == side else next(combo_iter)
+                values = values + source.values
+            self.emit(
+                Tuple(self.out_schema, values, ts=self.engine.now, validate=False)
+            )
+            emitted += 1
+        self.results_produced += emitted
+        return self.cost_model.emit_result * emitted
+
+    def _handle_punctuation(self, punct: Punctuation, side: int) -> float:
+        cost = self.cost_model.punct_overhead
+        pid = self.sides[side].add_punctuation(punct)
+        if pid is not None and self.config.index_building == INDEX_EAGER:
+            cost += self._index_build()
+        for event in self.monitor.on_punctuation(paired=False):
+            if event.event_name == "PurgeThresholdReachEvent":
+                cost += self._purge_all()
+            elif event.event_name == "PropagateCountReachEvent":
+                cost += self._index_build()
+                cost += self._propagate()
+        return cost
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def _purge_all(self) -> float:
+        """Purge every state: all-other-streams-covered rule."""
+        scanned = 0
+        removed_total = 0
+        for side in range(self.n_inputs):
+            others = [s for s in range(self.n_inputs) if s != side]
+            if any(len(self.sides[s].store) == 0 for s in others):
+                scanned += self.sides[side].memory_size
+                continue
+            scanned += self.sides[side].memory_size
+
+            def covered_by_all(entry) -> bool:
+                return all(
+                    self.sides[s].covers(entry.join_value) for s in others
+                )
+
+            removed = self.sides[side].table.remove_where(covered_by_all)
+            for entry in removed:
+                self.sides[side].discard_entry(entry)
+            removed_total += len(removed)
+        self.purge_runs += 1
+        self.tuples_purged += removed_total
+        return self.cost_model.purge_cost(scanned)
+
+    def _index_build(self) -> float:
+        cost = 0.0
+        for side in self.sides:
+            if side.index.pending_unindexed_punctuations == 0:
+                continue
+            result = side.index.build(side.iter_all_entries())
+            cost += self.cost_model.index_build_cost(
+                result.scanned, result.unindexed, result.fresh_punctuations
+            )
+        return cost
+
+    def _propagate(self) -> float:
+        result = run_propagation(
+            self.sides, self.out_schema, self._out_join_indices, self.engine.now
+        )
+        for punct in result.emitted:
+            self.emit(punct)
+        self.punctuations_propagated += result.propagated
+        return self.cost_model.propagation_cost(result.checked)
+
+    def on_finish(self) -> float:
+        if self.config.propagation_mode != PROPAGATE_OFF:
+            return self._index_build() + self._propagate()
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def state_size(self, side: int) -> int:
+        return self.sides[side].total_size
+
+    def total_state_size(self) -> int:
+        return sum(side.total_size for side in self.sides)

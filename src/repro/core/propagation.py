@@ -1,0 +1,86 @@
+"""The punctuation-propagation component (paper Section 3.5).
+
+A propagation run walks each input stream's punctuation set and emits
+every punctuation that is *propagable* — indexed, with an index count
+of zero, meaning no tuple matching it remains anywhere in that side's
+state (memory, disk or purge buffer).  By Theorem 1 such a punctuation
+can be released: no result tuple matching it will ever be generated
+again.  Propagated punctuations are removed from the set immediately,
+as the paper's Propagate procedure does (Figure 3, lines 16–21).
+
+The emitted punctuation is expressed over the join's **output schema**:
+a punctuation on the join attribute of either input constrains the
+output's join column(s) named in ``out_join_indices`` (wildcards
+elsewhere).  The join passes a single column — constraining one join
+column is sound, because a result carrying the punctuated value needs a
+partner from *both* inputs, and it keeps the punctuation exploitable by
+a downstream group-by on the join attribute (which requires every
+non-group pattern to be a wildcard).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple as PyTuple
+
+from repro.core.state import JoinStateSide
+from repro.punctuations.patterns import WILDCARD
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+
+
+class PropagationResult:
+    """Statistics and output of one propagation run."""
+
+    __slots__ = ("checked", "emitted")
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.emitted: List[Punctuation] = []
+
+    @property
+    def propagated(self) -> int:
+        return len(self.emitted)
+
+    def __repr__(self) -> str:
+        return f"PropagationResult(checked={self.checked}, emitted={self.propagated})"
+
+
+def run_propagation(
+    sides: Sequence[JoinStateSide],
+    out_schema: Schema,
+    out_join_indices: Sequence[int],
+    now: float,
+) -> PropagationResult:
+    """Emit every propagable punctuation of every side.
+
+    Parameters
+    ----------
+    sides:
+        The join's per-stream states (two for the binary join, *n* for
+        the n-ary extension).
+    out_schema:
+        The join's output schema.
+    out_join_indices:
+        Positions of the join columns inside *out_schema* (one per input
+        stream); the propagated pattern is applied to all of them.
+    now:
+        Virtual time, stamped on the emitted punctuations.
+    """
+    result = PropagationResult()
+    ready: List[PyTuple[float, int, int, Punctuation]] = []
+    for side_number, side in enumerate(sides):
+        result.checked += len(side.store)
+        for pid, punct in side.index.propagable():
+            ready.append((punct.ts, side_number, pid, punct))
+    # Steady, deterministic output order: by original arrival time.
+    ready.sort(key=lambda item: (item[0], item[1], item[2]))
+    for _ts, side_number, pid, punct in ready:
+        side = sides[side_number]
+        join_pattern = punct.patterns[side.store.join_index]
+        out_patterns = [WILDCARD] * out_schema.arity
+        for index in out_join_indices:
+            out_patterns[index] = join_pattern
+        result.emitted.append(Punctuation(out_schema, out_patterns, ts=now))
+        side.store.remove(pid)
+        side.index.on_punctuation_removed(pid)
+    return result

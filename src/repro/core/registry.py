@@ -1,0 +1,214 @@
+"""The event-listener registry (paper Section 3.6, Table 1).
+
+Each entry names an event type, an optional extra condition, and the
+ordered list of *listeners* (component names) that handle the event.
+The registry is data, not code: it can be built at query-optimisation
+time and updated at runtime, which is how PJoin switches between, say,
+eager and lazy index building without touching the operator.
+
+Component names recognised by :class:`~repro.core.pjoin.PJoin`:
+
+``"state_purge"``, ``"state_relocation"``, ``"disk_join"``,
+``"index_build"``, ``"propagate"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.core.events import (
+    Event,
+    PropagateCountReachEvent,
+    PropagateRequestEvent,
+    PropagateTimeExpireEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+    StreamEmptyEvent,
+)
+from repro.errors import ConfigError
+
+COMPONENT_NAMES = (
+    "state_purge",
+    "state_relocation",
+    "disk_join",
+    "index_build",
+    "propagate",
+)
+
+Condition = Callable[[Event], bool]
+
+
+@dataclass
+class RegistryEntry:
+    """One row of the registry: event → (condition, ordered listeners)."""
+
+    event_type: Type[Event]
+    listeners: List[str]
+    condition: Optional[Condition] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for listener in self.listeners:
+            if listener not in COMPONENT_NAMES:
+                raise ConfigError(
+                    f"unknown listener {listener!r}; valid components are "
+                    f"{COMPONENT_NAMES}"
+                )
+
+    def applies_to(self, event: Event) -> bool:
+        if not isinstance(event, self.event_type):
+            return False
+        if self.condition is not None and not self.condition(event):
+            return False
+        return True
+
+
+class EventListenerRegistry:
+    """Ordered, runtime-updatable mapping from events to listeners."""
+
+    def __init__(self) -> None:
+        self._entries: List[RegistryEntry] = []
+
+    def register(
+        self,
+        event_type: Type[Event],
+        listeners: List[str],
+        condition: Optional[Condition] = None,
+        description: str = "",
+    ) -> RegistryEntry:
+        """Append an entry; listeners execute in the given order."""
+        entry = RegistryEntry(event_type, list(listeners), condition, description)
+        self._entries.append(entry)
+        return entry
+
+    def unregister(self, entry: RegistryEntry) -> None:
+        """Remove an entry previously returned by :meth:`register`."""
+        self._entries.remove(entry)
+
+    def replace_listeners(
+        self, event_type: Type[Event], listeners: List[str]
+    ) -> None:
+        """Swap the listener list of every entry for *event_type*.
+
+        This is the runtime-update path: e.g. switching propagation off
+        mid-stream by replacing its listeners with an empty list.
+        """
+        found = False
+        for entry in self._entries:
+            if entry.event_type is event_type:
+                RegistryEntry(event_type, list(listeners))  # validates names
+                entry.listeners = list(listeners)
+                found = True
+        if not found:
+            self.register(event_type, listeners)
+
+    def listeners_for(self, event: Event) -> List[str]:
+        """All listeners of all entries matching *event*, in order."""
+        listeners: List[str] = []
+        for entry in self._entries:
+            if entry.applies_to(event):
+                listeners.extend(entry.listeners)
+        return listeners
+
+    def entries(self) -> List[RegistryEntry]:
+        """A copy of the entry list (for inspection and reports)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{e.event_type.__name__}->{e.listeners}" for e in self._entries
+        )
+        return f"EventListenerRegistry({rows})"
+
+
+def table1_registry() -> EventListenerRegistry:
+    """The example registry of the paper's Table 1.
+
+    Lazy purge (purge when the purge threshold is reached), lazy index
+    building coupled with push-mode count propagation (on the count
+    propagation threshold, first build the index for all newly-arrived
+    punctuations, then propagate), plus state relocation on memory
+    overflow and the reactive disk join on stream lulls.
+    """
+    registry = EventListenerRegistry()
+    registry.register(
+        PurgeThresholdReachEvent,
+        ["state_purge"],
+        description="lazy purge: purge state when the purge threshold is reached",
+    )
+    registry.register(
+        StateFullEvent,
+        ["state_relocation"],
+        description="move part of the state to disk on memory overflow",
+    )
+    registry.register(
+        StreamEmptyEvent,
+        ["disk_join"],
+        description="finish left-over joins while the inputs are stuck",
+    )
+    registry.register(
+        PropagateCountReachEvent,
+        ["index_build", "propagate"],
+        description=(
+            "lazy index building + push-mode count propagation: build the "
+            "punctuation index for all new punctuations, then propagate"
+        ),
+    )
+    return registry
+
+
+def default_registry_for(config) -> EventListenerRegistry:
+    """Build a registry matching a :class:`~repro.core.config.PJoinConfig`.
+
+    Follows the paper's coupling rules: eager index building registers
+    the index builder on punctuation arrival (modelled by coupling it to
+    the purge-threshold event with threshold semantics handled by the
+    monitor), while lazy index building couples it to whichever
+    propagation trigger the config selects.
+    """
+    from repro.core.config import (  # local import to avoid a cycle
+        INDEX_EAGER,
+        PROPAGATE_OFF,
+        PROPAGATE_PULL,
+        PROPAGATE_PUSH_COUNT,
+        PROPAGATE_PUSH_PAIRS,
+        PROPAGATE_PUSH_TIME,
+    )
+
+    registry = EventListenerRegistry()
+    registry.register(
+        PurgeThresholdReachEvent,
+        ["state_purge"],
+        description="purge state when the purge threshold is reached",
+    )
+    registry.register(
+        StateFullEvent,
+        ["state_relocation"],
+        description="state relocation on memory overflow",
+    )
+    registry.register(
+        StreamEmptyEvent,
+        ["disk_join"],
+        description="reactive disk join during stream lulls",
+    )
+    propagation_listeners = ["propagate"]
+    if config.index_building != INDEX_EAGER:
+        propagation_listeners = ["index_build", "propagate"]
+    if config.disk_join_before_propagation:
+        propagation_listeners = ["disk_join"] + propagation_listeners
+    mode = config.propagation_mode
+    if mode in (PROPAGATE_PUSH_COUNT, PROPAGATE_PUSH_PAIRS):
+        registry.register(PropagateCountReachEvent, propagation_listeners)
+    elif mode == PROPAGATE_PUSH_TIME:
+        registry.register(PropagateTimeExpireEvent, propagation_listeners)
+    elif mode == PROPAGATE_PULL:
+        registry.register(PropagateRequestEvent, propagation_listeners)
+    elif mode != PROPAGATE_OFF:  # pragma: no cover - config validates modes
+        raise ConfigError(f"unhandled propagation mode {mode!r}")
+    return registry
+
+

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by the subsystem
+that raises them; they carry human-readable messages and, where useful,
+structured attributes describing the offending object.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a tuple does not conform to its schema."""
+
+
+class PatternError(ReproError):
+    """A punctuation pattern is malformed or used incorrectly."""
+
+
+class PunctuationError(ReproError):
+    """A punctuation is malformed or violates stream punctuation rules.
+
+    The most common cause is a *punctuation violation*: a tuple arriving
+    after a punctuation that its join value matches.  Sources that emit
+    such streams are buggy; operators in this library detect the
+    violation (when validation is enabled) rather than silently producing
+    incorrect join results.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly.
+
+    Raised, for example, when scheduling an event in the virtual past or
+    running an engine that has already finished.
+    """
+
+
+class OperatorError(ReproError):
+    """An operator was configured or wired incorrectly."""
+
+
+class ConfigError(ReproError):
+    """An operator/experiment configuration value is invalid."""
+
+
+class StorageError(ReproError):
+    """The simulated secondary storage was used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or inconsistent."""

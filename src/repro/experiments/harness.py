@@ -1,0 +1,239 @@
+"""Run one join over one workload and collect the paper's metrics.
+
+The harness assembles the plan ``sources → join → sink``, samples state
+sizes and cumulative output over virtual time, runs the simulation to
+completion and returns an :class:`ExperimentRun` with everything the
+figures need: time series, final counters and derived statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.core.registry import EventListenerRegistry
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.series import TimeSeries
+from repro.operators.base import Operator
+from repro.operators.shj import SymmetricHashJoin
+from repro.operators.sink import Sink
+from repro.operators.xjoin import XJoin
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.generator import GeneratedWorkload
+
+# A factory builds the join under test inside the experiment's plan.
+JoinFactory = Callable[[QueryPlan, GeneratedWorkload], Operator]
+
+
+class ExperimentRun:
+    """Everything measured in one experiment run."""
+
+    def __init__(
+        self,
+        label: str,
+        join: Operator,
+        sink: Sink,
+        series: Dict[str, TimeSeries],
+        duration_ms: float,
+    ) -> None:
+        self.label = label
+        self.join = join
+        self.sink = sink
+        self.series = series
+        self.duration_ms = duration_ms
+
+    # -- metric accessors ----------------------------------------------------
+
+    @property
+    def state_series(self) -> TimeSeries:
+        """Total join-state size over time (Figures 5/6/8/10/13)."""
+        return self.series["state_total"]
+
+    @property
+    def output_series(self) -> TimeSeries:
+        """Cumulative result tuples over time (Figures 7/9/11/12)."""
+        return self.series["output"]
+
+    @property
+    def punctuation_output_series(self) -> TimeSeries:
+        """Cumulative propagated punctuations over time (Figure 14)."""
+        return self.series["punct_output"]
+
+    @property
+    def results(self) -> int:
+        return self.sink.tuple_count
+
+    @property
+    def punctuations_out(self) -> int:
+        return self.sink.punctuation_count
+
+    def mean_state(self) -> float:
+        return self.state_series.time_weighted_mean()
+
+    def max_state(self) -> float:
+        return self.state_series.maximum()
+
+    def output_rate_first_half(self) -> float:
+        """Mean output rate (tuples/ms) over the first half of the run."""
+        return self._window_rate(0.0, 0.5)
+
+    def output_rate_second_half(self) -> float:
+        """Mean output rate (tuples/ms) over the second half of the run."""
+        return self._window_rate(0.5, 1.0)
+
+    def _window_rate(self, frac_start: float, frac_end: float) -> float:
+        series = self.output_series
+        if len(series) < 2:
+            return 0.0
+        t0 = series.times[0]
+        span = series.times[-1] - t0
+        if span <= 0:
+            return 0.0
+        start, end = t0 + frac_start * span, t0 + frac_end * span
+        produced = series.value_at(end) - series.value_at(start)
+        return produced / (end - start)
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers for report tables."""
+        return {
+            "label": self.label,
+            "results": self.results,
+            "mean_state": self.mean_state(),
+            "max_state": self.max_state(),
+            "rate_first_half": self.output_rate_first_half(),
+            "rate_second_half": self.output_rate_second_half(),
+            "punctuations_out": self.punctuations_out,
+            "duration_ms": self.duration_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentRun({self.label!r}, results={self.results}, "
+            f"mean_state={self.mean_state():.1f})"
+        )
+
+
+def run_join_experiment(
+    factory: JoinFactory,
+    workload: GeneratedWorkload,
+    label: str = "",
+    sample_interval_ms: float = 200.0,
+    cost_model: Optional[CostModel] = None,
+    keep_items: bool = False,
+    horizon_factor: float = 4.0,
+) -> ExperimentRun:
+    """Execute one join over one workload and return its measurements.
+
+    Parameters
+    ----------
+    factory:
+        Builds the join under test (see :func:`pjoin_factory` etc.).
+    workload:
+        A :class:`~repro.workloads.generator.GeneratedWorkload`.
+    sample_interval_ms:
+        Virtual-time distance between metric samples.
+    keep_items:
+        Retain every result tuple in the sink (tests need this; large
+        benchmark runs do not).
+    horizon_factor:
+        Metrics are pre-scheduled until ``end_time * horizon_factor`` so
+        a saturated join that lags behind its inputs is still sampled;
+        trailing samples after completion are trimmed.
+    """
+    plan = QueryPlan(cost_model=cost_model)
+    join = factory(plan, workload)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=keep_items)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0, name="A")
+    plan.add_source(workload.schedule_b, join, port=1, name="B")
+    collector = MetricsCollector(plan.engine, interval_ms=sample_interval_ms)
+    collector.register_gauge("state_total", join.total_state_size)
+    collector.register_gauge("state_a", lambda: join.state_size(0))
+    collector.register_gauge("state_b", lambda: join.state_size(1))
+    collector.register_gauge("output", lambda: sink.tuple_count)
+    collector.register_gauge("punct_output", lambda: sink.punctuation_count)
+    collector.start(horizon_ms=workload.end_time * horizon_factor + 1000.0)
+    plan.run()
+    series = {
+        name: _trim(ts, sink.eos_time) for name, ts in collector.series.items()
+    }
+    return ExperimentRun(
+        label or type(join).__name__,
+        join,
+        sink,
+        series,
+        duration_ms=sink.eos_time if sink.eos_time >= 0 else plan.engine.now,
+    )
+
+
+def _trim(series: TimeSeries, eos_time: float) -> TimeSeries:
+    """Drop samples after the join delivered end-of-stream."""
+    if eos_time < 0 or not series:
+        return series
+    trimmed = TimeSeries(name=series.name)
+    for time, value in series.points():
+        if time > eos_time:
+            break
+        trimmed.append(time, value)
+    return trimmed
+
+
+# ---------------------------------------------------------------------------
+# Join factories
+# ---------------------------------------------------------------------------
+
+
+def pjoin_factory(
+    config: Optional[PJoinConfig] = None,
+    registry: Optional[EventListenerRegistry] = None,
+) -> JoinFactory:
+    """A factory producing a PJoin with the given configuration."""
+
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> PJoin:
+        return PJoin(
+            plan.engine,
+            plan.cost_model,
+            workload.schemas[0],
+            workload.schemas[1],
+            workload.join_fields[0],
+            workload.join_fields[1],
+            config=config,
+            registry=registry,
+        )
+
+    return build
+
+
+def xjoin_factory(memory_threshold: Optional[int] = None) -> JoinFactory:
+    """A factory producing the XJoin comparator."""
+
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> XJoin:
+        return XJoin(
+            plan.engine,
+            plan.cost_model,
+            workload.schemas[0],
+            workload.schemas[1],
+            workload.join_fields[0],
+            workload.join_fields[1],
+            memory_threshold=memory_threshold,
+        )
+
+    return build
+
+
+def shj_factory() -> JoinFactory:
+    """A factory producing the plain symmetric hash join."""
+
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> SymmetricHashJoin:
+        return SymmetricHashJoin(
+            plan.engine,
+            plan.cost_model,
+            workload.schemas[0],
+            workload.schemas[1],
+            workload.join_fields[0],
+            workload.join_fields[1],
+        )
+
+    return build

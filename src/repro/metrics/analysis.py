@@ -1,0 +1,118 @@
+"""Statistical analysis of experiment series.
+
+Small, dependency-free tools for the questions the paper's figures
+ask of a time series: *does it grow, and how fast?* (state curves),
+*is it steady?* (output rates), *where do two curves cross?* (PJoin
+overtaking XJoin).  The figure shape checks and EXPERIMENTS.md use
+these instead of ad-hoc point comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple as PyTuple
+
+from repro.metrics.series import TimeSeries
+
+
+def linear_fit(series: TimeSeries) -> PyTuple[float, float]:
+    """Least-squares slope and intercept of value over time.
+
+    Returns ``(slope, intercept)`` with slope in value-units per virtual
+    millisecond.  A series with fewer than two points (or zero time
+    variance) fits a flat line at its mean.
+    """
+    n = len(series)
+    if n < 2:
+        return 0.0, series.mean()
+    mean_t = sum(series.times) / n
+    mean_v = sum(series.values) / n
+    var_t = sum((t - mean_t) ** 2 for t in series.times)
+    if var_t == 0:
+        return 0.0, mean_v
+    cov = sum(
+        (t - mean_t) * (v - mean_v)
+        for t, v in zip(series.times, series.values)
+    )
+    slope = cov / var_t
+    return slope, mean_v - slope * mean_t
+
+
+def growth_ratio(series: TimeSeries) -> float:
+    """How much of the final value is explained by linear growth.
+
+    ``1.0`` means the series climbs steadily to its end (XJoin's state);
+    values near ``0`` mean it hovers around a plateau (PJoin's state).
+    Computed as fitted rise over the observation span divided by the
+    series maximum.
+    """
+    if len(series) < 2:
+        return 0.0
+    slope, _ = linear_fit(series)
+    span = series.times[-1] - series.times[0]
+    peak = series.maximum()
+    if peak <= 0:
+        return 0.0
+    return max(0.0, slope * span / peak)
+
+
+def is_bounded(series: TimeSeries, tolerance: float = 0.35) -> bool:
+    """Does the series stay around a plateau rather than keep growing?
+
+    True when linear growth explains less than *tolerance* of the peak.
+    """
+    return growth_ratio(series) < tolerance
+
+
+def steadiness(series: TimeSeries, n_windows: int = 5) -> float:
+    """Relative spread of windowed means: 0 = perfectly steady.
+
+    Splits the observation span into *n_windows* equal windows and
+    returns ``(max(window_mean) - min(window_mean)) / overall_mean``.
+    The first window is skipped (warm-up).
+    """
+    if len(series) < 2:
+        return 0.0
+    t0, t1 = series.times[0], series.times[-1]
+    if t1 <= t0:
+        return 0.0
+    width = (t1 - t0) / n_windows
+    means = []
+    for i in range(1, n_windows):
+        start = t0 + i * width
+        means.append(series.window_mean(start, start + width))
+    overall = sum(means) / len(means) if means else 0.0
+    if overall == 0:
+        return 0.0
+    return (max(means) - min(means)) / overall
+
+
+def first_crossover(
+    a: TimeSeries, b: TimeSeries, after: float = 0.0
+) -> Optional[float]:
+    """The first time *a*'s value overtakes *b*'s, or ``None``.
+
+    Series are compared by step interpolation on the union of their
+    sample times.  Useful for "where does PJoin's cumulative output pass
+    XJoin's" questions.
+    """
+    times = sorted(set(a.times) | set(b.times))
+    previous_sign = None
+    for t in times:
+        if t < after:
+            continue
+        diff = a.value_at(t) - b.value_at(t)
+        sign = math.copysign(1.0, diff) if diff != 0 else 0.0
+        if previous_sign is not None and previous_sign < 0 and sign > 0:
+            return t
+        if sign != 0:
+            previous_sign = sign
+    return None
+
+
+def relative_level(a: TimeSeries, b: TimeSeries) -> float:
+    """Ratio of time-weighted means, ``a / b`` (``inf`` if b is flat 0)."""
+    denominator = b.time_weighted_mean()
+    if denominator == 0:
+        return math.inf
+    return a.time_weighted_mean() / denominator

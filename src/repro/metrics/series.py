@@ -1,0 +1,126 @@
+"""Time series of sampled measurements."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple as PyTuple
+
+
+class TimeSeries:
+    """A sequence of ``(virtual_time, value)`` points, time-ordered."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time {time} decreases "
+                f"(last was {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sampled values (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the interval each sample covers.
+
+        The paper's "average size of the state" over an execution; more
+        faithful than a plain mean when sampling intervals vary.
+        """
+        if len(self.values) < 2:
+            return self.mean()
+        total = 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.mean()
+        for i in range(len(self.values) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        return total / span
+
+    def value_at(self, time: float) -> float:
+        """The most recent sample at or before *time* (0.0 before any)."""
+        index = bisect_right(self.times, time) - 1
+        if index < 0:
+            return 0.0
+        return self.values[index]
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean of samples whose times fall in ``[start, end)``."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        if hi <= lo:
+            return 0.0
+        chunk = self.values[lo:hi]
+        return sum(chunk) / len(chunk)
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+
+    def rate_per_ms(self) -> "TimeSeries":
+        """Differences between consecutive samples over elapsed time.
+
+        Turns a cumulative-count series (e.g. result tuples output) into
+        an output-*rate* series — the paper's Figure 7/9/11/12 metric.
+        """
+        rate = TimeSeries(name=f"{self.name}.rate")
+        for i in range(1, len(self.values)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt <= 0:
+                continue
+            rate.append(self.times[i], (self.values[i] - self.values[i - 1]) / dt)
+        return rate
+
+    def downsampled(self, every: int) -> "TimeSeries":
+        """Keep every *every*-th point (for compact report tables)."""
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        out = TimeSeries(name=self.name)
+        for i in range(0, len(self.values), every):
+            out.append(self.times[i], self.values[i])
+        return out
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def points(self) -> Iterator[PyTuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __bool__(self) -> bool:
+        return bool(self.values)
+
+    def __repr__(self) -> str:
+        if not self.values:
+            return f"TimeSeries({self.name!r}, empty)"
+        return (
+            f"TimeSeries({self.name!r}, n={len(self.values)}, "
+            f"mean={self.mean():.2f}, max={self.maximum():.2f})"
+        )

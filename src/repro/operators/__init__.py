@@ -1,0 +1,46 @@
+"""Query operators.
+
+All operators share the single-server execution model of
+:class:`~repro.operators.base.Operator`: items arrive on input ports at
+virtual times, queue while the operator is busy, and each item's
+processing charges virtual time through the cost model.  The join
+operators living here are the paper's comparators; the paper's own
+contribution, PJoin, lives in :mod:`repro.core`.
+"""
+
+from repro.operators.base import Operator
+from repro.operators.sink import Sink
+from repro.operators.select import Select
+from repro.operators.project import Project
+from repro.operators.union import Union
+from repro.operators.dupelim import DuplicateElimination, PunctuationSort
+from repro.operators.groupby import (
+    Aggregate,
+    GroupBy,
+    avg_agg,
+    count_agg,
+    max_agg,
+    sum_agg,
+)
+from repro.operators.shj import SymmetricHashJoin
+from repro.operators.window_join import SlidingWindowJoin
+from repro.operators.xjoin import XJoin
+
+__all__ = [
+    "Operator",
+    "Sink",
+    "Select",
+    "Project",
+    "Union",
+    "DuplicateElimination",
+    "PunctuationSort",
+    "GroupBy",
+    "Aggregate",
+    "count_agg",
+    "sum_agg",
+    "avg_agg",
+    "max_agg",
+    "SymmetricHashJoin",
+    "SlidingWindowJoin",
+    "XJoin",
+]

@@ -1,0 +1,98 @@
+"""XJoin-style timestamp duplicate prevention.
+
+When a join state is split between memory and disk, the same result
+pair could be produced by up to three stages: the per-tuple memory join
+(stage 1), the reactive disk-to-memory join (stage 2) and the clean-up
+join at end-of-stream (stage 3).  XJoin prevents duplicates with
+timestamps rather than result logs, and this module implements those
+rules for both XJoin and PJoin's disk join.
+
+Each state entry records its memory-residency interval ``[ats, dts)``
+(``dts = inf`` while memory-resident; spilling a partition stamps all
+its entries with the flush time).  Each hybrid partition records the
+virtual times at which its disk portion was probed against the opposite
+memory portion (its *probe history*).
+
+Rules
+-----
+* A pair was produced by **stage 1** iff the later-arriving tuple
+  arrived while the earlier one was still memory-resident: the arriving
+  tuple's probe then found the earlier tuple in memory.
+* A pair was produced by **stage 2** iff some probe of one tuple's disk
+  portion happened (a) after that tuple was flushed, (b) while the other
+  tuple was memory-resident, and (c) the other tuple arrived after the
+  previous probe of the same disk portion (stage 2 only joins disk
+  tuples with memory tuples newer than its last run).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.storage.partition import StateEntry
+
+
+def stage1_covered(a: StateEntry, b: StateEntry) -> bool:
+    """Was the pair (a, b) produced by the per-tuple memory join?
+
+    The boundary is inclusive: when the later tuple's arrival equals the
+    earlier one's flush time, the flush happened inside the later
+    tuple's own handling step — *after* its probe — because handles are
+    serialised on the virtual clock, so the pair was produced.
+    """
+    if b.ats >= a.ats:
+        return b.ats <= a.dts
+    return a.ats <= b.dts
+
+
+def stage2_covered_one_side(
+    disk_entry: StateEntry,
+    mem_entry: StateEntry,
+    probe_history: List[float],
+) -> bool:
+    """Was (disk_entry, mem_entry) produced by a stage-2 probe?
+
+    *probe_history* is the increasing list of times the disk portion
+    holding *disk_entry* was probed.  The pair was produced by the probe
+    at time ``T`` (with predecessor ``T_prev``) iff::
+
+        disk_entry.dts <= T          (it was on disk by then)
+        T_prev < mem_entry.ats <= T  (the memory tuple is new since T_prev)
+        mem_entry.dts > T            (and was still memory-resident)
+    """
+    prev = float("-inf")
+    for probe_time in probe_history:
+        if (
+            disk_entry.dts <= probe_time
+            and prev < mem_entry.ats <= probe_time
+            and mem_entry.dts > probe_time
+        ):
+            return True
+        prev = probe_time
+    return False
+
+
+def stage2_covered(
+    a: StateEntry,
+    b: StateEntry,
+    a_probe_history: List[float],
+    b_probe_history: List[float],
+) -> bool:
+    """Was (a, b) produced by any stage-2 run, on either side?"""
+    if a_probe_history and stage2_covered_one_side(a, b, a_probe_history):
+        return True
+    if b_probe_history and stage2_covered_one_side(b, a, b_probe_history):
+        return True
+    return False
+
+
+def already_produced(
+    a: StateEntry,
+    b: StateEntry,
+    a_probe_history: List[float],
+    b_probe_history: List[float],
+) -> bool:
+    """Was (a, b) produced by stage 1 or stage 2?  Used by stage 3."""
+    return stage1_covered(a, b) or stage2_covered(
+        a, b, a_probe_history, b_probe_history
+    )

@@ -1,0 +1,173 @@
+"""Punctuation-aware duplicate elimination.
+
+Duplicate elimination is the textbook *stateful* operator: it must
+remember every distinct tuple seen so far to suppress repeats, so on an
+unbounded stream its seen-set grows forever.  Punctuations fix that the
+same way they fix the join state: once a punctuation promises that no
+more tuples matching *p* will arrive, every seen-set entry matching *p*
+is dead weight and can be discarded (Tucker et al.'s *keep* rule, which
+the PJoin paper adopts as its purge rule).
+
+Punctuations themselves pass through unchanged — removing duplicates
+never invalidates a promise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple as PyTuple
+
+from repro.operators.base import Operator
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+class DuplicateElimination(Operator):
+    """Emit each distinct value combination once; purge on punctuations."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        schema: Schema,
+        name: str = "dupelim",
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        self.schema = schema
+        self._seen: Set[PyTuple[Any, ...]] = set()
+        self.duplicates_suppressed = 0
+        self.entries_purged = 0
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            if item.values in self._seen:
+                self.duplicates_suppressed += 1
+            else:
+                self._seen.add(item.values)
+                self.emit(item)
+            return self.cost_model.select_per_item
+        if isinstance(item, Punctuation):
+            return self._handle_punctuation(item)
+        return 0.0
+
+    def _handle_punctuation(self, punct: Punctuation) -> float:
+        """Purge covered seen-set entries, then pass the punctuation on.
+
+        The promise guarantees no future tuple matches *punct*, so no
+        future arrival can be a duplicate of a covered entry — keeping
+        it would only burn memory.
+        """
+        before = len(self._seen)
+        self._seen = {
+            values for values in self._seen if not punct.matches_values(values)
+        }
+        purged = before - len(self._seen)
+        self.entries_purged += purged
+        self.emit(punct)
+        return (
+            self.cost_model.punct_overhead
+            + self.cost_model.purge_scan_per_tuple * before
+        )
+
+    @property
+    def state_size(self) -> int:
+        """Distinct values currently remembered."""
+        return len(self._seen)
+
+
+class PunctuationSort(Operator):
+    """Streaming sort unblocked by order punctuations.
+
+    Sort is the textbook *blocking* operator: nothing can be emitted
+    until it is certain no smaller element will still arrive.  A
+    punctuation of the form ``field < v`` (an upper-open range — e.g.
+    derived by :class:`~repro.punctuations.derive.OrderedArrivalPunctuator`
+    from a roughly-ordered source, or an application watermark) provides
+    exactly that certainty: every buffered tuple whose sort key is below
+    *v* can be released in sorted order.
+
+    Only upper-bounding punctuations advance the emission frontier;
+    punctuations of other shapes are absorbed (sound, just unhelpful).
+    All remaining buffered tuples are emitted, sorted, at end-of-stream.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        schema: Schema,
+        sort_field: str,
+        name: str = "sort",
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        self.schema = schema
+        self.sort_field = sort_field
+        self.sort_index = schema.index_of(sort_field)
+        self._buffer: List[Tuple] = []
+        self.punctuations_absorbed = 0
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            self._buffer.append(item)
+            return self.cost_model.select_per_item
+        if isinstance(item, Punctuation):
+            return self._handle_punctuation(item)
+        return 0.0
+
+    def _handle_punctuation(self, punct: Punctuation) -> float:
+        frontier = self._frontier_of(punct)
+        if frontier is None:
+            self.punctuations_absorbed += 1
+            return self.cost_model.punct_overhead
+        bound, inclusive = frontier
+        ready = []
+        keep = []
+        for tup in self._buffer:
+            value = tup.values[self.sort_index]
+            below = value <= bound if inclusive else value < bound
+            (ready if below else keep).append(tup)
+        self._buffer = keep
+        ready.sort(key=lambda t: t.values[self.sort_index])
+        for tup in ready:
+            self.emit(tup)
+        self.emit(punct)
+        return (
+            self.cost_model.punct_overhead
+            + self.cost_model.purge_scan_per_tuple * (len(ready) + len(keep))
+            + self.cost_model.emit_result * len(ready)
+        )
+
+    def _frontier_of(self, punct: Punctuation):
+        """``(bound, inclusive)`` if this punctuation bounds the sort key.
+
+        Requires: the sort-field pattern is a range unbounded below, and
+        every other pattern is a wildcard (otherwise tuples under the
+        bound could still arrive, differing in the constrained fields).
+        """
+        from repro.punctuations.patterns import Range
+
+        for i, pattern in enumerate(punct.patterns):
+            if i == self.sort_index:
+                continue
+            if not pattern.is_wildcard:
+                return None
+        pattern = punct.patterns[self.sort_index]
+        if isinstance(pattern, Range) and pattern.low is None \
+                and pattern.high is not None:
+            return pattern.high, pattern.high_inclusive
+        return None
+
+    def on_finish(self) -> float:
+        self._buffer.sort(key=lambda t: t.values[self.sort_index])
+        for tup in self._buffer:
+            self.emit(tup)
+        cost = self.cost_model.emit_result * len(self._buffer)
+        self._buffer = []
+        return cost
+
+    @property
+    def buffered(self) -> int:
+        """Tuples still blocked, waiting for a covering punctuation."""
+        return len(self._buffer)

@@ -1,0 +1,225 @@
+"""Punctuation-aware group-by aggregation.
+
+Group-by is the paper's canonical *blocking* operator: without
+punctuations it can only emit results at end-of-stream.  Punctuations
+unblock it — when a punctuation guarantees that no more tuples of some
+group(s) will arrive, those groups' aggregates are final and can be
+emitted immediately.  This is exactly why PJoin's punctuation
+*propagation* matters: the group-by downstream of the join (Figure 1
+(c)) relies on the punctuations PJoin forwards.
+
+The operator emits, for each closed group, one result tuple
+``(group_value, agg_1, ..., agg_k)`` followed by a punctuation on the
+group field of the output schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import OperatorError
+from repro.operators.base import Operator
+from repro.punctuations.patterns import WILDCARD
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import is_join_exploitable
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+
+class Aggregate:
+    """One aggregate column: a name, an input field and a fold.
+
+    Parameters
+    ----------
+    output_name:
+        Field name in the output schema.
+    field:
+        Input field the aggregate folds over (``None`` for count).
+    init:
+        Initial accumulator value.
+    step:
+        ``step(acc, value) -> acc``.
+    finish:
+        Optional ``finish(acc, n) -> result`` (e.g. average); defaults
+        to the accumulator itself.
+    """
+
+    def __init__(
+        self,
+        output_name: str,
+        field: Optional[str],
+        init: Any,
+        step: Callable[[Any, Any], Any],
+        finish: Optional[Callable[[Any, int], Any]] = None,
+    ) -> None:
+        self.output_name = output_name
+        self.field = field
+        self.init = init
+        self.step = step
+        self.finish = finish
+
+
+def count_agg(output_name: str = "count") -> Aggregate:
+    """COUNT(*) aggregate."""
+    return Aggregate(output_name, None, 0, lambda acc, _value: acc + 1)
+
+
+def sum_agg(field: str, output_name: Optional[str] = None) -> Aggregate:
+    """SUM(field) aggregate."""
+    return Aggregate(output_name or f"sum_{field}", field, 0, lambda acc, v: acc + v)
+
+
+def avg_agg(field: str, output_name: Optional[str] = None) -> Aggregate:
+    """AVG(field) aggregate."""
+    return Aggregate(
+        output_name or f"avg_{field}",
+        field,
+        0.0,
+        lambda acc, v: acc + v,
+        finish=lambda acc, n: acc / n if n else None,
+    )
+
+
+def max_agg(field: str, output_name: Optional[str] = None) -> Aggregate:
+    """MAX(field) aggregate."""
+    return Aggregate(
+        output_name or f"max_{field}",
+        field,
+        None,
+        lambda acc, v: v if acc is None or v > acc else acc,
+    )
+
+
+class _GroupState:
+    """Accumulators and tuple count for one group."""
+
+    __slots__ = ("accs", "n")
+
+    def __init__(self, aggregates: List[Aggregate]) -> None:
+        self.accs = [agg.init for agg in aggregates]
+        self.n = 0
+
+
+class GroupBy(Operator):
+    """Hash aggregation on one group field, unblocked by punctuations.
+
+    Parameters
+    ----------
+    pull_from:
+        Optional upstream operator exposing ``request_propagation()``
+        (a pull-mode PJoin).  When set, the group-by *pulls*: every time
+        its number of open (blocked) groups grows to
+        ``pull_open_groups_threshold`` or beyond, it asks the join to
+        propagate whatever punctuations are ready — the paper's pull
+        mode, driven by its natural beneficiary.
+    pull_open_groups_threshold:
+        How many open groups the group-by tolerates before pulling.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        in_schema: Schema,
+        group_field: str,
+        aggregates: List[Aggregate],
+        name: str = "groupby",
+        pull_from: Optional[Any] = None,
+        pull_open_groups_threshold: int = 16,
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        if not aggregates:
+            raise OperatorError("GroupBy needs at least one aggregate")
+        if pull_open_groups_threshold < 1:
+            raise OperatorError(
+                "pull_open_groups_threshold must be >= 1, got "
+                f"{pull_open_groups_threshold}"
+            )
+        self.pull_from = pull_from
+        self.pull_open_groups_threshold = pull_open_groups_threshold
+        self.pull_requests_sent = 0
+        self.in_schema = in_schema
+        self.group_field = group_field
+        self.group_index = in_schema.index_of(group_field)
+        self.aggregates = aggregates
+        self._field_indices = [
+            in_schema.index_of(agg.field) if agg.field is not None else -1
+            for agg in aggregates
+        ]
+        out_fields = [Field(group_field)]
+        out_fields.extend(Field(agg.output_name) for agg in aggregates)
+        self.out_schema = Schema(out_fields, name=name)
+        self._groups: Dict[Any, _GroupState] = {}
+        self.groups_emitted = 0
+        self.punctuations_absorbed = 0
+
+    # ------------------------------------------------------------------
+    # Item handling
+    # ------------------------------------------------------------------
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            self._accumulate(item)
+            return self.cost_model.groupby_per_tuple
+        if isinstance(item, Punctuation):
+            return self._handle_punctuation(item)
+        return 0.0
+
+    def _accumulate(self, tup: Tuple) -> None:
+        key = tup.values[self.group_index]
+        group = self._groups.get(key)
+        if group is None:
+            group = _GroupState(self.aggregates)
+            self._groups[key] = group
+            if (
+                self.pull_from is not None
+                and len(self._groups) >= self.pull_open_groups_threshold
+            ):
+                self.pull_from.request_propagation(requester=self.name)
+                self.pull_requests_sent += 1
+        group.n += 1
+        for i, agg in enumerate(self.aggregates):
+            index = self._field_indices[i]
+            value = tup.values[index] if index >= 0 else None
+            group.accs[i] = agg.step(group.accs[i], value)
+
+    def _handle_punctuation(self, punct: Punctuation) -> float:
+        """Emit the final results of every group the punctuation closes."""
+        if not is_join_exploitable(punct, self.group_field):
+            # Constrains non-group fields: cannot prove any group closed.
+            self.punctuations_absorbed += 1
+            return self.cost_model.groupby_per_tuple
+        pattern = punct.patterns[self.group_index]
+        closed = [key for key in self._groups if pattern.matches(key)]
+        for key in closed:
+            self._emit_group(key)
+        # Forward the promise on the output stream: no more result rows
+        # whose group field matches this pattern.
+        out_patterns = [WILDCARD] * self.out_schema.arity
+        out_patterns[0] = pattern
+        self.emit(Punctuation(self.out_schema, out_patterns, ts=punct.ts))
+        return self.cost_model.groupby_per_tuple + self.cost_model.groupby_per_emit * max(
+            1, len(closed)
+        )
+
+    def _emit_group(self, key: Any) -> None:
+        group = self._groups.pop(key)
+        values: List[Any] = [key]
+        for agg, acc in zip(self.aggregates, group.accs):
+            values.append(agg.finish(acc, group.n) if agg.finish else acc)
+        self.emit(Tuple(self.out_schema, tuple(values), validate=False))
+        self.groups_emitted += 1
+
+    def on_finish(self) -> float:
+        """Emit every still-open group at end-of-stream."""
+        remaining = list(self._groups)
+        for key in remaining:
+            self._emit_group(key)
+        return self.cost_model.groupby_per_emit * len(remaining)
+
+    @property
+    def open_groups(self) -> int:
+        """Number of groups still blocked (waiting for a punctuation)."""
+        return len(self._groups)

@@ -1,0 +1,60 @@
+"""Projection operator with the punctuation propagation rule.
+
+Projection keeps a subset of fields.  A punctuation survives projection
+only when every *dropped* field's pattern is the wildcard: otherwise
+the projected punctuation would promise more than the stream delivers
+(tuples differing only in dropped, constrained fields could still
+arrive and would match the projected patterns).  Punctuations that do
+not survive are silently absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.operators.base import Operator
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+class Project(Operator):
+    """Keep the named fields of each tuple, in the given order."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        in_schema: Schema,
+        field_names: Sequence[str],
+        name: str = "project",
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        self.in_schema = in_schema
+        self.field_names = list(field_names)
+        self.out_schema = in_schema.project(self.field_names, name=name)
+        self._indices = [in_schema.index_of(n) for n in self.field_names]
+        self._dropped = [
+            name for name in in_schema.field_names if name not in set(self.field_names)
+        ]
+        self.punctuations_absorbed = 0
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            values = tuple(item.values[i] for i in self._indices)
+            self.emit(Tuple(self.out_schema, values, ts=item.ts, validate=False))
+        elif isinstance(item, Punctuation):
+            if self._survives(item):
+                self.emit(item.restricted_to(self.field_names))
+            else:
+                self.punctuations_absorbed += 1
+        return self.cost_model.project_per_item
+
+    def _survives(self, punct: Punctuation) -> bool:
+        """A punctuation survives iff all dropped fields are wildcards."""
+        for name in self._dropped:
+            if not punct.pattern_for(name).is_wildcard:
+                return False
+        return True

@@ -1,0 +1,42 @@
+"""Selection (filter) operator with punctuation pass-through.
+
+Tucker et al.'s pass rule for selection: every punctuation may be
+passed through unchanged, because filtering only removes tuples — a
+promise that no more tuples matching *p* will arrive remains true on
+the filtered stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.operators.base import Operator
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.tuple import Tuple
+
+
+class Select(Operator):
+    """Emit only tuples satisfying *predicate*; pass punctuations through."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        predicate: Callable[[Tuple], bool],
+        name: str = "select",
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        self.predicate = predicate
+        self.tuples_dropped = 0
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            if self.predicate(item):
+                self.emit(item)
+            else:
+                self.tuples_dropped += 1
+        elif isinstance(item, Punctuation):
+            self.emit(item)
+        return self.cost_model.select_per_item

@@ -1,0 +1,39 @@
+"""The symmetric hash join — the basic stream join of Wilschut & Apers.
+
+Keeps every arriving tuple forever: it is the strawman whose
+"indefinitely accumulating join state" motivates both XJoin and PJoin.
+Punctuations are absorbed (it has no constraint-exploiting mechanism).
+Useful as a reference implementation in tests and as the
+memory-overflow-free baseline in examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.operators.binary import BinaryHashJoin
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+
+
+class SymmetricHashJoin(BinaryHashJoin):
+    """Probe the opposite state, emit matches, insert — never purge."""
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Punctuation):
+            # No constraint-exploiting mechanism: absorb.
+            return self.cost_model.punct_overhead
+        if not isinstance(item, Tuple):
+            return 0.0
+        side = port
+        other = self.other(side)
+        value = self.join_value(item, side)
+        occupancy, matches = self.states[other].probe(value)
+        for entry in matches:
+            self.emit_join(item, entry, side)
+        self.states[side].insert(item, value, self.engine.now)
+        return (
+            self.cost_model.tuple_overhead
+            + self.cost_model.probe_cost(occupancy, len(matches))
+            + self.cost_model.insert
+        )

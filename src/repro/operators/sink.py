@@ -1,0 +1,95 @@
+"""The terminal sink operator.
+
+Collects everything that reaches the end of a query plan: result
+tuples, propagated punctuations and their arrival (virtual) times.
+Experiments read its counters through the metrics sampler; tests read
+the collected items directly to compare against reference results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple as PyTuple
+
+from repro.operators.base import Operator
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.tuple import Tuple
+
+
+class Sink(Operator):
+    """Zero-cost terminal operator that records its input.
+
+    Parameters
+    ----------
+    keep_items:
+        When ``True`` (default) every received tuple and punctuation is
+        retained, which tests and examples rely on.  Long benchmark runs
+        can pass ``False`` to keep only counters and timings.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        keep_items: bool = True,
+        name: str = "sink",
+    ) -> None:
+        super().__init__(engine, cost_model, n_inputs=1, name=name)
+        self.keep_items = keep_items
+        self.results: List[Tuple] = []
+        self.punctuations: List[Punctuation] = []
+        # (time, cumulative tuple count) recorded at every arrival; used
+        # by output-rate figures without needing a separate sampler.
+        self.tuple_arrival_times: List[float] = []
+        self.punctuation_arrival_times: List[float] = []
+        self.eos_time: float = -1.0
+
+    def handle(self, item: Any, port: int) -> float:
+        now = self.engine.now
+        if isinstance(item, Tuple):
+            self.tuple_arrival_times.append(now)
+            if self.keep_items:
+                self.results.append(item)
+        elif isinstance(item, Punctuation):
+            self.punctuation_arrival_times.append(now)
+            if self.keep_items:
+                self.punctuations.append(item)
+        return 0.0
+
+    def on_finish(self) -> float:
+        self.eos_time = self.engine.now
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tuple_count(self) -> int:
+        return len(self.tuple_arrival_times)
+
+    @property
+    def punctuation_count(self) -> int:
+        return len(self.punctuation_arrival_times)
+
+    def result_multiset(self) -> dict:
+        """``{value-tuple: count}`` of received result tuples.
+
+        Timestamps are ignored so results can be compared against a
+        reference join computed outside the simulation.
+        """
+        counts: dict = {}
+        for tup in self.results:
+            counts[tup.values] = counts.get(tup.values, 0) + 1
+        return counts
+
+    def cumulative_output_series(self) -> List[PyTuple[float, int]]:
+        """``(time, cumulative result count)`` points, one per arrival."""
+        return [(t, i + 1) for i, t in enumerate(self.tuple_arrival_times)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Sink(tuples={self.tuple_count}, "
+            f"punctuations={self.punctuation_count})"
+        )

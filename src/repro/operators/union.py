@@ -1,0 +1,92 @@
+"""Stream union (merge) with sound punctuation propagation.
+
+Union interleaves n same-schema input streams.  Its punctuation rule is
+the interesting part: a promise "no more tuples matching p" holds on
+the union only once **every** input has made it — one silent input can
+still deliver matching tuples.
+
+This implementation exploits the common case the joins also exploit:
+punctuations whose patterns constrain exactly one field with a constant
+value.  For each (field, value) it counts the inputs that have
+punctuated it and emits the punctuation when the count reaches the
+input arity.  Punctuations of any other shape are *absorbed* (tallied
+in :attr:`Union.punctuations_absorbed`) — never emitting a promise is
+always sound, merely less useful.
+
+The paper's seller/buyer portals ("the sellers portal merges items for
+sale submitted by sellers into a stream called Open") are exactly this
+operator sitting upstream of PJoin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple as PyTuple
+
+from repro.errors import OperatorError
+from repro.operators.base import Operator
+from repro.punctuations.patterns import Constant
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+class Union(Operator):
+    """Merge *n_inputs* same-schema streams into one."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        schema: Schema,
+        n_inputs: int = 2,
+        name: str = "union",
+    ) -> None:
+        if n_inputs < 2:
+            raise OperatorError("a union needs at least two inputs")
+        super().__init__(engine, cost_model, n_inputs=n_inputs, name=name)
+        self.schema = schema
+        # (field_index, value) -> set of input ports that punctuated it.
+        self._pending: Dict[PyTuple[int, Any], Set[int]] = {}
+        self.punctuations_absorbed = 0
+        self.punctuations_merged = 0
+
+    def handle(self, item: Any, port: int) -> float:
+        if isinstance(item, Tuple):
+            self.emit(item)
+            return self.cost_model.select_per_item
+        if isinstance(item, Punctuation):
+            return self._handle_punctuation(item, port)
+        return 0.0
+
+    def _handle_punctuation(self, punct: Punctuation, port: int) -> float:
+        key = self._single_constant_key(punct)
+        if key is None:
+            self.punctuations_absorbed += 1
+            return self.cost_model.punct_overhead
+        ports = self._pending.setdefault(key, set())
+        ports.add(port)
+        if len(ports) == self.n_inputs:
+            del self._pending[key]
+            self.emit(punct)
+            self.punctuations_merged += 1
+        return self.cost_model.punct_overhead
+
+    def _single_constant_key(
+        self, punct: Punctuation
+    ) -> Optional[PyTuple[int, Any]]:
+        """The (field_index, value) if exactly one constant constrains it."""
+        key: Optional[PyTuple[int, Any]] = None
+        for index, pattern in enumerate(punct.patterns):
+            if pattern.is_wildcard:
+                continue
+            if not isinstance(pattern, Constant) or key is not None:
+                return None
+            key = (index, pattern.value)
+        return key
+
+    @property
+    def pending_punctuations(self) -> int:
+        """Promises some — but not all — inputs have made so far."""
+        return len(self._pending)

@@ -1,0 +1,55 @@
+"""Punctuation semantics (Tucker et al. [18], as used by PJoin).
+
+A *punctuation* is an ordered set of patterns, one per schema attribute.
+It is a promise embedded in a stream: every tuple arriving **after** the
+punctuation evaluates to *false* against it.  Tuples before it may match
+or not.  Five pattern kinds exist: wildcard, constant, range,
+enumeration list and the empty pattern; the conjunction ("and") of any
+two punctuations is again a punctuation.
+
+This package implements the full pattern algebra
+(:mod:`~repro.punctuations.patterns`), punctuations over schemas
+(:mod:`~repro.punctuations.punctuation`), and the per-stream punctuation
+set with ``setMatch`` semantics (:mod:`~repro.punctuations.store`).
+"""
+
+from repro.punctuations.patterns import (
+    Constant,
+    Empty,
+    EnumerationList,
+    Pattern,
+    Range,
+    Wildcard,
+    EMPTY,
+    WILDCARD,
+    parse_pattern,
+    pattern_from_spec,
+)
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore, is_join_exploitable
+from repro.punctuations.derive import (
+    ClusteredArrivalPunctuator,
+    KeyDerivedPunctuator,
+    OrderedArrivalPunctuator,
+    annotate_schedule,
+)
+
+__all__ = [
+    "Pattern",
+    "Wildcard",
+    "Constant",
+    "Range",
+    "EnumerationList",
+    "Empty",
+    "WILDCARD",
+    "EMPTY",
+    "pattern_from_spec",
+    "parse_pattern",
+    "Punctuation",
+    "PunctuationStore",
+    "is_join_exploitable",
+    "KeyDerivedPunctuator",
+    "OrderedArrivalPunctuator",
+    "ClusteredArrivalPunctuator",
+    "annotate_schedule",
+]

@@ -1,0 +1,176 @@
+"""Deriving punctuations from static constraints (paper Section 1.1).
+
+The paper notes that besides applications embedding punctuations
+actively, "the query system itself can also derive punctuations based
+on ... certain static constraints, including the join between key and
+foreign key, clustered or ordered arrival of certain attribute values".
+This module implements those derivations as *stream decorators*: they
+wrap a schedule (or run inline as operators would) and inject the
+punctuations the constraint justifies.
+
+Three derivations:
+
+* :class:`KeyDerivedPunctuator` — the attribute is a key of the stream
+  (each value occurs at most once), so after every tuple a constant
+  punctuation for its value is sound.  This is exactly the paper's
+  Open-stream example: "since each tuple in the Open stream has a
+  unique item_id value, the query system can insert a punctuation after
+  each tuple".
+* :class:`OrderedArrivalPunctuator` — the attribute arrives in
+  non-decreasing order, so whenever it advances past a value *v*, a
+  range punctuation ``(-inf, v)`` (all strictly smaller values are
+  finished) is sound.
+* :class:`ClusteredArrivalPunctuator` — equal attribute values arrive
+  contiguously, so when the value changes, a constant punctuation for
+  the previous cluster's value is sound.
+
+Each punctuator *verifies* its constraint while deriving and raises
+:class:`~repro.errors.PunctuationError` if the stream violates it —
+deriving from a false premise would corrupt every downstream purge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Set, Tuple as PyTuple
+
+from repro.errors import PunctuationError
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.patterns import make_range
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+ScheduleItem = PyTuple[float, Any]
+
+
+class _Punctuator:
+    """Base class: derive punctuations while streaming a schedule."""
+
+    def __init__(self, schema: Schema, field_name: str) -> None:
+        self.schema = schema
+        self.field_name = field_name
+        self.field_index = schema.index_of(field_name)
+        self.punctuations_derived = 0
+
+    def process(self, item: Any, ts: float) -> List[Punctuation]:
+        """Punctuations to emit right after *item*."""
+        raise NotImplementedError
+
+    def finish(self, ts: float) -> List[Punctuation]:
+        """Punctuations to emit at end-of-stream (default none)."""
+        return []
+
+    def annotate(self, schedule: Iterable[ScheduleItem]) -> Iterator[ScheduleItem]:
+        """Yield the schedule with derived punctuations interleaved.
+
+        Existing punctuations in the input schedule pass through
+        untouched; derived ones are inserted at the same virtual time as
+        the tuple that justified them.
+        """
+        ts = 0.0
+        for ts, item in schedule:
+            yield ts, item
+            if isinstance(item, Tuple):
+                for punct in self.process(item, ts):
+                    self.punctuations_derived += 1
+                    yield ts, punct
+        for punct in self.finish(ts):
+            self.punctuations_derived += 1
+            yield ts, punct
+
+
+class KeyDerivedPunctuator(_Punctuator):
+    """Derive one constant punctuation per tuple of a key attribute."""
+
+    def __init__(self, schema: Schema, field_name: str) -> None:
+        super().__init__(schema, field_name)
+        self._seen: Set[Any] = set()
+
+    def process(self, item: Tuple, ts: float) -> List[Punctuation]:
+        value = item.values[self.field_index]
+        if value in self._seen:
+            raise PunctuationError(
+                f"key-derived punctuation premise violated: value {value!r} "
+                f"of {self.field_name!r} occurred twice"
+            )
+        self._seen.add(value)
+        return [Punctuation.on_field(self.schema, self.field_name, value, ts=ts)]
+
+
+class OrderedArrivalPunctuator(_Punctuator):
+    """Derive range punctuations from non-decreasing arrival order.
+
+    When the ordered attribute advances from *u* to *v* (with v > u),
+    every value strictly below *v* is finished: emit the punctuation
+    ``field < v`` (an open-ended range) once per advance.
+    """
+
+    def __init__(self, schema: Schema, field_name: str) -> None:
+        super().__init__(schema, field_name)
+        self._current: Optional[Any] = None
+
+    def process(self, item: Tuple, ts: float) -> List[Punctuation]:
+        value = item.values[self.field_index]
+        if self._current is None:
+            self._current = value
+            return []
+        if value < self._current:
+            raise PunctuationError(
+                f"ordered-arrival premise violated: {self.field_name!r} "
+                f"went from {self._current!r} back to {value!r}"
+            )
+        if value == self._current:
+            return []
+        self._current = value
+        pattern = make_range(None, value, high_inclusive=False)
+        return [
+            Punctuation.on_field(self.schema, self.field_name, pattern, ts=ts)
+        ]
+
+
+class ClusteredArrivalPunctuator(_Punctuator):
+    """Derive constant punctuations from clustered arrival.
+
+    Equal values arrive contiguously; when the value changes, the
+    previous cluster is over.  The final cluster is punctuated by
+    :meth:`finish` at end-of-stream.
+    """
+
+    def __init__(self, schema: Schema, field_name: str) -> None:
+        super().__init__(schema, field_name)
+        self._current: Optional[Any] = None
+        self._closed: Set[Any] = set()
+        self._started = False
+
+    def process(self, item: Tuple, ts: float) -> List[Punctuation]:
+        value = item.values[self.field_index]
+        if value in self._closed:
+            raise PunctuationError(
+                f"clustered-arrival premise violated: value {value!r} of "
+                f"{self.field_name!r} reappeared after its cluster closed"
+            )
+        if not self._started:
+            self._started = True
+            self._current = value
+            return []
+        if value == self._current:
+            return []
+        finished = self._current
+        self._closed.add(finished)
+        self._current = value
+        return [
+            Punctuation.on_field(self.schema, self.field_name, finished, ts=ts)
+        ]
+
+    def finish(self, ts: float) -> List[Punctuation]:
+        if not self._started:
+            return []
+        return [
+            Punctuation.on_field(self.schema, self.field_name, self._current, ts=ts)
+        ]
+
+
+def annotate_schedule(
+    schedule: Iterable[ScheduleItem], punctuator: _Punctuator
+) -> List[ScheduleItem]:
+    """Materialise :meth:`_Punctuator.annotate` into a list schedule."""
+    return list(punctuator.annotate(schedule))

@@ -1,0 +1,435 @@
+"""The five punctuation pattern kinds and their conjunction algebra.
+
+Following Tucker et al. (and Section 2.2 of the PJoin paper), a pattern
+describes a set of attribute values:
+
+* :class:`Wildcard` — all values (``*``);
+* :class:`Constant` — exactly one value;
+* :class:`Range` — an interval of values, with open or closed ends and
+  optionally unbounded sides;
+* :class:`EnumerationList` — a finite set of values;
+* :class:`Empty` — no value at all.
+
+Patterns form a meet-semilattice under conjunction
+(:meth:`Pattern.conjoin`): the "and" of any two patterns is again a
+pattern, with :data:`WILDCARD` as the top element and :data:`EMPTY` as
+the bottom.  Conjunction results are *normalised*: an enumeration that
+collapses to one value becomes a :class:`Constant`, a range that
+collapses to one point becomes a :class:`Constant`, and anything
+unsatisfiable becomes :data:`EMPTY`.  Normalisation keeps equality tests
+meaningful and makes the property-based algebra tests crisp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from repro.errors import PatternError
+
+
+class Pattern:
+    """Abstract base class of all pattern kinds.
+
+    Subclasses implement :meth:`matches` (does a value satisfy the
+    pattern?) and :meth:`conjoin` (normalised intersection with any
+    other pattern).  Patterns are immutable and hashable.
+    """
+
+    __slots__ = ()
+
+    def matches(self, value: Any) -> bool:
+        """Return ``True`` if *value* satisfies this pattern."""
+        raise NotImplementedError
+
+    def conjoin(self, other: "Pattern") -> "Pattern":
+        """Return the normalised conjunction of this pattern and *other*."""
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` only for the empty pattern."""
+        return False
+
+    @property
+    def is_wildcard(self) -> bool:
+        """``True`` only for the wildcard pattern."""
+        return False
+
+    def __and__(self, other: "Pattern") -> "Pattern":
+        return self.conjoin(other)
+
+
+class Wildcard(Pattern):
+    """The ``*`` pattern: matches every value."""
+
+    __slots__ = ()
+
+    def matches(self, value: Any) -> bool:
+        return True
+
+    def conjoin(self, other: Pattern) -> Pattern:
+        return other
+
+    @property
+    def is_wildcard(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Wildcard)
+
+    def __hash__(self) -> int:
+        return hash("Wildcard")
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+class Empty(Pattern):
+    """The empty pattern: matches no value."""
+
+    __slots__ = ()
+
+    def matches(self, value: Any) -> bool:
+        return False
+
+    def conjoin(self, other: Pattern) -> Pattern:
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Empty)
+
+    def __hash__(self) -> int:
+        return hash("Empty")
+
+    def __repr__(self) -> str:
+        return "<>"
+
+
+WILDCARD = Wildcard()
+EMPTY = Empty()
+
+
+class Constant(Pattern):
+    """A single-value pattern."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        if isinstance(value, Pattern):
+            raise PatternError("a Constant pattern cannot wrap another pattern")
+        self.value = value
+
+    def matches(self, value: Any) -> bool:
+        return value == self.value
+
+    def conjoin(self, other: Pattern) -> Pattern:
+        if isinstance(other, (Wildcard, Empty)):
+            return other.conjoin(self)
+        if other.matches(self.value):
+            return self
+        return EMPTY
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Range(Pattern):
+    """An interval pattern, optionally unbounded on either side.
+
+    Parameters
+    ----------
+    low, high:
+        Interval bounds; ``None`` means unbounded on that side.
+    low_inclusive, high_inclusive:
+        Whether the bound itself is in the set.  Ignored for an
+        unbounded side.
+
+    An interval that admits no value (e.g. ``(3, 3)``) cannot be
+    constructed directly — use :func:`make_range`, which normalises to
+    :data:`EMPTY` or :class:`Constant` as appropriate.
+    """
+
+    __slots__ = ("low", "high", "low_inclusive", "high_inclusive")
+
+    def __init__(
+        self,
+        low: Optional[Any],
+        high: Optional[Any],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> None:
+        if low is None:
+            low_inclusive = False
+        if high is None:
+            high_inclusive = False
+        if low is not None and high is not None:
+            try:
+                degenerate = low > high or (
+                    low == high and not (low_inclusive and high_inclusive)
+                )
+            except TypeError as exc:
+                raise PatternError(
+                    f"range bounds {low!r} and {high!r} are not comparable"
+                ) from exc
+            if degenerate:
+                raise PatternError(
+                    f"range [{low!r}, {high!r}] admits no value; "
+                    "use make_range() to normalise degenerate ranges"
+                )
+            if low == high:
+                raise PatternError(
+                    f"range collapsing to the single value {low!r} must be a "
+                    "Constant; use make_range() to normalise"
+                )
+        if low is None and high is None:
+            raise PatternError("a fully unbounded range must be the WILDCARD pattern")
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def matches(self, value: Any) -> bool:
+        try:
+            if self.low is not None:
+                if self.low_inclusive:
+                    if value < self.low:
+                        return False
+                elif value <= self.low:
+                    return False
+            if self.high is not None:
+                if self.high_inclusive:
+                    if value > self.high:
+                        return False
+                elif value >= self.high:
+                    return False
+        except TypeError:
+            return False
+        return True
+
+    def conjoin(self, other: Pattern) -> Pattern:
+        if isinstance(other, (Wildcard, Empty, Constant)):
+            return other.conjoin(self)
+        if isinstance(other, EnumerationList):
+            return other.conjoin(self)
+        if not isinstance(other, Range):
+            raise PatternError(f"cannot conjoin Range with {other!r}")
+        low, low_inc = self.low, self.low_inclusive
+        if other.low is not None and (low is None or other.low > low):
+            low, low_inc = other.low, other.low_inclusive
+        elif other.low is not None and other.low == low:
+            low_inc = low_inc and other.low_inclusive
+        high, high_inc = self.high, self.high_inclusive
+        if other.high is not None and (high is None or other.high < high):
+            high, high_inc = other.high, other.high_inclusive
+        elif other.high is not None and other.high == high:
+            high_inc = high_inc and other.high_inclusive
+        return make_range(low, high, low_inc, high_inc)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Range):
+            return NotImplemented
+        return (
+            self.low == other.low
+            and self.high == other.high
+            and self.low_inclusive == other.low_inclusive
+            and self.high_inclusive == other.high_inclusive
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("Range", self.low, self.high, self.low_inclusive, self.high_inclusive)
+        )
+
+    def __repr__(self) -> str:
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        return f"{left}{low}, {high}{right}"
+
+
+def make_range(
+    low: Optional[Any],
+    high: Optional[Any],
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> Pattern:
+    """Build a range pattern, normalising degenerate cases.
+
+    Returns :data:`WILDCARD` when both sides are unbounded,
+    :class:`Constant` when the interval contains exactly one point, and
+    :data:`EMPTY` when it contains none.
+    """
+    if low is None and high is None:
+        return WILDCARD
+    if low is not None and high is not None:
+        try:
+            if low > high:
+                return EMPTY
+            if low == high:
+                if low_inclusive and high_inclusive:
+                    return Constant(low)
+                return EMPTY
+        except TypeError as exc:
+            raise PatternError(
+                f"range bounds {low!r} and {high!r} are not comparable"
+            ) from exc
+    return Range(low, high, low_inclusive, high_inclusive)
+
+
+class EnumerationList(Pattern):
+    """A finite-set pattern.
+
+    Always contains at least two values: smaller sets are normalised to
+    :class:`Constant` or :data:`EMPTY` by :func:`make_enumeration`.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: FrozenSet[Any]) -> None:
+        values = frozenset(values)
+        if len(values) < 2:
+            raise PatternError(
+                "an EnumerationList needs at least two values; "
+                "use make_enumeration() to normalise smaller sets"
+            )
+        self.values = values
+
+    def matches(self, value: Any) -> bool:
+        try:
+            return value in self.values
+        except TypeError:
+            return False
+
+    def conjoin(self, other: Pattern) -> Pattern:
+        if isinstance(other, (Wildcard, Empty, Constant)):
+            return other.conjoin(self)
+        if isinstance(other, EnumerationList):
+            return make_enumeration(self.values & other.values)
+        if isinstance(other, Range):
+            return make_enumeration(v for v in self.values if other.matches(v))
+        raise PatternError(f"cannot conjoin EnumerationList with {other!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EnumerationList):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("EnumerationList", self.values))
+
+    def __repr__(self) -> str:
+        try:
+            inner = ", ".join(repr(v) for v in sorted(self.values))
+        except TypeError:
+            inner = ", ".join(sorted(repr(v) for v in self.values))
+        return "{" + inner + "}"
+
+
+def make_enumeration(values: Any) -> Pattern:
+    """Build an enumeration pattern, normalising small sets.
+
+    The empty set becomes :data:`EMPTY` and a singleton becomes a
+    :class:`Constant`.
+    """
+    values = frozenset(values)
+    if not values:
+        return EMPTY
+    if len(values) == 1:
+        return Constant(next(iter(values)))
+    return EnumerationList(values)
+
+
+def _parse_scalar(text: str) -> Any:
+    """Parse one scalar literal: int, float, quoted or bare string."""
+    text = text.strip()
+    if not text:
+        raise PatternError("empty scalar in pattern text")
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern from its textual notation.
+
+    The notation mirrors ``repr``: ``*`` (wildcard), ``<>`` (empty),
+    ``{1, 2, 3}`` (enumeration), ``[1, 5]`` / ``(1, 5)`` / mixed
+    brackets (range; ``-inf`` / ``+inf`` / empty for an unbounded
+    side), and anything else as a constant (ints, floats, quoted or
+    bare strings).
+
+    >>> parse_pattern("[3, 9)").matches(3)
+    True
+    >>> parse_pattern("{1, 2}").matches(3)
+    False
+    """
+    text = text.strip()
+    if not text:
+        raise PatternError("cannot parse an empty pattern")
+    if text == "*":
+        return WILDCARD
+    if text == "<>":
+        return EMPTY
+    if text.startswith("{") and text.endswith("}"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return EMPTY
+        return make_enumeration(_parse_scalar(part) for part in inner.split(","))
+    if text[0] in "[(" and text[-1] in ")]":
+        inner = text[1:-1]
+        parts = inner.split(",")
+        if len(parts) != 2:
+            raise PatternError(
+                f"range pattern needs exactly two bounds, got {text!r}"
+            )
+        low_text, high_text = parts[0].strip(), parts[1].strip()
+        low = None if low_text in ("", "-inf") else _parse_scalar(low_text)
+        high = None if high_text in ("", "+inf", "inf") else _parse_scalar(high_text)
+        return make_range(low, high, text[0] == "[", text[-1] == "]")
+    return Constant(_parse_scalar(text))
+
+
+def pattern_from_spec(spec: Any) -> Pattern:
+    """Build a pattern from a convenient Python literal.
+
+    This is the friendly front door used by examples and workload code:
+
+    * ``"*"`` or ``None`` → wildcard;
+    * a ``(low, high)`` tuple → closed range (``None`` bounds are open
+      sides);
+    * a ``set`` or ``frozenset`` → enumeration list;
+    * an existing :class:`Pattern` → itself;
+    * anything else → a constant.
+    """
+    if isinstance(spec, Pattern):
+        return spec
+    if spec is None or spec == "*":
+        return WILDCARD
+    if isinstance(spec, tuple):
+        if len(spec) != 2:
+            raise PatternError(f"range spec must be (low, high), got {spec!r}")
+        return make_range(spec[0], spec[1])
+    if isinstance(spec, (set, frozenset)):
+        return make_enumeration(spec)
+    return Constant(spec)

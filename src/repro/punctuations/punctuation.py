@@ -1,0 +1,175 @@
+"""Punctuations over a schema.
+
+A :class:`Punctuation` is an ordered set of patterns, one per schema
+attribute (Section 2.2 of the paper).  A tuple *matches* a punctuation
+when every attribute value satisfies the corresponding pattern.  The
+conjunction of two punctuations over the same schema is again a
+punctuation (pattern-wise conjunction).
+
+PJoin only *exploits* the pattern on the join attribute, but the full
+structure is kept so punctuations can be routed through non-join
+operators (select, project, group-by) with correct pass/propagate
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Tuple as PyTuple
+
+from repro.errors import PunctuationError
+from repro.punctuations.patterns import EMPTY, WILDCARD, Pattern, pattern_from_spec
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+class Punctuation:
+    """An ordered set of patterns describing "no more such tuples".
+
+    Parameters
+    ----------
+    schema:
+        The schema of the stream the punctuation is embedded in.
+    patterns:
+        One :class:`~repro.punctuations.patterns.Pattern` per schema
+        field, in field order.
+    ts:
+        Virtual arrival time (milliseconds).
+    """
+
+    __slots__ = ("schema", "patterns", "ts")
+
+    def __init__(
+        self,
+        schema: Schema,
+        patterns: Iterable[Pattern],
+        ts: float = 0.0,
+    ) -> None:
+        patterns = tuple(patterns)
+        if len(patterns) != schema.arity:
+            raise PunctuationError(
+                f"punctuation needs {schema.arity} patterns for schema "
+                f"{schema.name or '<anonymous>'}, got {len(patterns)}"
+            )
+        for pattern in patterns:
+            if not isinstance(pattern, Pattern):
+                raise PunctuationError(f"expected Pattern, got {pattern!r}")
+        self.schema = schema
+        self.patterns = patterns
+        self.ts = ts
+
+    @classmethod
+    def on_field(
+        cls,
+        schema: Schema,
+        field_name: str,
+        spec: Any,
+        ts: float = 0.0,
+    ) -> "Punctuation":
+        """Build a punctuation constraining one field, wildcard elsewhere.
+
+        This is the common case throughout the paper: e.g. a punctuation
+        on ``item_id`` signalling that the auction for one item closed.
+        *spec* accepts anything :func:`pattern_from_spec` does.
+        """
+        index = schema.index_of(field_name)
+        patterns = [WILDCARD] * schema.arity
+        patterns[index] = pattern_from_spec(spec)
+        return cls(schema, patterns, ts=ts)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        schema: Schema,
+        specs: Mapping[str, Any],
+        ts: float = 0.0,
+    ) -> "Punctuation":
+        """Build a punctuation from ``{field_name: pattern_spec}``."""
+        patterns = [WILDCARD] * schema.arity
+        for field_name, spec in specs.items():
+            patterns[schema.index_of(field_name)] = pattern_from_spec(spec)
+        return cls(schema, patterns, ts=ts)
+
+    def pattern_for(self, field_name: str) -> Pattern:
+        """Return the pattern constraining the named field."""
+        return self.patterns[self.schema.index_of(field_name)]
+
+    def matches(self, tup: Tuple) -> bool:
+        """``match(t, p)``: does every value satisfy its pattern?"""
+        values = tup.values
+        for pattern, value in zip(self.patterns, values):
+            if not pattern.matches(value):
+                return False
+        return True
+
+    def matches_values(self, values: PyTuple[Any, ...]) -> bool:
+        """Like :meth:`matches` but on a raw value tuple."""
+        for pattern, value in zip(self.patterns, values):
+            if not pattern.matches(value):
+                return False
+        return True
+
+    def conjoin(self, other: "Punctuation", ts: float = 0.0) -> "Punctuation":
+        """The "and" of two punctuations (pattern-wise conjunction).
+
+        The paper requires the conjunction of any two punctuations to be
+        a punctuation; this realises that closure property.
+        """
+        if self.schema != other.schema:
+            raise PunctuationError(
+                "cannot conjoin punctuations over different schemas"
+            )
+        patterns = [
+            p.conjoin(q) for p, q in zip(self.patterns, other.patterns)
+        ]
+        return Punctuation(self.schema, patterns, ts=ts)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when some pattern is empty, so no tuple can match."""
+        return any(p is EMPTY or p.is_empty for p in self.patterns)
+
+    @property
+    def is_all_wildcard(self) -> bool:
+        """``True`` when every pattern is the wildcard.
+
+        An all-wildcard punctuation asserts the stream carries no more
+        tuples at all — the punctuation equivalent of end-of-stream.
+        """
+        return all(p.is_wildcard for p in self.patterns)
+
+    def with_ts(self, ts: float) -> "Punctuation":
+        """Return a copy stamped with a new timestamp."""
+        return Punctuation(self.schema, self.patterns, ts=ts)
+
+    def restricted_to(self, field_names: Iterable[str]) -> "Punctuation":
+        """Project the punctuation onto a subset of fields.
+
+        Used by the project operator's punctuation propagation rule: a
+        punctuation survives projection when the dropped fields are all
+        wildcards (otherwise the projected promise would be too strong
+        and must not be emitted).  This method only reorders/selects
+        patterns; the caller checks droppability first.
+        """
+        keep = list(field_names)
+        sub_schema = self.schema.project(keep)
+        patterns = [self.pattern_for(name) for name in keep]
+        return Punctuation(sub_schema, patterns, ts=self.ts)
+
+    def key(self) -> PyTuple[Any, ...]:
+        """Hashable identity (patterns only, not timestamp)."""
+        return self.patterns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Punctuation):
+            return NotImplemented
+        return self.patterns == other.patterns and self.schema == other.schema
+
+    def __hash__(self) -> int:
+        return hash(self.patterns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}:{pattern!r}"
+            for name, pattern in zip(self.schema.field_names, self.patterns)
+        )
+        return f"Punct<{inner}, ts={self.ts:g}>"

@@ -1,0 +1,243 @@
+"""Per-stream punctuation sets with ``setMatch`` semantics.
+
+The paper denotes all punctuations that arrived from stream *A* before
+time *T* as the set ``PS_A(T)``; a tuple *set-matches* the set when it
+matches at least one member.  :class:`PunctuationStore` realises that
+set with two efficiency properties the join relies on:
+
+* constant patterns on the join attribute (by far the common case —
+  e.g. one punctuation per closed auction item) are indexed in a dict,
+  so ``setMatch`` on a join value is O(1);
+* every stored punctuation gets a stable, monotonically increasing id
+  equal to its arrival position, so components (state purge, index
+  building) can keep cheap cursors for "punctuations that arrived since
+  I last ran".
+
+The store also implements the paper's prefix-consistency assumption
+checker: for punctuations :math:`p_i` arriving before :math:`p_j`, the
+join-attribute patterns must be either disjoint or equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple as PyTuple
+
+from repro.errors import PunctuationError
+from repro.punctuations.patterns import Constant, Pattern
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+
+
+def is_join_exploitable(punct: Punctuation, join_field: str) -> bool:
+    """Can a join on *join_field* safely exploit *punct*?
+
+    A punctuation promises "no more tuples matching **all** patterns".
+    The join purges opposite-state tuples by join value alone, which is
+    only sound when every non-join pattern is a wildcard — otherwise
+    tuples with the punctuated join value but different other attributes
+    may still arrive.  The paper assumes punctuations over the join
+    attribute; this predicate makes the assumption explicit and safe.
+    """
+    join_index = punct.schema.index_of(join_field)
+    for i, pattern in enumerate(punct.patterns):
+        if i != join_index and not pattern.is_wildcard:
+            return False
+    return True
+
+
+class PunctuationStore:
+    """The punctuation set ``PS`` of one input stream.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the stream.
+    join_field:
+        Name of the join attribute; ``setMatch`` queries are evaluated
+        against each punctuation's pattern on this field.
+    check_prefix_consistency:
+        When ``True``, :meth:`add` verifies the paper's assumption that
+        the join-attribute patterns of any two punctuations are either
+        equal or disjoint.  Disjointness of two non-constant patterns is
+        approximated conservatively (equal patterns pass; a constant is
+        checked by membership); enable in tests, disable on hot paths.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        join_field: str,
+        check_prefix_consistency: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.join_field = join_field
+        self.join_index = schema.index_of(join_field)
+        self.check_prefix_consistency = check_prefix_consistency
+        # id -> punctuation; tombstoned to None on removal so ids stay stable.
+        self._entries: List[Optional[Punctuation]] = []
+        # join constant value -> ids of punctuations with that constant.
+        self._constants: Dict[Any, List[int]] = {}
+        # ids of punctuations whose join pattern is not a constant.
+        self._general: List[int] = []
+        self._live_count = 0
+        self.total_added = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, punct: Punctuation) -> int:
+        """Store *punct* and return its stable id (arrival position)."""
+        if punct.schema != self.schema:
+            raise PunctuationError(
+                "punctuation schema does not match the store's stream schema"
+            )
+        join_pattern = punct.patterns[self.join_index]
+        if self.check_prefix_consistency:
+            self._check_consistency(join_pattern)
+        pid = len(self._entries)
+        self._entries.append(punct)
+        if isinstance(join_pattern, Constant):
+            self._constants.setdefault(join_pattern.value, []).append(pid)
+        else:
+            self._general.append(pid)
+        self._live_count += 1
+        self.total_added += 1
+        return pid
+
+    def remove(self, pid: int) -> None:
+        """Remove the punctuation with id *pid* (e.g. once propagated)."""
+        punct = self._entries[pid]
+        if punct is None:
+            return
+        self._entries[pid] = None
+        join_pattern = punct.patterns[self.join_index]
+        if isinstance(join_pattern, Constant):
+            ids = self._constants.get(join_pattern.value)
+            if ids is not None:
+                ids.remove(pid)
+                if not ids:
+                    del self._constants[join_pattern.value]
+        else:
+            self._general.remove(pid)
+        self._live_count -= 1
+
+    def _check_consistency(self, new_pattern: Pattern) -> None:
+        """Enforce "disjoint or equal" against all live join patterns."""
+        for pid, punct in self.items():
+            old = punct.patterns[self.join_index]
+            if old == new_pattern:
+                continue
+            if self._definitely_disjoint(old, new_pattern):
+                continue
+            raise PunctuationError(
+                f"punctuation join patterns {old!r} and {new_pattern!r} are "
+                "neither equal nor disjoint (prefix-consistency violated)"
+            )
+
+    @staticmethod
+    def _definitely_disjoint(a: Pattern, b: Pattern) -> bool:
+        """Conservative disjointness test via normalised conjunction."""
+        return a.conjoin(b).is_empty
+
+    # ------------------------------------------------------------------
+    # setMatch queries
+    # ------------------------------------------------------------------
+
+    def has_equal_join_pattern(self, pattern: Pattern) -> bool:
+        """Is a live punctuation with this exact join pattern stored?
+
+        Joins use this to drop *duplicate* punctuations: storing two
+        punctuations with equal join patterns would let the second one's
+        index count reach zero while tuples carrying the first one's pid
+        still sit in the state, breaking Theorem 1's premise.
+        """
+        if isinstance(pattern, Constant):
+            return pattern.value in self._constants
+        for pid in self._general:
+            punct = self._entries[pid]
+            if punct is not None and punct.patterns[self.join_index] == pattern:
+                return True
+        return False
+
+    def covers_value(self, value: Any) -> bool:
+        """``setMatch`` on a join value: does any punctuation cover it?"""
+        if value in self._constants:
+            return True
+        for pid in self._general:
+            punct = self._entries[pid]
+            if punct is not None and punct.patterns[self.join_index].matches(value):
+                return True
+        return False
+
+    def first_covering(self, value: Any) -> Optional[PyTuple[int, Punctuation]]:
+        """Return the earliest-arrived live punctuation covering *value*.
+
+        Arrival order matters for the punctuation index: the paper sets a
+        tuple's ``pid`` to "the pid of the first arrived punctuation
+        found to be matched".
+        """
+        best_pid: Optional[int] = None
+        ids = self._constants.get(value)
+        if ids:
+            best_pid = ids[0]
+        for pid in self._general:
+            if best_pid is not None and pid >= best_pid:
+                break
+            punct = self._entries[pid]
+            if punct is not None and punct.patterns[self.join_index].matches(value):
+                best_pid = pid
+                break
+        if best_pid is None:
+            return None
+        punct = self._entries[best_pid]
+        assert punct is not None
+        return best_pid, punct
+
+    def get(self, pid: int) -> Optional[Punctuation]:
+        """Return the live punctuation with id *pid*, or ``None``."""
+        if 0 <= pid < len(self._entries):
+            return self._entries[pid]
+        return None
+
+    # ------------------------------------------------------------------
+    # Iteration / cursors
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[PyTuple[int, Punctuation]]:
+        """Iterate over live ``(id, punctuation)`` pairs in arrival order."""
+        for pid, punct in enumerate(self._entries):
+            if punct is not None:
+                yield pid, punct
+
+    def since(self, cursor: int) -> List[PyTuple[int, Punctuation]]:
+        """Live punctuations with id >= *cursor*, in arrival order.
+
+        Components call this with their saved cursor and then advance the
+        cursor to :attr:`next_id` — the classic "what is new since I last
+        ran" pattern used by lazy purge and lazy index building.
+        """
+        result = []
+        for pid in range(max(cursor, 0), len(self._entries)):
+            punct = self._entries[pid]
+            if punct is not None:
+                result.append((pid, punct))
+        return result
+
+    @property
+    def next_id(self) -> int:
+        """The id the next added punctuation will receive."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __iter__(self) -> Iterator[Punctuation]:
+        for _pid, punct in self.items():
+            yield punct
+
+    def __repr__(self) -> str:
+        return (
+            f"PunctuationStore(join_field={self.join_field!r}, "
+            f"live={self._live_count}, total={self.total_added})"
+        )

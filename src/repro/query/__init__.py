@@ -1,0 +1,5 @@
+"""Query-plan assembly helpers."""
+
+from repro.query.plan import QueryPlan
+
+__all__ = ["QueryPlan"]

@@ -1,0 +1,79 @@
+"""Arrival processes for synthetic streams.
+
+The paper's benchmark system controls "the arrival patterns and rates of
+the data and punctuations"; all its experiments use a Poisson
+inter-arrival time with a mean of 2 ms for tuples, and Poisson spacing
+(measured in tuples) for punctuations.  These classes provide seeded,
+reproducible versions of both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+
+class ArrivalProcess:
+    """Base class: a generator of successive inter-arrival gaps."""
+
+    def next_gap(self) -> float:
+        """Return the gap (virtual milliseconds) to the next arrival."""
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Exponentially distributed inter-arrival gaps (a Poisson process).
+
+    Parameters
+    ----------
+    mean:
+        Mean inter-arrival gap in virtual milliseconds (the paper uses
+        2.0 for tuples).
+    rng:
+        A seeded :class:`random.Random`; pass one shared instance per
+        stream for reproducibility.
+    """
+
+    def __init__(self, mean: float, rng: Optional[random.Random] = None) -> None:
+        if mean <= 0:
+            raise WorkloadError(f"Poisson mean must be positive, got {mean!r}")
+        self.mean = mean
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def next_gap(self) -> float:
+        return self.rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(mean={self.mean:g})"
+
+
+class FixedIntervalProcess(ArrivalProcess):
+    """Deterministic, constant inter-arrival gaps (useful in tests)."""
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise WorkloadError(f"interval must be positive, got {interval!r}")
+        self.interval = interval
+
+    def next_gap(self) -> float:
+        return self.interval
+
+    def __repr__(self) -> str:
+        return f"FixedIntervalProcess(interval={self.interval:g})"
+
+
+def poisson_tuple_spacing(mean_tuples: float, rng: random.Random) -> int:
+    """Draw a punctuation spacing measured in tuples.
+
+    The paper describes punctuations with "a Poisson inter-arrival with a
+    mean of *k* tuples/punctuation": the number of tuples between two
+    consecutive punctuations is exponentially distributed with mean *k*.
+    We round to an integer count and clamp to at least one tuple.
+    """
+    if mean_tuples <= 0:
+        raise WorkloadError(
+            f"punctuation spacing mean must be positive, got {mean_tuples!r}"
+        )
+    return max(1, round(rng.expovariate(1.0 / mean_tuples)))

@@ -1,0 +1,27 @@
+"""Simulated secondary storage and hybrid (memory + disk) join state.
+
+XJoin — and PJoin, which adopts XJoin's memory-overflow resolution —
+keeps each hash bucket in two portions: a memory-resident portion and a
+disk-resident portion.  When the in-memory state reaches the memory
+threshold, the largest partition's memory portion is flushed to disk.
+
+The paper ran on a real disk; here the disk is simulated: tuples moved
+to the "disk" stay in Python objects (tagged with their departure time),
+but every flush and every fetch charges seek + per-tuple transfer time
+to the virtual clock and is tallied by :class:`~repro.storage.disk.SimulatedDisk`.
+This preserves the two properties the algorithms care about — which
+tuples are memory-resident, and that disk access is orders of magnitude
+slower — while keeping experiments deterministic.
+"""
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.partition import HybridPartition, StateEntry
+from repro.storage.hash_table import PartitionedHashTable, stable_hash
+
+__all__ = [
+    "SimulatedDisk",
+    "StateEntry",
+    "HybridPartition",
+    "PartitionedHashTable",
+    "stable_hash",
+]

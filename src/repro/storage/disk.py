@@ -1,0 +1,81 @@
+"""The simulated disk: virtual-time I/O accounting.
+
+One :class:`SimulatedDisk` is shared by all operators in a query plan.
+It does not hold tuple data itself (the hybrid partitions keep their
+disk-resident entries as tagged Python objects); it is the authority on
+what an I/O operation *costs* and the ledger of how much I/O an
+experiment performed.  The ablation benchmark A5 reads these counters to
+compare PJoin's and XJoin's disk traffic under tight memory thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.sim.costs import CostModel
+
+
+class SimulatedDisk:
+    """Virtual disk with seek + per-tuple transfer costs.
+
+    Parameters
+    ----------
+    cost_model:
+        Supplies :meth:`~repro.sim.costs.CostModel.disk_write_cost` and
+        :meth:`~repro.sim.costs.CostModel.disk_read_cost`.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+        self.write_ops = 0
+        self.read_ops = 0
+        self.tuples_written = 0
+        self.tuples_read = 0
+        self.total_write_time = 0.0
+        self.total_read_time = 0.0
+
+    def write(self, tuples: int) -> float:
+        """Record a flush of *tuples* tuples; return its virtual cost."""
+        if tuples < 0:
+            raise StorageError(f"cannot write a negative tuple count: {tuples}")
+        if tuples == 0:
+            return 0.0
+        cost = self.cost_model.disk_write_cost(tuples)
+        self.write_ops += 1
+        self.tuples_written += tuples
+        self.total_write_time += cost
+        return cost
+
+    def read(self, tuples: int) -> float:
+        """Record a fetch of *tuples* tuples; return its virtual cost."""
+        if tuples < 0:
+            raise StorageError(f"cannot read a negative tuple count: {tuples}")
+        if tuples == 0:
+            return 0.0
+        cost = self.cost_model.disk_read_cost(tuples)
+        self.read_ops += 1
+        self.tuples_read += tuples
+        self.total_read_time += cost
+        return cost
+
+    @property
+    def total_io_time(self) -> float:
+        """Total virtual time spent on disk I/O."""
+        return self.total_write_time + self.total_read_time
+
+    def stats(self) -> dict:
+        """A snapshot of all counters, for metrics and reports."""
+        return {
+            "write_ops": self.write_ops,
+            "read_ops": self.read_ops,
+            "tuples_written": self.tuples_written,
+            "tuples_read": self.tuples_read,
+            "total_write_time": self.total_write_time,
+            "total_read_time": self.total_read_time,
+            "total_io_time": self.total_io_time,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedDisk(writes={self.write_ops}/{self.tuples_written}t, "
+            f"reads={self.read_ops}/{self.tuples_read}t)"
+        )

@@ -1,0 +1,154 @@
+"""The partitioned hash table holding one stream's join state.
+
+Both joins (XJoin and PJoin) maintain one :class:`PartitionedHashTable`
+per input stream.  Hashing uses :func:`stable_hash`, which — unlike the
+builtin ``hash`` on strings — is stable across Python processes, so a
+seeded experiment produces the identical event trace every run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterator, List, Tuple as PyTuple
+
+from repro.errors import StorageError
+from repro.storage.partition import HybridPartition, StateEntry
+from repro.tuples.tuple import Tuple
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable hash for join values.
+
+    Integers hash to themselves; everything else hashes through CRC-32
+    of its ``repr``.  Python's builtin string hash is salted per process
+    (``PYTHONHASHSEED``), which would make bucket assignment — and hence
+    every virtual-time measurement — vary between runs.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class PartitionedHashTable:
+    """Hash table over *n_partitions* hybrid buckets.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of hash buckets.  The paper-scale experiments use a
+        moderate count (default 16) so that an unpurged state visibly
+        lengthens bucket chains.
+    """
+
+    def __init__(self, n_partitions: int = 16) -> None:
+        if n_partitions < 1:
+            raise StorageError(f"need at least one partition, got {n_partitions}")
+        self.n_partitions = n_partitions
+        self.partitions = [HybridPartition(i) for i in range(n_partitions)]
+        self.memory_count = 0
+        self.total_inserted = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def partition_for(self, join_value: Any) -> HybridPartition:
+        """The bucket a join value hashes to."""
+        return self.partitions[stable_hash(join_value) % self.n_partitions]
+
+    def insert(self, tup: Tuple, join_value: Any, ats: float) -> StateEntry:
+        """Insert a tuple; returns its new :class:`StateEntry`."""
+        entry = StateEntry(tup, join_value, ats)
+        self.partition_for(join_value).insert(entry)
+        self.memory_count += 1
+        self.total_inserted += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe(self, join_value: Any) -> PyTuple[int, List[StateEntry]]:
+        """Probe the memory portion of the matching bucket.
+
+        Returns ``(bucket_occupancy, matching_entries)``.  The occupancy
+        (all memory-resident tuples in the bucket, matching or not) is
+        what the cost model charges for — it models scanning the bucket
+        chain, which is exactly the cost that grows when dead tuples are
+        never purged.
+        """
+        partition = self.partition_for(join_value)
+        return partition.memory_count, partition.probe_memory(join_value)
+
+    # ------------------------------------------------------------------
+    # Removal (purging)
+    # ------------------------------------------------------------------
+
+    def remove_value(self, join_value: Any) -> List[StateEntry]:
+        """Drop and return all memory entries with this join value."""
+        removed = self.partition_for(join_value).remove_memory_value(join_value)
+        self.memory_count -= len(removed)
+        return removed
+
+    def remove_where(
+        self, predicate: Callable[[StateEntry], bool]
+    ) -> List[StateEntry]:
+        """Drop and return memory entries satisfying *predicate*."""
+        removed: List[StateEntry] = []
+        for partition in self.partitions:
+            removed.extend(partition.remove_memory_where(predicate))
+        self.memory_count -= len(removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Spilling
+    # ------------------------------------------------------------------
+
+    def largest_memory_partition(self) -> HybridPartition:
+        """The bucket with the largest memory portion (XJoin's victim)."""
+        return max(self.partitions, key=lambda p: p.memory_count)
+
+    def spill_partition(self, partition: HybridPartition, now: float) -> int:
+        """Flush one bucket's memory portion to disk; returns tuples moved."""
+        moved = partition.spill(now)
+        self.memory_count -= moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def disk_count(self) -> int:
+        return sum(p.disk_count for p in self.partitions)
+
+    @property
+    def total_count(self) -> int:
+        return self.memory_count + self.disk_count
+
+    def iter_memory(self) -> Iterator[StateEntry]:
+        for partition in self.partitions:
+            yield from partition.iter_memory()
+
+    def iter_disk(self) -> Iterator[StateEntry]:
+        for partition in self.partitions:
+            yield from partition.iter_disk()
+
+    def iter_all(self) -> Iterator[StateEntry]:
+        yield from self.iter_memory()
+        yield from self.iter_disk()
+
+    def partitions_with_disk(self) -> List[HybridPartition]:
+        """Buckets that currently have a non-empty disk portion."""
+        return [p for p in self.partitions if p.disk_count > 0]
+
+    def __len__(self) -> int:
+        return self.total_count
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedHashTable(n={self.n_partitions}, "
+            f"mem={self.memory_count}, disk={self.disk_count})"
+        )

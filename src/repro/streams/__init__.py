@@ -1,0 +1,11 @@
+"""Stream delivery infrastructure.
+
+A :class:`~repro.streams.source.StreamSource` replays a pre-generated
+schedule of ``(virtual_time, item)`` pairs into an operator's input
+port, then delivers the end-of-stream marker.  Schedules come from
+:mod:`repro.workloads`.
+"""
+
+from repro.streams.source import StreamSource
+
+__all__ = ["StreamSource"]

@@ -1,0 +1,92 @@
+"""Stream sources: replay a generated schedule into an operator.
+
+A schedule is a sequence of ``(virtual_time, item)`` pairs with
+non-decreasing times, where items are tuples or punctuations (already
+timestamped by the workload generator).  The source walks the schedule
+with chained engine events — one pending event at a time — so even very
+long streams do not bloat the event heap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Tuple as PyTuple
+
+from repro.errors import OperatorError, SimulationError
+from repro.operators.base import Operator
+from repro.sim.engine import SimulationEngine
+from repro.tuples.item import END_OF_STREAM
+
+
+class StreamSource:
+    """Feeds one input port of an operator from a schedule.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine.
+    schedule:
+        Iterable of ``(time, item)`` pairs, times non-decreasing.
+    name:
+        Label used in error messages and metrics.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        schedule: Iterable[PyTuple[float, Any]],
+        name: str = "source",
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._iter: Iterator[PyTuple[float, Any]] = iter(schedule)
+        self._target: Optional[Operator] = None
+        self._port = 0
+        self._last_time = 0.0
+        self._started = False
+        self.items_sent = 0
+
+    def connect(self, operator: Operator, port: int = 0) -> Operator:
+        """Deliver this source's items to *operator*'s input *port*."""
+        if self._target is not None:
+            raise OperatorError(f"source {self.name} is already connected")
+        self._target = operator
+        self._port = port
+        return operator
+
+    def start(self) -> None:
+        """Begin replay.  Must be called once, before ``engine.run()``."""
+        if self._started:
+            raise SimulationError(f"source {self.name} was already started")
+        if self._target is None:
+            raise OperatorError(f"source {self.name} is not connected to an operator")
+        self._started = True
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        try:
+            time, item = next(self._iter)
+        except StopIteration:
+            self.engine.schedule_at(
+                max(self._last_time, self.engine.now), self._send_eos
+            )
+            return
+        if time < self._last_time:
+            raise SimulationError(
+                f"source {self.name}: schedule time {time} decreases "
+                f"(previous {self._last_time})"
+            )
+        self._last_time = time
+        self.engine.schedule_at(max(time, self.engine.now), lambda: self._send(item))
+
+    def _send(self, item: Any) -> None:
+        assert self._target is not None
+        self._target.push(item, self._port)
+        self.items_sent += 1
+        self._schedule_next()
+
+    def _send_eos(self) -> None:
+        assert self._target is not None
+        self._target.push(END_OF_STREAM, self._port)
+
+    def __repr__(self) -> str:
+        return f"StreamSource({self.name!r}, sent={self.items_sent})"

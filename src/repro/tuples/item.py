@@ -1,0 +1,38 @@
+"""Stream-item taxonomy helpers.
+
+Streams carry three kinds of items: tuples, punctuations, and a single
+trailing :data:`END_OF_STREAM` marker.  Operators dispatch on the item
+kind; this module provides the end-of-stream sentinel and cheap
+predicates so dispatch code reads clearly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class EndOfStream:
+    """Sentinel marking that a stream has no further items.
+
+    A single shared instance, :data:`END_OF_STREAM`, is used throughout
+    the library.  It carries the virtual time at which the source ended
+    only implicitly (delivery time); the object itself is stateless.
+    """
+
+    _instance: "EndOfStream | None" = None
+
+    def __new__(cls) -> "EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "END_OF_STREAM"
+
+
+END_OF_STREAM = EndOfStream()
+
+
+def is_end_of_stream(item: Any) -> bool:
+    """Return ``True`` if *item* is the end-of-stream marker."""
+    return item is END_OF_STREAM

@@ -1,0 +1,148 @@
+"""The online-auction workload — the paper's running example (§1.1, §2.1).
+
+Two streams:
+
+* ``Open`` — one tuple per item put up for sale.  Because ``item_id``
+  is unique in this stream, the query system can *derive* a punctuation
+  right after each Open tuple ("no more tuples with this item_id"),
+  exactly as Section 1.1 describes.
+* ``Bid`` — the bids.  When an item's auction period expires, the
+  auction system embeds a punctuation for that ``item_id`` into the Bid
+  stream ("the bids for this item are over").
+
+The motivating query joins Open with Bid on ``item_id`` and then groups
+by ``item_id``, summing ``bid_increase`` — see
+``examples/auction_monitoring.py`` for the full plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any, List, Tuple as PyTuple
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+OPEN_SCHEMA = Schema(
+    [Field("item_id", int), Field("seller", str), Field("open_price", float)],
+    name="Open",
+)
+BID_SCHEMA = Schema(
+    [Field("item_id", int), Field("bidder", str), Field("bid_increase", float)],
+    name="Bid",
+)
+
+Schedule = List[PyTuple[float, Any]]
+
+
+@dataclass(frozen=True)
+class AuctionSpec:
+    """Parameters of the auction workload.
+
+    Parameters
+    ----------
+    n_items:
+        Number of items put up for sale.
+    mean_open_interval_ms:
+        Mean gap between consecutive Open tuples.
+    auction_duration_ms:
+        How long each item accepts bids after opening.
+    mean_bid_interval_ms:
+        Mean gap between consecutive bids (across all live items).
+    derive_open_punctuations:
+        Emit the key-derived punctuation after each Open tuple.
+    seed:
+        RNG seed.
+    """
+
+    n_items: int = 200
+    mean_open_interval_ms: float = 10.0
+    auction_duration_ms: float = 120.0
+    mean_bid_interval_ms: float = 2.0
+    derive_open_punctuations: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise WorkloadError(f"n_items must be >= 1, got {self.n_items}")
+        for label, value in (
+            ("mean_open_interval_ms", self.mean_open_interval_ms),
+            ("auction_duration_ms", self.auction_duration_ms),
+            ("mean_bid_interval_ms", self.mean_bid_interval_ms),
+        ):
+            if value <= 0:
+                raise WorkloadError(f"{label} must be positive, got {value}")
+
+
+class AuctionWorkloadGenerator:
+    """Generates the Open and Bid schedules of an auction run."""
+
+    def __init__(self, spec: AuctionSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> PyTuple[Schedule, Schedule]:
+        """Return ``(open_schedule, bid_schedule)``, each time-ordered."""
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        open_schedule: Schedule = []
+        bid_schedule: Schedule = []
+        # Open tuples (plus derived punctuations) in item order.
+        open_times: List[PyTuple[float, int]] = []
+        now = 0.0
+        for item_id in range(spec.n_items):
+            now += rng.expovariate(1.0 / spec.mean_open_interval_ms)
+            seller = f"seller-{rng.randrange(50)}"
+            price = round(10.0 + rng.random() * 90.0, 2)
+            open_schedule.append(
+                (now, Tuple(OPEN_SCHEMA, (item_id, seller, price), ts=now))
+            )
+            if spec.derive_open_punctuations:
+                open_schedule.append(
+                    (now, Punctuation.on_field(OPEN_SCHEMA, "item_id", item_id, ts=now))
+                )
+            open_times.append((now, item_id))
+        # Bids: while an item is live, it may receive bids; close events
+        # inject Bid-stream punctuations at expiry, in time order.
+        close_heap: List[PyTuple[float, int]] = []
+        for opened_at, item_id in open_times:
+            heappush(close_heap, (opened_at + spec.auction_duration_ms, item_id))
+        live: List[int] = []
+        open_iter = iter(open_times)
+        next_open = next(open_iter, None)
+        bid_time = 0.0
+        while close_heap or next_open is not None:
+            bid_time += rng.expovariate(1.0 / spec.mean_bid_interval_ms)
+            # Activate items opened by now.
+            while next_open is not None and next_open[0] <= bid_time:
+                live.append(next_open[1])
+                next_open = next(open_iter, None)
+            # Close expired items (punctuating their bids).
+            while close_heap and close_heap[0][0] <= bid_time:
+                closed_at, item_id = heappop(close_heap)
+                bid_schedule.append(
+                    (
+                        closed_at,
+                        Punctuation.on_field(
+                            BID_SCHEMA, "item_id", item_id, ts=closed_at
+                        ),
+                    )
+                )
+                live.remove(item_id)
+            if next_open is None and not close_heap and not live:
+                break
+            if not live:
+                continue
+            item_id = live[rng.randrange(len(live))]
+            bidder = f"bidder-{rng.randrange(200)}"
+            increase = round(0.5 + rng.random() * 9.5, 2)
+            bid_schedule.append(
+                (
+                    bid_time,
+                    Tuple(BID_SCHEMA, (item_id, bidder, increase), ts=bid_time),
+                )
+            )
+        return open_schedule, bid_schedule

@@ -1,0 +1,108 @@
+"""Fault injection for punctuated streams.
+
+Punctuation-exploiting operators are only as sound as the promises they
+are fed: a source that emits a tuple *after* punctuating its value has
+broken the contract, and a join that silently trusted it would produce
+an incorrect (silently shrunken or unsound) answer.  PJoin therefore
+validates arrivals (``validate_inputs`` in
+:class:`~repro.core.config.PJoinConfig`); this module produces the
+broken streams that tests use to prove the validation works.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple as PyTuple
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+Schedule = List[PyTuple[float, Any]]
+
+
+def inject_punctuation_violation(
+    schedule: Schedule,
+    schema: Schema,
+    field_name: str = "key",
+    seed: int = 0,
+) -> PyTuple[Schedule, Any]:
+    """Insert one tuple that violates an earlier constant punctuation.
+
+    Picks a random constant punctuation of the stream and appends,
+    shortly after it, a tuple carrying the punctuated value.  Returns
+    ``(corrupted_schedule, violating_value)``.
+
+    Raises :class:`WorkloadError` when the schedule has no constant
+    punctuation to violate.
+    """
+    rng = random.Random(seed)
+    field_index = schema.index_of(field_name)
+    candidates = []
+    for position, (ts, item) in enumerate(schedule):
+        if isinstance(item, Punctuation):
+            pattern = item.patterns[field_index]
+            value = getattr(pattern, "value", None)
+            if value is not None:
+                candidates.append((position, ts, value))
+    if not candidates:
+        raise WorkloadError("schedule has no constant punctuation to violate")
+    position, ts, value = candidates[rng.randrange(len(candidates))]
+    values: List[Any] = []
+    for i, field in enumerate(schema.fields):
+        if i == field_index:
+            values.append(value)
+        elif field.dtype is float:
+            values.append(0.0)
+        elif field.dtype is str:
+            values.append("violation")
+        else:
+            values.append(0)
+    bad_ts = ts + 1e-6
+    bad_tuple = Tuple(schema, tuple(values), ts=bad_ts, validate=False)
+    corrupted = list(schedule)
+    corrupted.insert(position + 1, (bad_ts, bad_tuple))
+    return corrupted, value
+
+
+def drop_random_punctuations(
+    schedule: Schedule, fraction: float, seed: int = 0
+) -> Schedule:
+    """Remove a random fraction of the punctuations (late/lossy source).
+
+    Dropping punctuations is always *safe* (promises merely go missing,
+    so the join purges less) — useful for robustness tests asserting
+    results stay exact while state grows.
+    """
+    if not 0 <= fraction <= 1:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    kept: Schedule = []
+    for ts, item in schedule:
+        if isinstance(item, Punctuation) and rng.random() < fraction:
+            continue
+        kept.append((ts, item))
+    return kept
+
+
+def delay_punctuations(
+    schedule: Schedule, delay_ms: float, seed: Optional[int] = None
+) -> Schedule:
+    """Shift every punctuation *delay_ms* later (a laggy punctuator).
+
+    Tuples keep their times; each punctuation moves to ``ts + delay_ms``
+    and is re-sorted into place.  Validity is preserved — delaying a
+    promise can never create a violation.
+    """
+    if delay_ms < 0:
+        raise WorkloadError(f"delay_ms must be non-negative, got {delay_ms}")
+    del seed  # deterministic; kept for signature symmetry
+    moved: Schedule = []
+    for ts, item in schedule:
+        if isinstance(item, Punctuation):
+            moved.append((ts + delay_ms, item.with_ts(ts + delay_ms)))
+        else:
+            moved.append((ts, item))
+    moved.sort(key=lambda pair: pair[0])
+    return moved

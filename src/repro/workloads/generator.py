@@ -1,0 +1,197 @@
+"""The generic punctuated-stream generator.
+
+Produces two time-ordered schedules of tuples and punctuations from a
+:class:`~repro.workloads.spec.WorkloadSpec`.  The two streams are
+co-generated in virtual-time order because they share the global
+join-value lifecycle:
+
+* a global counter introduces join values ``0, 1, 2, …``;
+* each stream keeps a pointer ``lo`` to its oldest still-open value and
+  draws every tuple's key uniformly from its open values ``[lo, hi)``;
+  the most recent ``active_values`` values are open on both streams, so
+  the streams always overlap on current keys (many-to-many matching) no
+  matter how asymmetric their punctuation rates are;
+* after (on average) ``punct_spacing`` tuples, a stream emits a
+  constant-pattern punctuation for its oldest open value and advances
+  its ``lo``; a fresh value is introduced whenever the faster stream's
+  open window would shrink below ``active_values``.
+
+By construction the streams are *valid*: once a stream punctuates a
+value it never draws it again.  Asymmetric spacings reproduce the §4.3
+regime — the slow-punctuating stream's promises lag, so the opposite
+state accretes exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple as PyTuple
+
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.arrivals import poisson_tuple_spacing
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+from repro.workloads.spec import WorkloadSpec
+
+Schedule = List[PyTuple[float, Any]]
+
+STREAM_A_SCHEMA = Schema(
+    [Field("key", int), Field("seq", int), Field("payload", float)], name="A"
+)
+STREAM_B_SCHEMA = Schema(
+    [Field("key", int), Field("seq", int), Field("payload", float)], name="B"
+)
+
+
+class GeneratedWorkload:
+    """The output of one generator run: two schedules plus metadata."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        schedule_a: Schedule,
+        schedule_b: Schedule,
+    ) -> None:
+        self.spec = spec
+        self.schedules = (schedule_a, schedule_b)
+        self.schemas = (STREAM_A_SCHEMA, STREAM_B_SCHEMA)
+        self.join_fields = ("key", "key")
+
+    @property
+    def schedule_a(self) -> Schedule:
+        return self.schedules[0]
+
+    @property
+    def schedule_b(self) -> Schedule:
+        return self.schedules[1]
+
+    def tuples(self, side: int) -> List[Tuple]:
+        """All data tuples of one stream, in order."""
+        return [item for _t, item in self.schedules[side] if isinstance(item, Tuple)]
+
+    def punctuations(self, side: int) -> List[Punctuation]:
+        """All punctuations of one stream, in order."""
+        return [
+            item
+            for _t, item in self.schedules[side]
+            if isinstance(item, Punctuation)
+        ]
+
+    @property
+    def end_time(self) -> float:
+        """Virtual time of the last scheduled item over both streams."""
+        last = 0.0
+        for schedule in self.schedules:
+            if schedule:
+                last = max(last, schedule[-1][0])
+        return last
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneratedWorkload(tuples={self.spec.n_tuples_per_stream}/stream, "
+            f"punct_spacing={self.spec.punct_spacings}, seed={self.spec.seed})"
+        )
+
+
+class _StreamState:
+    """Per-stream generation state."""
+
+    __slots__ = ("rng", "spacing", "countdown", "lo", "seq", "next_time", "emitted")
+
+    def __init__(self, rng: random.Random, spacing: Optional[float]) -> None:
+        self.rng = rng
+        self.spacing = spacing
+        self.countdown = 0
+        self.lo = 0  # oldest join value not yet punctuated by this stream
+        self.seq = 0
+        self.next_time = 0.0
+        self.emitted = 0
+
+
+class PunctuatedStreamGenerator:
+    """Co-generates the two streams of a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> GeneratedWorkload:
+        spec = self.spec
+        schemas = (STREAM_A_SCHEMA, STREAM_B_SCHEMA)
+        streams = [
+            _StreamState(random.Random(spec.seed * 1_000_003 + side), spacing)
+            for side, spacing in enumerate(spec.punct_spacings)
+        ]
+        schedules: List[Schedule] = [[], []]
+        hi = spec.active_values  # values [0, hi) have been introduced
+        for side, stream in enumerate(streams):
+            stream.next_time = self._gap(stream)
+            stream.countdown = self._spacing(stream)
+        while any(s.emitted < spec.n_tuples_per_stream for s in streams):
+            side = self._next_side(streams, spec.n_tuples_per_stream)
+            stream = streams[side]
+            now = stream.next_time
+            # Draw the key uniformly from this stream's open values.  A
+            # stream that punctuates slowly keeps a long tail of old
+            # values open; its tuples on values the *other* stream has
+            # already punctuated are exactly the ones PJoin drops on the
+            # fly (Section 4.3).
+            key = stream.rng.randrange(stream.lo, hi)
+            tup = Tuple(
+                schemas[side],
+                (key, stream.seq, round(stream.rng.random(), 6)),
+                ts=now,
+                validate=False,
+            )
+            schedules[side].append((now, tup))
+            stream.seq += 1
+            stream.emitted += 1
+            stream.countdown -= 1
+            # Punctuate the oldest open value when the spacing is due.
+            if stream.spacing is not None and stream.countdown <= 0:
+                if stream.lo < hi:
+                    punct = Punctuation.on_field(
+                        schemas[side], "key", stream.lo, ts=now
+                    )
+                    schedules[side].append((now, punct))
+                    stream.lo += 1
+                    if hi - stream.lo < spec.active_values:
+                        hi += 1
+                stream.countdown = self._spacing(stream)
+            stream.next_time = now + self._gap(stream)
+        return GeneratedWorkload(spec, schedules[0], schedules[1])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _gap(self, stream: _StreamState) -> float:
+        return stream.rng.expovariate(1.0 / self.spec.tuple_interarrival_ms)
+
+    def _spacing(self, stream: _StreamState) -> int:
+        if stream.spacing is None:
+            return 1 << 62  # effectively never
+        if self.spec.aligned_punctuations:
+            return max(1, round(stream.spacing))
+        return poisson_tuple_spacing(stream.spacing, stream.rng)
+
+    @staticmethod
+    def _next_side(streams: List[_StreamState], limit: int) -> int:
+        """The stream whose next arrival is earliest (and not finished)."""
+        best = -1
+        best_time = float("inf")
+        for side, stream in enumerate(streams):
+            if stream.emitted >= limit:
+                continue
+            if stream.next_time < best_time:
+                best = side
+                best_time = stream.next_time
+        return best
+
+
+def generate_workload(spec: Optional[WorkloadSpec] = None, **overrides) -> GeneratedWorkload:
+    """Convenience wrapper: build a spec (or override one) and generate."""
+    if spec is None:
+        spec = WorkloadSpec(**overrides)
+    elif overrides:
+        spec = spec.with_overrides(**overrides)
+    return PunctuatedStreamGenerator(spec).generate()

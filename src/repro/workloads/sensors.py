@@ -1,0 +1,99 @@
+"""A sensor-network workload for the examples (paper §1: "sensor
+network monitoring" is a motivating application class).
+
+Two streams keyed by an epoch number:
+
+* ``Readings`` — ``(epoch, sensor_id, value)`` measurements; every
+  sensor reports once per epoch.  When an epoch's collection round
+  finishes, the base station punctuates it: no more readings for that
+  epoch will arrive.
+* ``Queries`` — ``(epoch, region)`` monitoring requests asking for the
+  readings of an epoch; punctuated per epoch as well.
+
+Joining them on ``epoch`` matches every request with that epoch's
+readings; punctuations let the join retire an epoch's readings the
+moment the round closes instead of holding them forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Tuple as PyTuple
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+READINGS_SCHEMA = Schema(
+    [Field("epoch", int), Field("sensor_id", int), Field("value", float)],
+    name="Readings",
+)
+QUERIES_SCHEMA = Schema(
+    [Field("epoch", int), Field("region", str)], name="Queries"
+)
+
+Schedule = List[PyTuple[float, Any]]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Parameters of the sensor workload."""
+
+    n_epochs: int = 100
+    n_sensors: int = 20
+    epoch_length_ms: float = 50.0
+    queries_per_epoch: int = 3
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1 or self.n_sensors < 1 or self.queries_per_epoch < 0:
+            raise WorkloadError("sensor spec counts must be positive")
+        if self.epoch_length_ms <= 0:
+            raise WorkloadError("epoch_length_ms must be positive")
+
+
+class SensorWorkloadGenerator:
+    """Generates the Readings and Queries schedules."""
+
+    def __init__(self, spec: SensorSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> PyTuple[Schedule, Schedule]:
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        readings: Schedule = []
+        queries: Schedule = []
+        regions = ["north", "south", "east", "west"]
+        for epoch in range(spec.n_epochs):
+            start = epoch * spec.epoch_length_ms
+            end = start + spec.epoch_length_ms
+            report_times = sorted(
+                start + rng.random() * spec.epoch_length_ms * 0.9
+                for _ in range(spec.n_sensors)
+            )
+            for sensor_id, when in enumerate(report_times):
+                value = round(20.0 + rng.gauss(0.0, 3.0), 3)
+                readings.append(
+                    (
+                        when,
+                        Tuple(READINGS_SCHEMA, (epoch, sensor_id, value), ts=when),
+                    )
+                )
+            readings.append(
+                (end, Punctuation.on_field(READINGS_SCHEMA, "epoch", epoch, ts=end))
+            )
+            query_times = sorted(
+                start + rng.random() * spec.epoch_length_ms
+                for _ in range(spec.queries_per_epoch)
+            )
+            for when in query_times:
+                region = regions[rng.randrange(len(regions))]
+                queries.append(
+                    (when, Tuple(QUERIES_SCHEMA, (epoch, region), ts=when))
+                )
+            queries.append(
+                (end, Punctuation.on_field(QUERIES_SCHEMA, "epoch", epoch, ts=end))
+            )
+        return readings, queries

@@ -1,0 +1,81 @@
+"""Workload specification for the generic punctuated-stream benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple as PyTuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the paper's synthetic many-to-many workload.
+
+    Two streams, ``A`` and ``B``, joined on an integer ``key``.  Join
+    values live through a sliding "open window": both streams draw keys
+    from the most recent open values, and each stream closes its oldest
+    open value — emitting a constant-pattern punctuation for it —
+    according to its punctuation spacing.  This mirrors the auction
+    scenario (items open, collect activity, close) and gives exactly the
+    knobs the paper's experiments vary.
+
+    Parameters
+    ----------
+    n_tuples_per_stream:
+        Tuples generated per stream (punctuations come on top).
+    tuple_interarrival_ms:
+        Mean of the Poisson tuple inter-arrival time per stream.  The
+        paper uses 2 ms everywhere.
+    punct_spacing_a, punct_spacing_b:
+        Mean punctuation spacing for each stream in tuples/punctuation
+        ("punctuation inter-arrival" in the paper); ``None`` disables
+        punctuations for that stream (the XJoin-equivalent regime).
+    active_values:
+        How many join values are live at any moment; drives the
+        many-to-many multiplicity (each value receives roughly
+        ``punct_spacing`` tuples per stream over its lifetime).
+    aligned_punctuations:
+        When ``True``, punctuation spacing is deterministic (exactly the
+        mean) so both streams punctuate the same values in the same
+        order — the "ideal case" of the propagation experiment (§4.4).
+    seed:
+        Base RNG seed; every derived stream is seeded from it.
+    """
+
+    n_tuples_per_stream: int = 10_000
+    tuple_interarrival_ms: float = 2.0
+    punct_spacing_a: Optional[float] = 40.0
+    punct_spacing_b: Optional[float] = 40.0
+    active_values: int = 10
+    aligned_punctuations: bool = False
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_tuples_per_stream < 1:
+            raise WorkloadError(
+                f"n_tuples_per_stream must be >= 1, got {self.n_tuples_per_stream}"
+            )
+        if self.tuple_interarrival_ms <= 0:
+            raise WorkloadError(
+                "tuple_interarrival_ms must be positive, "
+                f"got {self.tuple_interarrival_ms}"
+            )
+        for label, spacing in (
+            ("punct_spacing_a", self.punct_spacing_a),
+            ("punct_spacing_b", self.punct_spacing_b),
+        ):
+            if spacing is not None and spacing < 1:
+                raise WorkloadError(f"{label} must be >= 1 or None, got {spacing}")
+        if self.active_values < 1:
+            raise WorkloadError(
+                f"active_values must be >= 1, got {self.active_values}"
+            )
+
+    @property
+    def punct_spacings(self) -> PyTuple[Optional[float], Optional[float]]:
+        return (self.punct_spacing_a, self.punct_spacing_b)
+
+    def with_overrides(self, **overrides) -> "WorkloadSpec":
+        """Return a copy with selected parameters replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    return SimulationEngine()
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def cheap_cost_model() -> CostModel:
+    """A cost model with tiny per-item costs, for logic-focused tests.
+
+    Costs stay non-zero so event ordering still exercises the
+    single-server queueing path.
+    """
+    return CostModel().scaled(0.001)
+
+
+@pytest.fixture
+def ab_schemas():
+    """Two small typed stream schemas joined on ``key``."""
+    schema_a = Schema([Field("key", int), Field("a_val", int)], name="A")
+    schema_b = Schema([Field("key", int), Field("b_val", int)], name="B")
+    return schema_a, schema_b
+
+
+def make_tuple(schema: Schema, *values, ts: float = 0.0) -> Tuple:
+    """Terse tuple construction for tests."""
+    return Tuple(schema, values, ts=ts)

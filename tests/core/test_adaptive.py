@@ -1,0 +1,127 @@
+"""Unit and integration tests for the adaptive purge controller."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePurgeController
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.errors import ConfigError
+from repro.operators.sink import Sink
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.generator import generate_workload
+
+
+def build_join(plan, workload, purge_threshold):
+    return PJoin(
+        plan.engine, plan.cost_model,
+        workload.schemas[0], workload.schemas[1], "key", "key",
+        config=PJoinConfig(purge_threshold=purge_threshold),
+    )
+
+
+def run_adaptive(start_threshold, seed=9, n=6000, **controller_kwargs):
+    workload = generate_workload(
+        n_tuples_per_stream=n, punct_spacing_a=10, punct_spacing_b=10, seed=seed
+    )
+    plan = QueryPlan()
+    join = build_join(plan, workload, start_threshold)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=False)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0)
+    plan.add_source(workload.schedule_b, join, port=1)
+    controller = AdaptivePurgeController(join, **controller_kwargs)
+    controller.start()
+    plan.run()
+    return join, sink, controller
+
+
+class TestValidation:
+    def test_parameter_validation(self, engine, cheap_cost_model):
+        workload = generate_workload(n_tuples_per_stream=50, seed=1)
+        plan = QueryPlan(engine=engine, cost_model=cheap_cost_model)
+        join = build_join(plan, workload, 1)
+        with pytest.raises(ConfigError):
+            AdaptivePurgeController(join, interval_ms=0)
+        with pytest.raises(ConfigError):
+            AdaptivePurgeController(join, factor=1.0)
+        with pytest.raises(ConfigError):
+            AdaptivePurgeController(join, low_ratio=2.0, high_ratio=1.0)
+        with pytest.raises(ConfigError):
+            AdaptivePurgeController(join, max_threshold=0)
+
+    def test_double_start_rejected(self, engine, cheap_cost_model):
+        workload = generate_workload(n_tuples_per_stream=50, seed=1)
+        plan = QueryPlan(engine=engine, cost_model=cheap_cost_model)
+        join = build_join(plan, workload, 1)
+        controller = AdaptivePurgeController(join)
+        controller.start()
+        with pytest.raises(ConfigError):
+            controller.start()
+
+
+class TestAdaptation:
+    def test_raises_threshold_when_purging_dominates(self):
+        """Starting eager on a punctuation-dense workload: purge cost
+        dwarfs probe cost, so the controller must back off."""
+        join, _sink, controller = run_adaptive(start_threshold=1)
+        assert controller.current_threshold > 1
+        assert controller.adjustments
+
+    def test_lowers_threshold_when_probing_dominates(self):
+        """Starting almost-never-purging: the state grows, probing
+        dominates, and the controller must tighten."""
+        join, _sink, controller = run_adaptive(start_threshold=1024)
+        assert controller.current_threshold < 1024
+
+    def test_adaptive_run_is_competitive_with_fixed_optimum(self):
+        """The controller should land within 2x of a well-tuned fixed
+        threshold's finish time, starting from a terrible one."""
+        workload = generate_workload(
+            n_tuples_per_stream=6000, punct_spacing_a=10, punct_spacing_b=10,
+            seed=9,
+        )
+
+        def run_fixed(threshold):
+            plan = QueryPlan()
+            join = build_join(plan, workload, threshold)
+            sink = Sink(plan.engine, plan.cost_model, keep_items=False)
+            join.connect(sink)
+            plan.add_source(workload.schedule_a, join, port=0)
+            plan.add_source(workload.schedule_b, join, port=1)
+            plan.run()
+            return sink.eos_time
+
+        tuned = run_fixed(50)
+        _join, sink, _controller = run_adaptive(start_threshold=1)
+        assert sink.eos_time < 2.0 * tuned
+
+    def test_results_unaffected_by_adaptation(self):
+        from collections import Counter
+
+        from repro.workloads.reference import reference_join_multiset
+
+        workload = generate_workload(
+            n_tuples_per_stream=1000, punct_spacing_a=8, punct_spacing_b=16,
+            seed=4,
+        )
+        plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+        join = build_join(plan, workload, 1)
+        sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+        join.connect(sink)
+        plan.add_source(workload.schedule_a, join, port=0)
+        plan.add_source(workload.schedule_b, join, port=1)
+        AdaptivePurgeController(join, interval_ms=200.0).start()
+        plan.run()
+        expected = reference_join_multiset(
+            workload.schedule_a, workload.schedule_b,
+            workload.schemas[0], workload.schemas[1],
+        )
+        assert Counter(dict(sink.result_multiset())) == expected
+
+    def test_threshold_clamped(self):
+        _join, _sink, controller = run_adaptive(
+            start_threshold=1, n=4000, max_threshold=8
+        )
+        assert controller.current_threshold <= 8
+        assert all(t <= 8 for _when, t in controller.adjustments)

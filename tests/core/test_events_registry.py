@@ -1,0 +1,182 @@
+"""Unit tests for framework events and the event-listener registry."""
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.core.events import (
+    ALL_EVENT_TYPES,
+    DiskJoinActivateEvent,
+    PropagateCountReachEvent,
+    PropagateRequestEvent,
+    PropagateTimeExpireEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+    StreamEmptyEvent,
+)
+from repro.core.registry import (
+    EventListenerRegistry,
+    RegistryEntry,
+    default_registry_for,
+    table1_registry,
+)
+from repro.errors import ConfigError
+
+
+class TestEvents:
+    def test_the_seven_section36_events_exist(self):
+        names = {cls.__name__ for cls in ALL_EVENT_TYPES}
+        assert names == {
+            "StreamEmptyEvent",
+            "PurgeThresholdReachEvent",
+            "StateFullEvent",
+            "DiskJoinActivateEvent",
+            "PropagateRequestEvent",
+            "PropagateTimeExpireEvent",
+            "PropagateCountReachEvent",
+        }
+
+    def test_event_name_property(self):
+        assert StreamEmptyEvent().event_name == "StreamEmptyEvent"
+
+    def test_events_carry_payload(self):
+        event = StateFullEvent(memory_tuples=100, threshold=90)
+        assert event.memory_tuples == 100
+        assert event.threshold == 90
+        assert PropagateCountReachEvent(paired=True).paired
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = EventListenerRegistry()
+        registry.register(PurgeThresholdReachEvent, ["state_purge"])
+        event = PurgeThresholdReachEvent(punctuations_pending=3)
+        assert registry.listeners_for(event) == ["state_purge"]
+        assert registry.listeners_for(StreamEmptyEvent()) == []
+
+    def test_listener_order_is_preserved(self):
+        registry = EventListenerRegistry()
+        registry.register(
+            PropagateCountReachEvent, ["disk_join", "index_build", "propagate"]
+        )
+        assert registry.listeners_for(PropagateCountReachEvent()) == [
+            "disk_join",
+            "index_build",
+            "propagate",
+        ]
+
+    def test_unknown_listener_name_rejected(self):
+        registry = EventListenerRegistry()
+        with pytest.raises(ConfigError, match="unknown listener"):
+            registry.register(StreamEmptyEvent, ["reticulate_splines"])
+
+    def test_condition_filters_events(self):
+        registry = EventListenerRegistry()
+        registry.register(
+            StateFullEvent,
+            ["state_relocation"],
+            condition=lambda e: e.memory_tuples > 100,
+        )
+        assert registry.listeners_for(StateFullEvent(memory_tuples=50)) == []
+        assert registry.listeners_for(StateFullEvent(memory_tuples=150)) == [
+            "state_relocation"
+        ]
+
+    def test_unregister(self):
+        registry = EventListenerRegistry()
+        entry = registry.register(StreamEmptyEvent, ["disk_join"])
+        registry.unregister(entry)
+        assert registry.listeners_for(StreamEmptyEvent()) == []
+
+    def test_replace_listeners_runtime_update(self):
+        registry = EventListenerRegistry()
+        registry.register(PropagateCountReachEvent, ["index_build", "propagate"])
+        registry.replace_listeners(PropagateCountReachEvent, [])
+        assert registry.listeners_for(PropagateCountReachEvent()) == []
+
+    def test_replace_listeners_creates_missing_entry(self):
+        registry = EventListenerRegistry()
+        registry.replace_listeners(StreamEmptyEvent, ["disk_join"])
+        assert registry.listeners_for(StreamEmptyEvent()) == ["disk_join"]
+
+    def test_entries_returns_copy(self):
+        registry = EventListenerRegistry()
+        registry.register(StreamEmptyEvent, ["disk_join"])
+        entries = registry.entries()
+        entries.clear()
+        assert len(registry) == 1
+
+    def test_entry_applies_to_subclass_matching(self):
+        entry = RegistryEntry(StreamEmptyEvent, ["disk_join"])
+        assert entry.applies_to(StreamEmptyEvent())
+        assert not entry.applies_to(StateFullEvent())
+
+
+class TestTable1:
+    def test_table1_wiring(self):
+        """The paper's Table 1: lazy purge, relocation, disk join, and
+        lazy index building coupled to count propagation."""
+        registry = table1_registry()
+        assert registry.listeners_for(PurgeThresholdReachEvent()) == ["state_purge"]
+        assert registry.listeners_for(StateFullEvent()) == ["state_relocation"]
+        assert registry.listeners_for(StreamEmptyEvent()) == ["disk_join"]
+        assert registry.listeners_for(PropagateCountReachEvent()) == [
+            "index_build",
+            "propagate",
+        ]
+
+
+class TestDefaultRegistryFor:
+    def test_lazy_index_couples_build_with_propagation(self):
+        config = PJoinConfig(
+            propagation_mode="push_count",
+            index_building="lazy",
+            disk_join_before_propagation=False,
+        )
+        registry = default_registry_for(config)
+        assert registry.listeners_for(PropagateCountReachEvent()) == [
+            "index_build",
+            "propagate",
+        ]
+
+    def test_eager_index_decouples_build(self):
+        config = PJoinConfig(
+            propagation_mode="push_count",
+            index_building="eager",
+            disk_join_before_propagation=False,
+        )
+        registry = default_registry_for(config)
+        assert registry.listeners_for(PropagateCountReachEvent()) == ["propagate"]
+
+    def test_disk_join_before_propagation(self):
+        config = PJoinConfig(propagation_mode="push_count")
+        registry = default_registry_for(config)
+        listeners = registry.listeners_for(PropagateCountReachEvent())
+        assert listeners[0] == "disk_join"
+
+    def test_time_mode_registers_time_event(self):
+        config = PJoinConfig(propagation_mode="push_time")
+        registry = default_registry_for(config)
+        assert "propagate" in registry.listeners_for(PropagateTimeExpireEvent())
+        assert registry.listeners_for(PropagateCountReachEvent()) == []
+
+    def test_pull_mode_registers_request_event(self):
+        config = PJoinConfig(propagation_mode="pull")
+        registry = default_registry_for(config)
+        assert "propagate" in registry.listeners_for(PropagateRequestEvent())
+
+    def test_off_mode_registers_no_propagation(self):
+        registry = default_registry_for(PJoinConfig(propagation_mode="off"))
+        for event in (
+            PropagateCountReachEvent(),
+            PropagateTimeExpireEvent(),
+            PropagateRequestEvent(),
+        ):
+            assert registry.listeners_for(event) == []
+
+    def test_unused_event_type_exists(self):
+        # DiskJoinActivateEvent is available for custom registries.
+        registry = EventListenerRegistry()
+        registry.register(DiskJoinActivateEvent, ["disk_join"])
+        assert registry.listeners_for(DiskJoinActivateEvent(idle_ms=5.0)) == [
+            "disk_join"
+        ]

@@ -1,0 +1,120 @@
+"""Unit tests for the incrementally-maintained punctuation index."""
+
+import pytest
+
+from repro.core.index import PunctuationIndex
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore
+from repro.storage.partition import StateEntry
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "v")
+
+
+@pytest.fixture
+def store():
+    return PunctuationStore(SCHEMA, "key")
+
+
+@pytest.fixture
+def index(store):
+    return PunctuationIndex(store)
+
+
+def entry(key, ts=0.0):
+    return StateEntry(Tuple(SCHEMA, (key, 0), ts=ts), key, ats=ts)
+
+
+def punct(spec, ts=0.0):
+    return Punctuation.on_field(SCHEMA, "key", spec, ts=ts)
+
+
+class TestBuild:
+    def test_assigns_pid_and_counts(self, store, index):
+        pid = store.add(punct(1))
+        entries = [entry(1), entry(1), entry(2)]
+        result = index.build(entries)
+        assert result.scanned == 3
+        assert result.newly_indexed == 2
+        assert entries[0].pid == pid and entries[1].pid == pid
+        assert entries[2].pid is None
+        assert index.count_of(pid) == 2
+        assert index.is_indexed(pid)
+
+    def test_first_arrived_punctuation_wins(self, store, index):
+        first = store.add(punct((0, 10)))
+        second = store.add(punct(5))
+        entries = [entry(5)]
+        index.build(entries)
+        assert entries[0].pid == first
+        assert index.count_of(first) == 1
+        assert index.count_of(second) == 0
+
+    def test_incremental_only_fresh_punctuations_evaluated(self, store, index):
+        store.add(punct(1))
+        e_old = entry(1)
+        index.build([e_old])
+        # A new tuple (valid streams: it cannot match punct 1).
+        e_new = entry(2)
+        pid2 = store.add(punct(2))
+        result = index.build([e_old, e_new])
+        assert result.fresh_punctuations == 1
+        assert result.unindexed == 1  # only e_new was evaluated
+        assert e_new.pid == pid2
+
+    def test_build_without_fresh_punctuations_indexes_nothing(self, store, index):
+        store.add(punct(1))
+        index.build([])
+        entries = [entry(1)]
+        result = index.build(entries)
+        assert result.fresh_punctuations == 0
+        assert entries[0].pid is None  # old punctuations never re-evaluated
+
+    def test_build_runs_counter(self, store, index):
+        index.build([])
+        index.build([])
+        assert index.build_runs == 2
+
+
+class TestMaintenance:
+    def test_discard_decrements_count(self, store, index):
+        pid = store.add(punct(1))
+        entries = [entry(1), entry(1)]
+        index.build(entries)
+        index.on_entry_discarded(entries[0])
+        assert index.count_of(pid) == 1
+
+    def test_discard_of_unindexed_entry_is_noop(self, store, index):
+        index.on_entry_discarded(entry(1))
+
+    def test_propagable_requires_indexed_and_zero_count(self, store, index):
+        pid1 = store.add(punct(1))
+        pid2 = store.add(punct(2))
+        entries = [entry(1)]
+        index.build(entries)
+        propagable = dict(index.propagable())
+        assert pid2 in propagable  # no matches at all
+        assert pid1 not in propagable  # count 1
+        index.on_entry_discarded(entries[0])
+        assert pid1 in dict(index.propagable())
+
+    def test_unindexed_punctuation_never_propagable(self, store, index):
+        store.add(punct(1))  # never built
+        assert index.propagable() == []
+
+    def test_on_punctuation_removed_forgets(self, store, index):
+        pid = store.add(punct(1))
+        index.build([])
+        store.remove(pid)
+        index.on_punctuation_removed(pid)
+        assert not index.is_indexed(pid)
+        assert index.propagable() == []
+
+    def test_pending_unindexed_counter(self, store, index):
+        assert index.pending_unindexed_punctuations == 0
+        store.add(punct(1))
+        store.add(punct(2))
+        assert index.pending_unindexed_punctuations == 2
+        index.build([])
+        assert index.pending_unindexed_punctuations == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the monitor's threshold bookkeeping."""
+
+from repro.core.config import PJoinConfig
+from repro.core.events import (
+    PropagateCountReachEvent,
+    PropagateTimeExpireEvent,
+    PurgeThresholdReachEvent,
+    StateFullEvent,
+)
+from repro.core.monitor import Monitor
+
+
+class TestPurgeThreshold:
+    def test_eager_fires_on_every_punctuation(self):
+        monitor = Monitor(PJoinConfig(purge_threshold=1))
+        events = monitor.on_punctuation(paired=False)
+        assert any(isinstance(e, PurgeThresholdReachEvent) for e in events)
+
+    def test_lazy_fires_after_threshold(self):
+        monitor = Monitor(PJoinConfig(purge_threshold=3))
+        assert monitor.on_punctuation(False) == []
+        assert monitor.on_punctuation(False) == []
+        events = monitor.on_punctuation(False)
+        assert len(events) == 1
+        assert events[0].punctuations_pending == 3
+
+    def test_counter_resets_after_firing(self):
+        monitor = Monitor(PJoinConfig(purge_threshold=2))
+        monitor.on_punctuation(False)
+        monitor.on_punctuation(False)
+        assert monitor.punctuations_since_purge == 0
+        assert monitor.on_punctuation(False) == []
+
+    def test_threshold_mutable_at_runtime(self):
+        monitor = Monitor(PJoinConfig(purge_threshold=100))
+        monitor.purge_threshold = 1
+        assert monitor.on_punctuation(False) != []
+
+
+class TestPropagationTriggers:
+    def test_count_mode_fires_on_count(self):
+        monitor = Monitor(
+            PJoinConfig(
+                propagation_mode="push_count", propagate_count_threshold=2,
+                purge_threshold=100,
+            )
+        )
+        assert monitor.on_punctuation(False) == []
+        events = monitor.on_punctuation(False)
+        assert isinstance(events[0], PropagateCountReachEvent)
+        assert not events[0].paired
+
+    def test_pairs_mode_counts_only_pairs(self):
+        monitor = Monitor(
+            PJoinConfig(
+                propagation_mode="push_pairs", propagate_pairs_threshold=2,
+                purge_threshold=100,
+            )
+        )
+        assert monitor.on_punctuation(paired=False) == []
+        assert monitor.on_punctuation(paired=True) == []
+        events = monitor.on_punctuation(paired=True)
+        assert isinstance(events[0], PropagateCountReachEvent)
+        assert events[0].paired
+
+    def test_purge_and_propagation_can_fire_together(self):
+        monitor = Monitor(
+            PJoinConfig(
+                purge_threshold=1,
+                propagation_mode="push_count",
+                propagate_count_threshold=1,
+            )
+        )
+        events = monitor.on_punctuation(False)
+        kinds = [type(e) for e in events]
+        assert kinds == [PurgeThresholdReachEvent, PropagateCountReachEvent]
+
+    def test_timer_event_only_in_time_mode(self):
+        off = Monitor(PJoinConfig(propagation_mode="off"))
+        assert off.on_propagation_timer(now=1.0) is None
+        timed = Monitor(PJoinConfig(propagation_mode="push_time"))
+        event = timed.on_propagation_timer(now=1.0)
+        assert isinstance(event, PropagateTimeExpireEvent)
+        assert timed.last_propagation_time == 1.0
+
+
+class TestMemoryThreshold:
+    def test_fires_at_threshold(self):
+        monitor = Monitor(PJoinConfig(memory_threshold=10))
+        assert monitor.on_insert(9) is None
+        event = monitor.on_insert(10)
+        assert isinstance(event, StateFullEvent)
+        assert event.threshold == 10
+
+    def test_disabled_without_threshold(self):
+        monitor = Monitor(PJoinConfig(memory_threshold=None))
+        assert monitor.on_insert(10**9) is None

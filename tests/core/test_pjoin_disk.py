@@ -1,0 +1,104 @@
+"""Tests of PJoin's disk-join component and its reactive scheduling."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.operators.sink import Sink
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.bursty import make_bursty
+from repro.workloads.generator import generate_workload
+from repro.workloads.reference import reference_join_multiset
+
+
+def run_bursty_pjoin(config, seed=5, n=1200):
+    smooth = generate_workload(
+        n_tuples_per_stream=n, punct_spacing_a=12, punct_spacing_b=18,
+        active_values=20, seed=seed,
+    )
+    workload = make_bursty(smooth, burst_ms=100.0, silence_ms=300.0, compress=0.5)
+    plan = QueryPlan(cost_model=CostModel().scaled(0.05))
+    join = PJoin(
+        plan.engine, plan.cost_model,
+        workload.schemas[0], workload.schemas[1], "key", "key", config=config,
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0)
+    plan.add_source(workload.schedule_b, join, port=1)
+    plan.run()
+    expected = reference_join_multiset(
+        workload.schedule_a, workload.schedule_b,
+        workload.schemas[0], workload.schemas[1],
+    )
+    return join, sink, expected
+
+
+class TestReactiveDiskJoin:
+    def test_lulls_trigger_disk_joins_before_eos(self):
+        join, sink, expected = run_bursty_pjoin(
+            PJoinConfig(purge_threshold=4, memory_threshold=120,
+                        disk_join_idle_ms=5.0)
+        )
+        assert join.spills > 0
+        # At least one disk join ran reactively, i.e. before the final
+        # end-of-stream flush.
+        assert join.disk_join_runs >= 2
+        assert join.events_dispatched.get("StreamEmptyEvent", 0) >= 1
+        assert Counter(dict(sink.result_multiset())) == expected
+
+    def test_disk_join_purges_disk_resident_tuples(self):
+        join, _sink, _expected = run_bursty_pjoin(
+            PJoinConfig(purge_threshold=4, memory_threshold=120,
+                        disk_join_idle_ms=5.0)
+        )
+        # Reactive disk joins purge covered disk tuples and clear the
+        # purge buffers, so the final state is small despite spilling.
+        assert not join.sides[0].purge_buffer
+        assert not join.sides[1].purge_buffer
+
+    def test_no_disk_join_without_memory_pressure(self):
+        join, sink, expected = run_bursty_pjoin(
+            PJoinConfig(purge_threshold=4, memory_threshold=None)
+        )
+        assert join.spills == 0
+        assert join.disk_join_runs == 0
+        assert Counter(dict(sink.result_multiset())) == expected
+
+    def test_repeated_full_disk_joins_stay_duplicate_free(self):
+        """Multiple silences mean multiple full disk joins over the same
+        surviving disk portions — the last-full-run memo must prevent
+        re-emission of disk-disk pairs."""
+        join, sink, expected = run_bursty_pjoin(
+            PJoinConfig(purge_threshold=50, memory_threshold=80,
+                        disk_join_idle_ms=5.0),
+            n=900,
+        )
+        assert join.disk_join_runs >= 2
+        assert Counter(dict(sink.result_multiset())) == expected
+
+
+class TestPendingWorkDetection:
+    def test_no_pending_work_on_fresh_join(self, engine, cheap_cost_model,
+                                           ab_schemas):
+        schema_a, schema_b = ab_schemas
+        join = PJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key")
+        assert not join._has_pending_disk_work()
+
+    def test_spill_creates_pending_work(self, engine, cheap_cost_model,
+                                        ab_schemas):
+        from repro.tuples.tuple import Tuple
+
+        schema_a, schema_b = ab_schemas
+        join = PJoin(
+            engine, cheap_cost_model, schema_a, schema_b, "key", "key",
+            config=PJoinConfig(memory_threshold=2),
+        )
+        join.push(Tuple(schema_a, (1, 0)), 0)
+        join.push(Tuple(schema_b, (1, 0)), 1)  # hits the threshold: spill
+        join.push(Tuple(schema_b, (1, 1)), 1)  # new memory vs disk portion
+        engine.run()
+        assert join.spills > 0

@@ -1,0 +1,92 @@
+"""Unit tests for punctuation propagation (paper Theorem 1 / rules (2))."""
+
+import pytest
+
+from repro.core.propagation import run_propagation
+from repro.core.state import JoinStateSide
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA_A = Schema.of("key", "a", name="A")
+SCHEMA_B = Schema.of("key", "b", name="B")
+OUT_SCHEMA = SCHEMA_A.concat(SCHEMA_B)
+OUT_JOIN_INDICES = (0,)
+
+
+@pytest.fixture
+def sides():
+    return [
+        JoinStateSide(SCHEMA_A, "key", n_partitions=4, side_name="A"),
+        JoinStateSide(SCHEMA_B, "key", n_partitions=4, side_name="B"),
+    ]
+
+
+def add_and_index(side, spec, ts=0.0):
+    schema = side.schema
+    pid = side.add_punctuation(Punctuation.on_field(schema, "key", spec, ts=ts))
+    side.index.build(side.iter_all_entries())
+    return pid
+
+
+class TestPropagability:
+    def test_punctuation_with_no_matching_state_propagates(self, sides):
+        add_and_index(sides[0], 1)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        assert result.propagated == 1
+        assert len(sides[0].store) == 0
+
+    def test_punctuation_with_matching_state_is_held(self, sides):
+        sides[0].insert(Tuple(SCHEMA_A, (1, 0)), 1, now=0.0)
+        add_and_index(sides[0], 1)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        assert result.propagated == 0
+        assert len(sides[0].store) == 1
+
+    def test_propagates_after_matching_tuples_purged(self, sides):
+        entry = sides[0].insert(Tuple(SCHEMA_A, (1, 0)), 1, now=0.0)
+        add_and_index(sides[0], 1)
+        sides[0].table.remove_value(1)
+        sides[0].discard_entry(entry)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        assert result.propagated == 1
+
+    def test_purge_buffer_blocks_propagation(self, sides):
+        entry = sides[0].insert(Tuple(SCHEMA_A, (1, 0)), 1, now=0.0)
+        sides[0].table.remove_value(1)
+        sides[0].buffer_entry(entry, now=1.0)
+        add_and_index(sides[0], 1)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        assert result.propagated == 0
+        sides[0].clear_purge_buffer()
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=6.0)
+        assert result.propagated == 1
+
+
+class TestOutputPunctuations:
+    def test_pattern_lands_on_the_output_join_column(self, sides):
+        add_and_index(sides[0], 7)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        out = result.emitted[0]
+        assert out.schema == OUT_SCHEMA
+        assert out.patterns[0].matches(7)
+        # Every other column stays a wildcard so downstream operators
+        # (e.g. group-by on the join attribute) can exploit it.
+        assert all(p.is_wildcard for p in out.patterns[1:])
+        assert out.ts == 5.0
+
+    def test_emission_order_by_arrival_time(self, sides):
+        add_and_index(sides[1], 2, ts=1.0)
+        add_and_index(sides[0], 1, ts=2.0)
+        add_and_index(sides[0], 3, ts=0.5)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        matched = [p.patterns[0] for p in result.emitted]
+        assert [m.value for m in matched] == [3, 2, 1]
+
+    def test_checked_counts_live_punctuations(self, sides):
+        sides[0].insert(Tuple(SCHEMA_A, (1, 0)), 1, now=0.0)
+        add_and_index(sides[0], 1)
+        add_and_index(sides[1], 9)
+        result = run_propagation(sides, OUT_SCHEMA, OUT_JOIN_INDICES, now=5.0)
+        assert result.checked == 2
+        assert result.propagated == 1

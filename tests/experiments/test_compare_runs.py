@@ -1,0 +1,56 @@
+"""Unit tests for the run-comparison tool."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+import compare_runs  # noqa: E402
+
+from repro.experiments.export import save_figure_json  # noqa: E402
+from repro.experiments.figures import figure6  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure6(scale=0.06)
+
+
+def test_identical_dirs_report_no_regression(figure, tmp_path_factory, capsys):
+    old = tmp_path_factory.mktemp("old")
+    new = tmp_path_factory.mktemp("new")
+    save_figure_json(figure, old / "f.json")
+    save_figure_json(figure, new / "f.json")
+    assert compare_runs.main([str(old), str(new)]) == 0
+    assert "no metric moved" in capsys.readouterr().out
+
+
+def test_changed_metric_detected(figure, tmp_path_factory, capsys):
+    import json
+
+    old = tmp_path_factory.mktemp("old2")
+    new = tmp_path_factory.mktemp("new2")
+    save_figure_json(figure, old / "f.json")
+    save_figure_json(figure, new / "f.json")
+    data = json.loads((new / "f.json").read_text())
+    data["runs"][0]["summary"]["mean_state"] *= 2.0
+    (new / "f.json").write_text(json.dumps(data))
+    assert compare_runs.main([str(old), str(new)]) == 1
+    out = capsys.readouterr().out
+    assert "mean_state" in out
+    assert "+100.0%" in out
+
+
+def test_relative_change_edges():
+    assert compare_runs.relative_change(0.0, 0.0) == 0.0
+    assert compare_runs.relative_change(0.0, 1.0) == float("inf")
+    assert compare_runs.relative_change(10.0, 5.0) == pytest.approx(-0.5)
+
+
+def test_missing_figures_reported(figure, tmp_path_factory, capsys):
+    old = tmp_path_factory.mktemp("old3")
+    new = tmp_path_factory.mktemp("new3")
+    save_figure_json(figure, old / "f.json")
+    compare_runs.main([str(old), str(new)])
+    assert "only in" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Unit tests for JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    FORMAT_VERSION,
+    figure_to_dict,
+    load_figure_json,
+    save_figure_json,
+    series_from_dict,
+    series_to_dict,
+)
+from repro.experiments.figures import figure6
+from repro.metrics.series import TimeSeries
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure6(scale=0.06)
+
+
+class TestSeriesRoundTrip:
+    def test_round_trip(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        series.append(2.0, 3.0)
+        restored = series_from_dict(series_to_dict(series))
+        assert restored.name == "s"
+        assert list(restored.points()) == list(series.points())
+
+
+class TestFigureExport:
+    def test_dict_structure(self, figure):
+        data = figure_to_dict(figure)
+        assert data["format_version"] == FORMAT_VERSION
+        assert data["figure_id"] == "Figure 6"
+        assert len(data["runs"]) == 3
+        run = data["runs"][0]
+        assert "state_total" in run["series"]
+        assert run["summary"]["results"] > 0
+        assert all("passed" in c for c in data["checks"])
+
+    def test_save_and_load(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_json(figure, path)
+        data = load_figure_json(path)
+        assert data["figure_id"] == "Figure 6"
+        series = series_from_dict(data["runs"][0]["series"]["state_total"])
+        assert len(series) > 0
+
+    def test_version_check(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure_json(figure, path)
+        data = json.loads(path.read_text())
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="format version"):
+            load_figure_json(path)
+
+    def test_json_is_plain_serialisable(self, figure):
+        json.dumps(figure_to_dict(figure))

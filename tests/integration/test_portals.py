@@ -1,0 +1,119 @@
+"""Integration test: the paper's portal scenario (§1.1).
+
+"The sellers portal merges items for sale submitted by sellers into a
+stream called Open" — i.e. a Union sits upstream of PJoin.  The union
+may only forward an item's punctuation once *every* seller sub-stream
+has promised it; this test builds the full plan and checks that the
+join still purges correctly and produces the exact join result.
+"""
+
+from collections import Counter
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.operators.sink import Sink
+from repro.operators.union import Union
+from repro.punctuations.punctuation import Punctuation
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+OPEN_SCHEMA = Schema.of("item_id", "seller", name="Open")
+BID_SCHEMA = Schema.of("item_id", "amount", name="Bid")
+
+
+def build_portal_schedules():
+    """Two seller sub-streams and one bid stream over 20 items.
+
+    Each item is listed by exactly one seller, but *both* sub-streams
+    punctuate every item (a seller portal knows which items it will
+    never list): the union needs promises from both before forwarding.
+    """
+    sellers = [[], []]
+    bids = []
+    t = 0.0
+    for item in range(20):
+        owner = item % 2
+        t += 2.0
+        sellers[owner].append(
+            (t, Tuple(OPEN_SCHEMA, (item, f"seller{owner}"), ts=t))
+        )
+        for b in range(3):
+            bid_time = t + 0.5 + b
+            bids.append(
+                (bid_time, Tuple(BID_SCHEMA, (item, 10 + b), ts=bid_time))
+            )
+        close = t + 5.0
+        for sub in sellers:
+            sub.append(
+                (close, Punctuation.on_field(OPEN_SCHEMA, "item_id", item,
+                                             ts=close))
+            )
+        bids.append(
+            (close, Punctuation.on_field(BID_SCHEMA, "item_id", item, ts=close))
+        )
+    for sub in sellers:
+        sub.sort(key=lambda pair: pair[0])
+    bids.sort(key=lambda pair: pair[0])
+    return sellers, bids
+
+
+def test_union_feeds_pjoin_with_merged_punctuations():
+    sellers, bids = build_portal_schedules()
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    union = Union(plan.engine, plan.cost_model, OPEN_SCHEMA, n_inputs=2)
+    join = PJoin(
+        plan.engine, plan.cost_model, OPEN_SCHEMA, BID_SCHEMA,
+        "item_id", "item_id", config=PJoinConfig(purge_threshold=1),
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    union.connect(join, port=0)
+    join.connect(sink)
+    plan.add_source(sellers[0], union, port=0, name="seller0")
+    plan.add_source(sellers[1], union, port=1, name="seller1")
+    plan.add_source(bids, join, port=1, name="bids")
+    plan.run()
+    # Every item joins its three bids, exactly once.
+    expected = Counter()
+    for item in range(20):
+        for b in range(3):
+            expected[(item, f"seller{item % 2}", item, 10 + b)] += 1
+    assert Counter(dict(sink.result_multiset())) == expected
+    # The union merged each item's promise exactly once ...
+    assert union.punctuations_merged == 20
+    # ... which let the join purge its Open state down to nothing.
+    assert join.state_size(0) == 0
+    assert join.tuples_purged > 0
+
+
+def test_one_portal_lagging_delays_purging_but_not_results():
+    """If seller1 never punctuates, the union must hold every promise —
+    the join keeps its Open state, but results are still exact."""
+    sellers, bids = build_portal_schedules()
+    lagging = [
+        (t, item)
+        for t, item in sellers[1]
+        if not isinstance(item, Punctuation)
+    ]
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    union = Union(plan.engine, plan.cost_model, OPEN_SCHEMA, n_inputs=2)
+    join = PJoin(
+        plan.engine, plan.cost_model, OPEN_SCHEMA, BID_SCHEMA,
+        "item_id", "item_id", config=PJoinConfig(purge_threshold=1),
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    union.connect(join, port=0)
+    join.connect(sink)
+    plan.add_source(sellers[0], union, port=0)
+    plan.add_source(lagging, union, port=1)
+    plan.add_source(bids, join, port=1)
+    plan.run()
+    assert union.punctuations_merged == 0
+    assert union.pending_punctuations == 20
+    # The Bid stream still punctuates, so the Open state is purged as
+    # before — but with no Open promises reaching the join, the *Bid*
+    # state has nothing to purge it and keeps all 60 bids.
+    assert join.state_size(0) == 0
+    assert join.state_size(1) == 60
+    assert sink.tuple_count == 60

@@ -1,0 +1,88 @@
+"""Integration test: a group-by pulling propagation from PJoin.
+
+The paper's pull mode exists for "the down-stream operators, which
+would be the beneficiaries of the propagation".  Here the beneficiary
+is the group-by: whenever too many of its groups are blocked, it asks
+the join to propagate whatever punctuations are ready.
+"""
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.errors import OperatorError
+from repro.operators.groupby import GroupBy, sum_agg
+from repro.operators.sink import Sink
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.auction import (
+    BID_SCHEMA,
+    OPEN_SCHEMA,
+    AuctionSpec,
+    AuctionWorkloadGenerator,
+)
+
+
+def build(pull_threshold):
+    spec = AuctionSpec(n_items=80, auction_duration_ms=80.0, seed=17)
+    open_schedule, bid_schedule = AuctionWorkloadGenerator(spec).generate()
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    join = PJoin(
+        plan.engine, plan.cost_model, OPEN_SCHEMA, BID_SCHEMA,
+        "item_id", "item_id",
+        config=PJoinConfig(
+            purge_threshold=1, index_building="eager", propagation_mode="pull"
+        ),
+    )
+    groupby = GroupBy(
+        plan.engine, plan.cost_model, join.out_schema, "Open.item_id",
+        [sum_agg("bid_increase", "total")],
+        pull_from=join,
+        pull_open_groups_threshold=pull_threshold,
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(groupby)
+    groupby.connect(sink)
+    plan.add_source(open_schedule, join, port=0)
+    plan.add_source(bid_schedule, join, port=1)
+    return plan, join, groupby, sink
+
+
+def test_pull_threshold_validated(engine, cheap_cost_model):
+    from repro.tuples.schema import Schema
+
+    with pytest.raises(OperatorError):
+        GroupBy(
+            engine, cheap_cost_model, Schema.of("k", "v"), "k",
+            [sum_agg("v")], pull_open_groups_threshold=0,
+        )
+
+
+def test_groupby_pulls_and_gets_unblocked():
+    plan, join, groupby, sink = build(pull_threshold=4)
+    plan.run()
+    assert groupby.pull_requests_sent > 0
+    assert join.punctuations_propagated > 0
+    # Pulling kept the blocked-group count near the threshold: results
+    # streamed out before end-of-stream.
+    early = sum(1 for t in sink.tuple_arrival_times if t < sink.eos_time)
+    assert early > 0.5 * sink.tuple_count
+
+
+def test_without_pulling_groupby_stays_blocked():
+    plan, join, groupby, sink = build(pull_threshold=10_000)
+    plan.run()
+    assert groupby.pull_requests_sent == 0
+    # Nobody pulled, so punctuations were released only by the join's
+    # end-of-stream flush: every group result lands in the final moments.
+    assert all(t >= 0.95 * sink.eos_time for t in sink.tuple_arrival_times)
+
+
+def test_pulling_does_not_change_results():
+    _plan1, _j1, _g1, sink_pull = build(pull_threshold=4)
+    _plan1.run()
+    _plan2, _j2, _g2, sink_lazy = build(pull_threshold=10_000)
+    _plan2.run()
+    got_pull = sorted(t.values for t in sink_pull.results)
+    got_lazy = sorted(t.values for t in sink_lazy.results)
+    assert got_pull == got_lazy

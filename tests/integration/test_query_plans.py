@@ -1,0 +1,122 @@
+"""Integration tests: full query plans over realistic workloads.
+
+These mirror the paper's Figure 1 (c): equi-join two punctuated streams
+with PJoin, feed the output to a punctuation-aware group-by, and check
+that propagation unblocks the group-by long before end-of-stream.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.operators.groupby import GroupBy, sum_agg
+from repro.operators.sink import Sink
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.auction import (
+    BID_SCHEMA,
+    OPEN_SCHEMA,
+    AuctionSpec,
+    AuctionWorkloadGenerator,
+)
+from repro.workloads.sensors import SensorSpec, SensorWorkloadGenerator
+from repro.tuples.tuple import Tuple
+
+
+def build_auction_plan(propagation_mode="push_count"):
+    """The paper's motivating query: Open ⋈ Bid, grouped by item."""
+    spec = AuctionSpec(n_items=60, auction_duration_ms=80.0, seed=11)
+    open_schedule, bid_schedule = AuctionWorkloadGenerator(spec).generate()
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    config = PJoinConfig(
+        purge_threshold=1,
+        index_building="eager",
+        propagation_mode=propagation_mode,
+        propagate_count_threshold=5,
+    )
+    join = PJoin(
+        plan.engine, plan.cost_model, OPEN_SCHEMA, BID_SCHEMA,
+        "item_id", "item_id", config=config,
+    )
+    groupby = GroupBy(
+        plan.engine,
+        plan.cost_model,
+        join.out_schema,
+        "Open.item_id",
+        [sum_agg("bid_increase", "total_increase")],
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(groupby)
+    groupby.connect(sink)
+    plan.add_source(open_schedule, join, port=0, name="Open")
+    plan.add_source(bid_schedule, join, port=1, name="Bid")
+    return plan, spec, open_schedule, bid_schedule, join, groupby, sink
+
+
+def expected_totals(bid_schedule):
+    totals = defaultdict(float)
+    for _t, item in bid_schedule:
+        if isinstance(item, Tuple):
+            totals[item["item_id"]] += item["bid_increase"]
+    return totals
+
+
+class TestAuctionQuery:
+    def test_group_totals_match_direct_computation(self):
+        plan, _spec, _opens, bids, _join, _groupby, sink = build_auction_plan()
+        plan.run()
+        expected = expected_totals(bids)
+        got = {
+            r["Open.item_id"]: r["total_increase"]
+            for r in sink.results
+        }
+        # Only items with at least one bid appear in the join output.
+        assert got == {k: pytest.approx(v) for k, v in expected.items()}
+
+    def test_propagation_unblocks_groupby_before_eos(self):
+        plan, _spec, _opens, _bids, join, groupby, sink = build_auction_plan()
+        plan.run()
+        assert join.punctuations_propagated > 0
+        # Most group results were released before end-of-stream.
+        early = [t for t in sink.tuple_arrival_times if t < sink.eos_time]
+        assert len(early) > 0.5 * sink.tuple_count
+
+    def test_without_propagation_groupby_blocks_until_eos(self):
+        plan, _spec, _opens, _bids, join, groupby, sink = build_auction_plan(
+            propagation_mode="off"
+        )
+        plan.run()
+        assert join.punctuations_propagated == 0
+        # Every group result arrives only at end-of-stream.
+        assert all(t >= sink.eos_time for t in sink.tuple_arrival_times)
+
+    def test_join_state_stays_small(self):
+        plan, spec, _opens, _bids, join, _groupby, sink = build_auction_plan()
+        plan.run()
+        # All items closed: nothing left but possibly the tail.
+        assert join.total_state_size() < spec.n_items
+
+
+class TestSensorQuery:
+    def test_epoch_join_with_punctuated_retirement(self):
+        spec = SensorSpec(n_epochs=30, n_sensors=8, queries_per_epoch=2, seed=5)
+        readings, queries = SensorWorkloadGenerator(spec).generate()
+        plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+        from repro.workloads.sensors import QUERIES_SCHEMA, READINGS_SCHEMA
+
+        join = PJoin(
+            plan.engine, plan.cost_model, READINGS_SCHEMA, QUERIES_SCHEMA,
+            "epoch", "epoch", config=PJoinConfig(purge_threshold=1),
+        )
+        sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+        join.connect(sink)
+        plan.add_source(readings, join, port=0)
+        plan.add_source(queries, join, port=1)
+        plan.run()
+        # Every query joins all of its epoch's readings.
+        assert sink.tuple_count == spec.n_epochs * spec.n_sensors * \
+            spec.queries_per_epoch
+        # Retired epochs left the state.
+        assert join.total_state_size() < 3 * spec.n_sensors

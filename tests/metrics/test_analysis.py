@@ -1,0 +1,125 @@
+"""Unit tests for the series-analysis helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.analysis import (
+    first_crossover,
+    growth_ratio,
+    is_bounded,
+    linear_fit,
+    relative_level,
+    steadiness,
+)
+from repro.metrics.series import TimeSeries
+
+
+def series_of(points, name=""):
+    ts = TimeSeries(name)
+    for t, v in points:
+        ts.append(t, v)
+    return ts
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        ts = series_of([(t, 3.0 * t + 2.0) for t in range(10)])
+        slope, intercept = linear_fit(ts)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(2.0)
+
+    def test_flat_series(self):
+        ts = series_of([(t, 7.0) for t in range(5)])
+        slope, intercept = linear_fit(ts)
+        assert slope == pytest.approx(0.0)
+        assert intercept == pytest.approx(7.0)
+
+    def test_single_point(self):
+        assert linear_fit(series_of([(1.0, 5.0)])) == (0.0, 5.0)
+
+    def test_noisy_line_recovers_slope(self):
+        rng = random.Random(3)
+        ts = series_of(
+            [(t, 2.0 * t + rng.uniform(-1, 1)) for t in range(100)]
+        )
+        slope, _ = linear_fit(ts)
+        assert slope == pytest.approx(2.0, abs=0.05)
+
+
+class TestGrowth:
+    def test_growing_series_has_high_ratio(self):
+        ts = series_of([(t, float(t)) for t in range(100)])
+        assert growth_ratio(ts) > 0.9
+        assert not is_bounded(ts)
+
+    def test_plateau_is_bounded(self):
+        rng = random.Random(1)
+        ts = series_of([(t, 50.0 + rng.uniform(-5, 5)) for t in range(100)])
+        assert is_bounded(ts)
+
+    def test_empty_series(self):
+        assert growth_ratio(TimeSeries()) == 0.0
+
+
+class TestSteadiness:
+    def test_constant_rate_is_steady(self):
+        ts = series_of([(t, 10.0) for t in range(50)])
+        assert steadiness(ts) == pytest.approx(0.0)
+
+    def test_collapsing_rate_is_unsteady(self):
+        ts = series_of([(t, 100.0 / (1 + t)) for t in range(50)])
+        assert steadiness(ts) > 0.5
+
+    def test_warmup_window_is_ignored(self):
+        points = [(0.0, 0.0), (1.0, 0.0)] + [(t, 10.0) for t in range(2, 50)]
+        assert steadiness(series_of(points)) < 0.2
+
+
+class TestCrossover:
+    def test_detects_overtake(self):
+        slow_steady = series_of([(t, 2.0 * t) for t in range(20)])
+        fast_fading = series_of([(t, 10.0 + t * 0.5) for t in range(20)])
+        crossing = first_crossover(slow_steady, fast_fading)
+        assert crossing is not None
+        assert 6.0 <= crossing <= 8.0
+
+    def test_none_when_never_crossing(self):
+        low = series_of([(t, 1.0) for t in range(10)])
+        high = series_of([(t, 5.0) for t in range(10)])
+        assert first_crossover(low, high) is None
+
+    def test_after_parameter_skips_early_crossings(self):
+        a = series_of([(0.0, 0.0), (1.0, 10.0), (2.0, 0.0), (3.0, 10.0)])
+        b = series_of([(0.0, 5.0), (3.0, 5.0)])
+        assert first_crossover(a, b) == 1.0
+        assert first_crossover(a, b, after=1.5) == 3.0
+
+
+class TestRelativeLevel:
+    def test_ratio_of_means(self):
+        a = series_of([(t, 10.0) for t in range(10)])
+        b = series_of([(t, 40.0) for t in range(10)])
+        assert relative_level(a, b) == pytest.approx(0.25)
+
+    def test_zero_denominator_is_inf(self):
+        a = series_of([(t, 10.0) for t in range(3)])
+        b = series_of([(t, 0.0) for t in range(3)])
+        assert relative_level(a, b) == math.inf
+
+
+class TestOnRealExperiments:
+    def test_figure5_shapes_via_analysis(self):
+        """The analysis helpers agree with the paper on Figure 5's data:
+        XJoin's state grows, PJoin's is bounded and far lower."""
+        from repro.experiments.figures import figure5
+
+        result = figure5(scale=0.3)
+        pjoin = result.run("PJoin-1").state_series
+        xjoin = result.run("XJoin").state_series
+        assert is_bounded(pjoin)
+        assert not is_bounded(xjoin)
+        # The gap widens with run length; at 30% scale PJoin already
+        # sits well below a quarter of XJoin's level.
+        assert relative_level(pjoin, xjoin) < 0.25

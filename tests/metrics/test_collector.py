@@ -1,0 +1,54 @@
+"""Unit tests for the metrics sampler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricsCollector
+
+
+def test_samples_at_fixed_intervals(engine):
+    collector = MetricsCollector(engine, interval_ms=10.0)
+    counter = {"n": 0}
+    collector.register_gauge("n", lambda: counter["n"])
+    collector.start(horizon_ms=35.0)
+    engine.schedule(15.0, lambda: counter.update(n=5))
+    engine.run()
+    series = collector["n"]
+    assert series.times == [0.0, 10.0, 20.0, 30.0]
+    assert series.values == [0.0, 0.0, 5.0, 5.0]
+
+
+def test_interval_must_be_positive(engine):
+    with pytest.raises(SimulationError):
+        MetricsCollector(engine, interval_ms=0)
+
+
+def test_duplicate_gauge_rejected(engine):
+    collector = MetricsCollector(engine)
+    collector.register_gauge("x", lambda: 0)
+    with pytest.raises(SimulationError):
+        collector.register_gauge("x", lambda: 1)
+
+
+def test_register_after_start_rejected(engine):
+    collector = MetricsCollector(engine)
+    collector.start(horizon_ms=10.0)
+    with pytest.raises(SimulationError):
+        collector.register_gauge("x", lambda: 0)
+
+
+def test_double_start_rejected(engine):
+    collector = MetricsCollector(engine)
+    collector.start(horizon_ms=10.0)
+    with pytest.raises(SimulationError):
+        collector.start(horizon_ms=10.0)
+
+
+def test_multiple_gauges_sampled_together(engine):
+    collector = MetricsCollector(engine, interval_ms=5.0)
+    collector.register_gauge("a", lambda: 1)
+    collector.register_gauge("b", lambda: 2)
+    collector.start(horizon_ms=5.0)
+    engine.run()
+    assert collector["a"].values == [1.0, 1.0]
+    assert collector["b"].values == [2.0, 2.0]

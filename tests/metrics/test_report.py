@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+from repro.metrics.report import (
+    format_number,
+    render_ascii_chart,
+    render_table,
+    series_summary_row,
+)
+from repro.metrics.series import TimeSeries
+
+
+class TestFormatNumber:
+    def test_integers_group_thousands(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_large_floats_one_decimal(self):
+        assert format_number(1234.5) == "1,234.5"
+
+    def test_small_floats_more_precision(self):
+        assert format_number(0.1234) == "0.1234"
+        assert format_number(3.14159) == "3.14"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["name", "count"], [["pjoin", 10], ["xjoin", 2000]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert "2,000" in lines[3]
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderAsciiChart:
+    def test_bars_scale_to_global_max(self):
+        big = TimeSeries("big")
+        small = TimeSeries("small")
+        for t in range(10):
+            big.append(float(t), 100.0)
+            small.append(float(t), 10.0)
+        out = render_ascii_chart({"big": big, "small": small}, n_buckets=2, width=10)
+        lines = out.splitlines()
+        big_bars = [l for l in lines[lines.index("big:") + 1:][:2]]
+        assert "##########" in big_bars[0]
+
+    def test_empty_series_handled(self):
+        out = render_ascii_chart({"x": TimeSeries("x")}, title="t")
+        assert "(no data)" in out
+
+    def test_title_included(self):
+        ts = TimeSeries("s")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 1.0)
+        assert "my title" in render_ascii_chart({"s": ts}, title="my title")
+
+
+def test_series_summary_row():
+    ts = TimeSeries("s")
+    ts.append(0.0, 1.0)
+    ts.append(1.0, 3.0)
+    row = series_summary_row("s", ts)
+    assert row[0] == "s"
+    assert row[2] == 3.0

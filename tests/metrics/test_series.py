@@ -1,0 +1,78 @@
+"""Unit tests for time series."""
+
+import pytest
+
+from repro.metrics.series import TimeSeries
+
+
+@pytest.fixture
+def series():
+    ts = TimeSeries("s")
+    for t, v in [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0), (3.0, 20.0)]:
+        ts.append(t, v)
+    return ts
+
+
+class TestAppend:
+    def test_time_must_not_decrease(self, series):
+        with pytest.raises(ValueError, match="decreases"):
+            series.append(1.0, 5.0)
+
+    def test_equal_times_allowed(self, series):
+        series.append(3.0, 25.0)
+        assert len(series) == 5
+
+
+class TestStatistics:
+    def test_mean_max_min_last(self, series):
+        assert series.mean() == 12.5
+        assert series.maximum() == 20.0
+        assert series.minimum() == 0.0
+        assert series.last() == 20.0
+
+    def test_empty_series_statistics(self):
+        empty = TimeSeries()
+        assert empty.mean() == 0.0
+        assert empty.maximum() == 0.0
+        assert not empty
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.append(0.0, 0.0)
+        ts.append(9.0, 0.0)  # value 0 for 9 time units
+        ts.append(10.0, 100.0)  # value 0 for 1 more unit (then 100 at end)
+        assert ts.time_weighted_mean() == 0.0
+
+    def test_value_at(self, series):
+        assert series.value_at(-1.0) == 0.0
+        assert series.value_at(1.5) == 10.0
+        assert series.value_at(99.0) == 20.0
+
+    def test_window_mean(self, series):
+        assert series.window_mean(1.0, 3.0) == 15.0
+        assert series.window_mean(50.0, 60.0) == 0.0
+
+
+class TestDerived:
+    def test_rate_per_ms(self, series):
+        rate = series.rate_per_ms()
+        assert rate.values == [10.0, 10.0, 0.0]
+        assert rate.times == [1.0, 2.0, 3.0]
+
+    def test_rate_skips_zero_dt(self):
+        ts = TimeSeries()
+        ts.append(0.0, 0.0)
+        ts.append(0.0, 5.0)
+        ts.append(1.0, 10.0)
+        # The zero-dt step is skipped; the last step differences against
+        # the co-timed sample.
+        assert ts.rate_per_ms().values == [5.0]
+
+    def test_downsampled(self, series):
+        down = series.downsampled(2)
+        assert down.times == [0.0, 2.0]
+        with pytest.raises(ValueError):
+            series.downsampled(0)
+
+    def test_points_iteration(self, series):
+        assert list(series.points())[0] == (0.0, 0.0)

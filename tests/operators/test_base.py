@@ -1,0 +1,191 @@
+"""Unit tests for the single-server operator model.
+
+These exercise the execution semantics every operator relies on:
+serialised processing with virtual costs, queueing under saturation,
+end-of-stream coordination over multiple ports, delivery timestamps and
+background tasks.
+"""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.base import Operator
+from repro.operators.sink import Sink
+from repro.sim.costs import CostModel
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("x")
+
+
+class FixedCostOperator(Operator):
+    """Forwards every tuple downstream at a fixed per-item cost."""
+
+    def __init__(self, engine, cost, n_inputs=1):
+        super().__init__(engine, CostModel(), n_inputs=n_inputs)
+        self.cost = cost
+        self.handled_at = []
+        self.idle_calls = 0
+
+    def handle(self, item, port):
+        self.handled_at.append(self.engine.now)
+        self.emit(item)
+        return self.cost
+
+    def on_idle(self):
+        self.idle_calls += 1
+
+
+def tup(i, ts=0.0):
+    return Tuple(SCHEMA, (i,), ts=ts)
+
+
+class TestProcessing:
+    def test_items_are_serialised_by_cost(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=5.0)
+        sink = Sink(engine, cheap_cost_model)
+        op.connect(sink)
+        engine.schedule(0.0, lambda: op.push(tup(0)))
+        engine.schedule(1.0, lambda: op.push(tup(1)))
+        engine.run()
+        # Second item waits for the first to complete at t=5.
+        assert op.handled_at == [0.0, 5.0]
+        assert sink.tuple_arrival_times == [5.0, 10.0]
+
+    def test_busy_time_accumulates(self, engine):
+        op = FixedCostOperator(engine, cost=5.0)
+        op.push(tup(0))
+        op.push(tup(1))
+        engine.run()
+        assert op.busy_time == 10.0
+
+    def test_queue_length_peaks_under_burst(self, engine):
+        op = FixedCostOperator(engine, cost=10.0)
+        for i in range(5):
+            op.push(tup(i))
+        assert op.max_queue_length == 4  # first started immediately
+        engine.run()
+        assert op.queue_length == 0
+
+    def test_zero_cost_burst_does_not_recurse(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=0.0)
+        sink = Sink(engine, cheap_cost_model)
+        op.connect(sink)
+        for i in range(5000):  # would overflow the stack if recursive
+            op.push(tup(i))
+        engine.run()
+        assert sink.tuple_count == 5000
+
+    def test_negative_cost_rejected(self, engine):
+        class Bad(Operator):
+            def handle(self, item, port):
+                return -1.0
+
+        op = Bad(engine, CostModel())
+        with pytest.raises(OperatorError, match="negative"):
+            op.push(tup(0))
+
+    def test_emitted_items_stamped_with_completion_time(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=5.0)
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        op.connect(sink)
+        op.push(tup(0, ts=0.0))
+        engine.run()
+        assert sink.results[0].ts == 5.0
+
+
+class TestEndOfStream:
+    def test_single_port_finishes(self, engine):
+        op = FixedCostOperator(engine, cost=1.0)
+        op.push(tup(0))
+        op.push(END_OF_STREAM)
+        engine.run()
+        assert op.finished
+
+    def test_waits_for_all_ports(self, engine):
+        op = FixedCostOperator(engine, cost=1.0, n_inputs=2)
+        op.push(END_OF_STREAM, port=0)
+        engine.run()
+        assert not op.finished
+        op.push(END_OF_STREAM, port=1)
+        engine.run()
+        assert op.finished
+
+    def test_eos_propagates_downstream(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=1.0)
+        sink = Sink(engine, cheap_cost_model)
+        op.connect(sink)
+        op.push(END_OF_STREAM)
+        engine.run()
+        assert sink.finished
+
+    def test_push_after_finish_rejected(self, engine):
+        op = FixedCostOperator(engine, cost=1.0)
+        op.push(END_OF_STREAM)
+        engine.run()
+        with pytest.raises(OperatorError, match="finished"):
+            op.push(tup(0))
+
+    def test_on_finish_cost_and_emissions(self, engine, cheap_cost_model):
+        class Flusher(FixedCostOperator):
+            def on_finish(self):
+                self.emit(tup(99))
+                return 3.0
+
+        op = Flusher(engine, cost=1.0)
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        op.connect(sink)
+        op.push(END_OF_STREAM)
+        engine.run()
+        assert sink.tuple_count == 1
+        assert sink.results[0].ts == 3.0
+        assert sink.finished
+
+
+class TestWiring:
+    def test_connect_returns_downstream(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=1.0)
+        sink = Sink(engine, cheap_cost_model)
+        assert op.connect(sink) is sink
+
+    def test_double_connect_rejected(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=1.0)
+        op.connect(Sink(engine, cheap_cost_model))
+        with pytest.raises(OperatorError):
+            op.connect(Sink(engine, cheap_cost_model))
+
+    def test_bad_port_rejected(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=1.0)
+        with pytest.raises(OperatorError):
+            op.connect(Sink(engine, cheap_cost_model), port=3)
+        with pytest.raises(OperatorError):
+            op.push(tup(0), port=7)
+
+    def test_zero_inputs_rejected(self, engine):
+        with pytest.raises(OperatorError):
+            FixedCostOperator(engine, cost=1.0, n_inputs=0)
+
+
+class TestIdleAndBackground:
+    def test_on_idle_called_when_queue_drains(self, engine):
+        op = FixedCostOperator(engine, cost=1.0)
+        op.push(tup(0))
+        engine.run()
+        assert op.idle_calls >= 1
+
+    def test_background_task_occupies_operator(self, engine, cheap_cost_model):
+        op = FixedCostOperator(engine, cost=1.0)
+        sink = Sink(engine, cheap_cost_model)
+        op.connect(sink)
+        op.emit(tup(42))
+        op.run_background_task(5.0)
+        assert op._busy
+        engine.run()
+        assert sink.tuple_arrival_times == [5.0]
+
+    def test_background_task_while_busy_rejected(self, engine):
+        op = FixedCostOperator(engine, cost=10.0)
+        op.push(tup(0))
+        with pytest.raises(OperatorError):
+            op.run_background_task(1.0)

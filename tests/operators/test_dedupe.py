@@ -1,0 +1,88 @@
+"""Unit tests for the timestamp duplicate-prevention rules."""
+
+from repro.operators.dedupe import (
+    already_produced,
+    stage1_covered,
+    stage2_covered,
+    stage2_covered_one_side,
+)
+from repro.storage.partition import StateEntry
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key")
+
+
+def entry(ats, dts=None):
+    e = StateEntry(Tuple(SCHEMA, (1,), ts=ats), 1, ats=ats)
+    if dts is not None:
+        e.dts = dts
+    return e
+
+
+class TestStage1:
+    def test_both_in_memory_is_covered(self):
+        assert stage1_covered(entry(1.0), entry(2.0))
+
+    def test_later_arrival_after_flush_not_covered(self):
+        a = entry(1.0, dts=3.0)
+        b = entry(5.0)
+        assert not stage1_covered(a, b)
+        assert not stage1_covered(b, a)  # symmetric
+
+    def test_later_arrival_before_flush_covered(self):
+        a = entry(1.0, dts=10.0)
+        b = entry(5.0)
+        assert stage1_covered(a, b)
+
+    def test_boundary_flush_at_arrival_time_is_covered(self):
+        # The flush happened inside the arriving tuple's own handling
+        # step, after its probe — serialised handles guarantee it.
+        a = entry(1.0, dts=5.0)
+        b = entry(5.0)
+        assert stage1_covered(a, b)
+
+
+class TestStage2:
+    def test_probe_after_flush_with_new_memory_tuple_covered(self):
+        disk = entry(1.0, dts=2.0)
+        mem = entry(3.0)
+        assert stage2_covered_one_side(disk, mem, [5.0])
+
+    def test_probe_before_flush_not_covered(self):
+        disk = entry(1.0, dts=6.0)
+        mem = entry(3.0)
+        assert not stage2_covered_one_side(disk, mem, [5.0])
+
+    def test_memory_tuple_older_than_previous_probe_not_covered(self):
+        disk = entry(1.0, dts=2.0)
+        mem = entry(3.0)
+        # mem was in memory for the probe at 4.0, so the probe at 8.0
+        # skipped it; only the 4.0 probe covers the pair.
+        assert stage2_covered_one_side(disk, mem, [4.0, 8.0])
+        # If the pair missed the first probe (disk flushed later), the
+        # second probe does NOT cover it either (mem not new anymore).
+        late_disk = entry(1.0, dts=5.0)
+        assert not stage2_covered_one_side(late_disk, mem, [4.0, 8.0])
+
+    def test_memory_tuple_flushed_before_probe_not_covered(self):
+        disk = entry(1.0, dts=2.0)
+        mem = entry(3.0, dts=4.0)
+        assert not stage2_covered_one_side(disk, mem, [5.0])
+
+    def test_two_sided_check(self):
+        a = entry(1.0, dts=2.0)
+        b = entry(3.0)
+        assert stage2_covered(a, b, [5.0], [])
+        assert stage2_covered(b, a, [], [5.0])
+        assert not stage2_covered(a, b, [], [])
+
+
+class TestAlreadyProduced:
+    def test_stage1_or_stage2(self):
+        mem_a, mem_b = entry(1.0), entry(2.0)
+        assert already_produced(mem_a, mem_b, [], [])
+        disk = entry(1.0, dts=2.0)
+        late = entry(3.0)
+        assert not already_produced(disk, late, [], [])
+        assert already_produced(disk, late, [5.0], [])

@@ -1,0 +1,208 @@
+"""Unit tests for duplicate elimination and the punctuation sort."""
+
+import pytest
+
+from repro.operators.dupelim import DuplicateElimination, PunctuationSort
+from repro.operators.sink import Sink
+from repro.punctuations.patterns import make_range
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "v", name="S")
+
+
+@pytest.fixture
+def dupelim_plan(engine, cheap_cost_model):
+    op = DuplicateElimination(engine, cheap_cost_model, SCHEMA)
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    op.connect(sink)
+    return op, sink
+
+
+@pytest.fixture
+def sort_plan(engine, cheap_cost_model):
+    op = PunctuationSort(engine, cheap_cost_model, SCHEMA, "key")
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    op.connect(sink)
+    return op, sink
+
+
+def tup(key, v=0):
+    return Tuple(SCHEMA, (key, v))
+
+
+class TestDuplicateElimination:
+    def test_suppresses_repeats(self, engine, dupelim_plan):
+        op, sink = dupelim_plan
+        for item in (tup(1), tup(1), tup(2), tup(1)):
+            op.push(item)
+        engine.run()
+        assert sink.tuple_count == 2
+        assert op.duplicates_suppressed == 2
+
+    def test_distinguishes_all_fields(self, engine, dupelim_plan):
+        op, sink = dupelim_plan
+        op.push(tup(1, 0))
+        op.push(tup(1, 1))
+        engine.run()
+        assert sink.tuple_count == 2
+
+    def test_punctuation_purges_seen_set(self, engine, dupelim_plan):
+        op, sink = dupelim_plan
+        op.push(tup(1))
+        op.push(tup(2))
+        engine.run()
+        assert op.state_size == 2
+        op.push(Punctuation.on_field(SCHEMA, "key", 1))
+        engine.run()
+        assert op.state_size == 1
+        assert op.entries_purged == 1
+
+    def test_punctuation_passes_through(self, engine, dupelim_plan):
+        op, sink = dupelim_plan
+        op.push(Punctuation.on_field(SCHEMA, "key", 1))
+        engine.run()
+        assert sink.punctuation_count == 1
+
+    def test_purge_does_not_reintroduce_duplicates_on_valid_streams(
+        self, engine, dupelim_plan
+    ):
+        """After purging key=1 the stream may not send key=1 again
+        (that would be a punctuation violation), so output stays
+        duplicate-free."""
+        op, sink = dupelim_plan
+        op.push(tup(1))
+        op.push(Punctuation.on_field(SCHEMA, "key", 1))
+        op.push(tup(2))
+        engine.run()
+        assert [t["key"] for t in sink.results] == [1, 2]
+
+
+class TestPunctuationSort:
+    def below(self, bound):
+        return Punctuation.on_field(
+            SCHEMA, "key", make_range(None, bound, high_inclusive=False)
+        )
+
+    def test_blocks_until_punctuation(self, engine, sort_plan):
+        op, sink = sort_plan
+        op.push(tup(5))
+        op.push(tup(3))
+        engine.run()
+        assert sink.tuple_count == 0
+        assert op.buffered == 2
+
+    def test_emits_sorted_prefix_below_frontier(self, engine, sort_plan):
+        op, sink = sort_plan
+        for key in (5, 3, 9, 1):
+            op.push(tup(key))
+        op.push(self.below(6))
+        engine.run()
+        assert [t["key"] for t in sink.results] == [1, 3, 5]
+        assert op.buffered == 1
+
+    def test_frontier_punctuation_forwarded(self, engine, sort_plan):
+        op, sink = sort_plan
+        op.push(self.below(6))
+        engine.run()
+        assert sink.punctuation_count == 1
+
+    def test_successive_frontiers_yield_globally_sorted_output(
+        self, engine, sort_plan
+    ):
+        """Bounded disorder: keys arrive shuffled within blocks of 4;
+        after each block completes, a watermark below the next block's
+        start is a *valid* promise and releases a sorted prefix."""
+        op, sink = sort_plan
+        import random
+
+        rng = random.Random(7)
+        keys = []
+        for block in range(10):
+            chunk = list(range(4 * block, 4 * block + 4))
+            rng.shuffle(chunk)
+            keys.extend(chunk)
+            for key in chunk:
+                op.push(tup(key))
+            op.push(self.below(4 * block + 4))
+        op.push(END_OF_STREAM)
+        engine.run()
+        assert [t["key"] for t in sink.results] == sorted(keys)
+        assert keys != sorted(keys)  # the input really was disordered
+
+    def test_constant_punctuation_absorbed(self, engine, sort_plan):
+        op, sink = sort_plan
+        op.push(tup(5))
+        op.push(Punctuation.on_field(SCHEMA, "key", 5))
+        engine.run()
+        assert sink.tuple_count == 0
+        assert op.punctuations_absorbed == 1
+
+    def test_punctuation_constraining_other_field_absorbed(self, engine, sort_plan):
+        op, sink = sort_plan
+        op.push(tup(5))
+        op.push(
+            Punctuation.from_mapping(
+                SCHEMA,
+                {"key": make_range(None, 10, high_inclusive=False), "v": 1},
+            )
+        )
+        engine.run()
+        # v is constrained: key<10 tuples with other v values may still
+        # arrive, so nothing may be released.
+        assert sink.tuple_count == 0
+        assert op.punctuations_absorbed == 1
+
+    def test_eos_flushes_sorted(self, engine, sort_plan):
+        op, sink = sort_plan
+        for key in (5, 3, 9):
+            op.push(tup(key))
+        op.push(END_OF_STREAM)
+        engine.run()
+        assert [t["key"] for t in sink.results] == [3, 5, 9]
+        assert op.buffered == 0
+
+    def test_inclusive_frontier(self, engine, sort_plan):
+        op, sink = sort_plan
+        op.push(tup(5))
+        op.push(
+            Punctuation.on_field(SCHEMA, "key", make_range(None, 5))
+        )
+        engine.run()
+        assert sink.tuple_count == 1
+
+
+class TestWithDerivedWatermarks:
+    def test_sort_downstream_of_ordered_arrival_derivation(
+        self, engine, cheap_cost_model
+    ):
+        """An ordered source + derivation produces watermarks that let a
+        sort on a *different* granularity stream its output."""
+        from repro.punctuations.derive import (
+            OrderedArrivalPunctuator,
+            annotate_schedule,
+        )
+        from repro.streams.source import StreamSource
+
+        # Keys arrive in blocks (0,0,1,1,2,2,...) — non-decreasing.
+        schedule = [
+            (float(i), Tuple(SCHEMA, (i // 2, 10 - i), ts=float(i)))
+            for i in range(10)
+        ]
+        annotated = annotate_schedule(
+            schedule, OrderedArrivalPunctuator(SCHEMA, "key")
+        )
+        op = PunctuationSort(engine, cheap_cost_model, SCHEMA, "key")
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        op.connect(sink)
+        source = StreamSource(engine, annotated)
+        source.connect(op)
+        source.start()
+        engine.run()
+        keys = [t["key"] for t in sink.results]
+        assert keys == sorted(keys)
+        assert sink.tuple_count == 10
+        # Some output streamed out before end-of-stream.
+        assert any(t < sink.eos_time for t in sink.tuple_arrival_times)

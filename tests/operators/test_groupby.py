@@ -1,0 +1,141 @@
+"""Unit tests for the punctuation-aware group-by."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.groupby import (
+    GroupBy,
+    avg_agg,
+    count_agg,
+    max_agg,
+    sum_agg,
+)
+from repro.operators.sink import Sink
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("item_id", "bid_increase")
+
+
+@pytest.fixture
+def plan(engine, cheap_cost_model):
+    groupby = GroupBy(
+        engine,
+        cheap_cost_model,
+        SCHEMA,
+        "item_id",
+        [sum_agg("bid_increase"), count_agg()],
+    )
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    groupby.connect(sink)
+    return groupby, sink
+
+
+def bid(item_id, inc):
+    return Tuple(SCHEMA, (item_id, inc))
+
+
+class TestBlockingBehaviour:
+    def test_no_output_without_punctuation_or_eos(self, engine, plan):
+        groupby, sink = plan
+        groupby.push(bid(1, 10))
+        groupby.push(bid(1, 5))
+        engine.run()
+        assert sink.tuple_count == 0
+        assert groupby.open_groups == 1
+
+    def test_punctuation_unblocks_matching_group(self, engine, plan):
+        groupby, sink = plan
+        groupby.push(bid(1, 10))
+        groupby.push(bid(1, 5))
+        groupby.push(bid(2, 7))
+        groupby.push(Punctuation.on_field(SCHEMA, "item_id", 1))
+        engine.run()
+        assert sink.tuple_count == 1
+        result = sink.results[0]
+        assert result.as_dict() == {"item_id": 1, "sum_bid_increase": 15, "count": 2}
+        assert groupby.open_groups == 1  # item 2 still open
+
+    def test_punctuation_forwarded_on_output_schema(self, engine, plan):
+        groupby, sink = plan
+        groupby.push(bid(1, 10))
+        groupby.push(Punctuation.on_field(SCHEMA, "item_id", 1))
+        engine.run()
+        assert sink.punctuation_count == 1
+        out = sink.punctuations[0]
+        assert out.schema is groupby.out_schema
+        assert out.pattern_for("item_id").matches(1)
+
+    def test_range_punctuation_closes_many_groups(self, engine, plan):
+        groupby, sink = plan
+        for item in range(5):
+            groupby.push(bid(item, item))
+        groupby.push(Punctuation.on_field(SCHEMA, "item_id", (0, 2)))
+        engine.run()
+        assert sink.tuple_count == 3
+        assert groupby.open_groups == 2
+
+    def test_punctuation_for_empty_group_emits_nothing_but_forwards(
+        self, engine, plan
+    ):
+        groupby, sink = plan
+        groupby.push(Punctuation.on_field(SCHEMA, "item_id", 99))
+        engine.run()
+        assert sink.tuple_count == 0
+        assert sink.punctuation_count == 1
+
+    def test_non_group_punctuation_absorbed(self, engine, plan):
+        groupby, sink = plan
+        groupby.push(bid(1, 10))
+        groupby.push(
+            Punctuation.from_mapping(SCHEMA, {"item_id": 1, "bid_increase": 5})
+        )
+        engine.run()
+        assert sink.tuple_count == 0
+        assert groupby.punctuations_absorbed == 1
+
+    def test_eos_flushes_open_groups(self, engine, plan):
+        groupby, sink = plan
+        groupby.push(bid(1, 10))
+        groupby.push(bid(2, 1))
+        groupby.push(END_OF_STREAM)
+        engine.run()
+        assert sink.tuple_count == 2
+        assert groupby.open_groups == 0
+        assert sink.finished
+
+
+class TestAggregates:
+    def test_avg_and_max(self, engine, cheap_cost_model):
+        groupby = GroupBy(
+            engine,
+            cheap_cost_model,
+            SCHEMA,
+            "item_id",
+            [avg_agg("bid_increase"), max_agg("bid_increase")],
+        )
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        groupby.connect(sink)
+        groupby.push(bid(1, 10))
+        groupby.push(bid(1, 20))
+        groupby.push(Punctuation.on_field(SCHEMA, "item_id", 1))
+        engine.run()
+        result = sink.results[0]
+        assert result["avg_bid_increase"] == 15.0
+        assert result["max_bid_increase"] == 20
+
+    def test_needs_at_least_one_aggregate(self, engine, cheap_cost_model):
+        with pytest.raises(OperatorError):
+            GroupBy(engine, cheap_cost_model, SCHEMA, "item_id", [])
+
+    def test_custom_output_names(self, engine, cheap_cost_model):
+        groupby = GroupBy(
+            engine,
+            cheap_cost_model,
+            SCHEMA,
+            "item_id",
+            [sum_agg("bid_increase", "total")],
+        )
+        assert groupby.out_schema.field_names == ("item_id", "total")

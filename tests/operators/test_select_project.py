@@ -1,0 +1,87 @@
+"""Unit tests for selection and projection, incl. punctuation rules."""
+
+import pytest
+
+from repro.operators.project import Project
+from repro.operators.select import Select
+from repro.operators.sink import Sink
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "region", "value")
+
+
+@pytest.fixture
+def pipeline(engine, cheap_cost_model):
+    """Build op→sink and return (op, sink, run)."""
+
+    def build(op):
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        op.connect(sink)
+
+        def run(*items):
+            for item in items:
+                op.push(item)
+            engine.run()
+            return sink
+
+        return run
+
+    return build
+
+
+class TestSelect:
+    def test_filters_tuples(self, engine, cheap_cost_model, pipeline):
+        select = Select(engine, cheap_cost_model, lambda t: t["value"] > 5)
+        run = pipeline(select)
+        sink = run(
+            Tuple(SCHEMA, (1, "n", 10)),
+            Tuple(SCHEMA, (2, "n", 3)),
+        )
+        assert [t["key"] for t in sink.results] == [1]
+        assert select.tuples_dropped == 1
+
+    def test_passes_all_punctuations(self, engine, cheap_cost_model, pipeline):
+        select = Select(engine, cheap_cost_model, lambda t: False)
+        run = pipeline(select)
+        sink = run(
+            Tuple(SCHEMA, (1, "n", 10)),
+            Punctuation.on_field(SCHEMA, "key", 1),
+        )
+        # The tuple is dropped but the promise still holds downstream.
+        assert sink.tuple_count == 0
+        assert sink.punctuation_count == 1
+
+
+class TestProject:
+    def test_projects_tuple_values(self, engine, cheap_cost_model, pipeline):
+        project = Project(engine, cheap_cost_model, SCHEMA, ["value", "key"])
+        run = pipeline(project)
+        sink = run(Tuple(SCHEMA, (1, "n", 10)))
+        assert sink.results[0].values == (10, 1)
+        assert project.out_schema.field_names == ("value", "key")
+
+    def test_punctuation_survives_when_dropped_fields_are_wildcards(
+        self, engine, cheap_cost_model, pipeline
+    ):
+        project = Project(engine, cheap_cost_model, SCHEMA, ["key"])
+        run = pipeline(project)
+        sink = run(Punctuation.on_field(SCHEMA, "key", 7))
+        assert sink.punctuation_count == 1
+        out = sink.punctuations[0]
+        assert out.schema.field_names == ("key",)
+        assert out.pattern_for("key").matches(7)
+
+    def test_punctuation_absorbed_when_dropped_field_constrained(
+        self, engine, cheap_cost_model, pipeline
+    ):
+        project = Project(engine, cheap_cost_model, SCHEMA, ["key"])
+        run = pipeline(project)
+        # Constrains "region", which is projected away: the projected
+        # promise would be too strong, so it must not be emitted.
+        sink = run(
+            Punctuation.from_mapping(SCHEMA, {"key": 7, "region": "north"})
+        )
+        assert sink.punctuation_count == 0
+        assert project.punctuations_absorbed == 1

@@ -1,0 +1,68 @@
+"""Unit tests for the symmetric hash join."""
+
+import pytest
+
+from repro.operators.shj import SymmetricHashJoin
+from repro.operators.sink import Sink
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.tuple import Tuple
+
+
+@pytest.fixture
+def plan(engine, cheap_cost_model, ab_schemas):
+    schema_a, schema_b = ab_schemas
+    join = SymmetricHashJoin(
+        engine, cheap_cost_model, schema_a, schema_b, "key", "key"
+    )
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    join.connect(sink)
+    return join, sink, schema_a, schema_b
+
+
+def test_joins_matching_keys(engine, plan):
+    join, sink, schema_a, schema_b = plan
+    join.push(Tuple(schema_a, (1, 100)), 0)
+    join.push(Tuple(schema_b, (1, 200)), 1)
+    join.push(Tuple(schema_b, (2, 300)), 1)
+    engine.run()
+    assert sink.tuple_count == 1
+    assert sink.results[0].values == (1, 100, 1, 200)
+
+
+def test_is_symmetric(engine, plan):
+    join, sink, schema_a, schema_b = plan
+    join.push(Tuple(schema_b, (1, 200)), 1)
+    join.push(Tuple(schema_a, (1, 100)), 0)
+    engine.run()
+    # Left values still come first regardless of arrival order.
+    assert sink.results[0].values == (1, 100, 1, 200)
+
+
+def test_many_to_many(engine, plan):
+    join, sink, schema_a, schema_b = plan
+    for v in (1, 2):
+        join.push(Tuple(schema_a, (7, v)), 0)
+    for v in (3, 4, 5):
+        join.push(Tuple(schema_b, (7, v)), 1)
+    engine.run()
+    assert sink.tuple_count == 6
+
+
+def test_state_never_shrinks(engine, plan):
+    join, sink, schema_a, schema_b = plan
+    for i in range(10):
+        join.push(Tuple(schema_a, (i, i)), 0)
+    join.push(Punctuation.on_field(schema_a, "key", 3), 0)
+    engine.run()
+    assert join.total_state_size() == 10
+
+
+def test_absorbs_punctuations(engine, plan):
+    join, sink, schema_a, schema_b = plan
+    join.push(Punctuation.on_field(schema_a, "key", 1), 0)
+    join.push(END_OF_STREAM, 0)
+    join.push(END_OF_STREAM, 1)
+    engine.run()
+    assert sink.punctuation_count == 0
+    assert sink.finished

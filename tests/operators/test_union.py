@@ -1,0 +1,100 @@
+"""Unit tests for the union operator's punctuation semantics."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.sink import Sink
+from repro.operators.union import Union
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "v", name="S")
+
+
+@pytest.fixture
+def plan(engine, cheap_cost_model):
+    union = Union(engine, cheap_cost_model, SCHEMA, n_inputs=2)
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    union.connect(sink)
+    return union, sink
+
+
+def test_needs_two_inputs(engine, cheap_cost_model):
+    with pytest.raises(OperatorError):
+        Union(engine, cheap_cost_model, SCHEMA, n_inputs=1)
+
+
+def test_tuples_pass_through_from_all_inputs(engine, plan):
+    union, sink = plan
+    union.push(Tuple(SCHEMA, (1, 0)), 0)
+    union.push(Tuple(SCHEMA, (2, 0)), 1)
+    engine.run()
+    assert sink.tuple_count == 2
+
+
+def test_punctuation_held_until_all_inputs_promise(engine, plan):
+    union, sink = plan
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 0)
+    engine.run()
+    assert sink.punctuation_count == 0
+    assert union.pending_punctuations == 1
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 1)
+    engine.run()
+    assert sink.punctuation_count == 1
+    assert union.pending_punctuations == 0
+    assert union.punctuations_merged == 1
+
+
+def test_repeated_promise_from_same_input_does_not_release(engine, plan):
+    union, sink = plan
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 0)
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 0)
+    engine.run()
+    assert sink.punctuation_count == 0
+
+
+def test_soundness_late_tuple_from_other_input(engine, plan):
+    """The whole point: input 1 can still deliver key=7 after input 0
+    punctuated it, so nothing was promised downstream yet."""
+    union, sink = plan
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 0)
+    union.push(Tuple(SCHEMA, (7, 1)), 1)
+    engine.run()
+    assert sink.punctuation_count == 0
+    assert sink.tuple_count == 1
+
+
+def test_non_constant_punctuations_absorbed(engine, plan):
+    union, sink = plan
+    union.push(Punctuation.on_field(SCHEMA, "key", (1, 5)), 0)
+    union.push(
+        Punctuation.from_mapping(SCHEMA, {"key": 1, "v": 2}), 0
+    )
+    engine.run()
+    assert union.punctuations_absorbed == 2
+    assert sink.punctuation_count == 0
+
+
+def test_three_way_union(engine, cheap_cost_model):
+    union = Union(engine, cheap_cost_model, SCHEMA, n_inputs=3)
+    sink = Sink(engine, cheap_cost_model, keep_items=True)
+    union.connect(sink)
+    for port in (0, 1):
+        union.push(Punctuation.on_field(SCHEMA, "key", 7), port)
+    engine.run()
+    assert sink.punctuation_count == 0
+    union.push(Punctuation.on_field(SCHEMA, "key", 7), 2)
+    engine.run()
+    assert sink.punctuation_count == 1
+
+
+def test_eos_requires_all_inputs(engine, plan):
+    union, sink = plan
+    union.push(END_OF_STREAM, 0)
+    engine.run()
+    assert not sink.finished
+    union.push(END_OF_STREAM, 1)
+    engine.run()
+    assert sink.finished

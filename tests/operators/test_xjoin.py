@@ -1,0 +1,166 @@
+"""Unit and integration tests for the XJoin comparator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.operators.sink import Sink
+from repro.operators.xjoin import XJoin
+from repro.punctuations.punctuation import Punctuation
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.streams.source import StreamSource
+from repro.tuples.tuple import Tuple
+from repro.workloads.generator import generate_workload
+from repro.workloads.reference import reference_join_multiset
+
+
+def build_xjoin(plan, workload, **kwargs):
+    return XJoin(
+        plan.engine,
+        plan.cost_model,
+        workload.schemas[0],
+        workload.schemas[1],
+        "key",
+        "key",
+        **kwargs,
+    )
+
+
+def run_workload(workload, **xjoin_kwargs):
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    join = build_xjoin(plan, workload, **xjoin_kwargs)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0)
+    plan.add_source(workload.schedule_b, join, port=1)
+    plan.run()
+    return join, sink
+
+
+def reference_of(workload):
+    return reference_join_multiset(
+        workload.schedule_a,
+        workload.schedule_b,
+        workload.schemas[0],
+        workload.schemas[1],
+    )
+
+
+class TestValidation:
+    def test_memory_threshold_bounds(self, engine, cheap_cost_model, ab_schemas):
+        schema_a, schema_b = ab_schemas
+        with pytest.raises(ConfigError):
+            XJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key",
+                  memory_threshold=1)
+        with pytest.raises(ConfigError):
+            XJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key",
+                  disk_join_idle_ms=0)
+
+
+class TestBasicJoin:
+    def test_correct_without_memory_pressure(self):
+        workload = generate_workload(
+            n_tuples_per_stream=800, punct_spacing_a=20, punct_spacing_b=20, seed=1
+        )
+        join, sink = run_workload(workload)
+        assert Counter(dict(sink.result_multiset())) == reference_of(workload)
+        assert join.spills == 0
+
+    def test_absorbs_punctuations(self, engine, cheap_cost_model, ab_schemas):
+        schema_a, schema_b = ab_schemas
+        join = XJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key")
+        join.push(Punctuation.on_field(schema_a, "key", 1), 0)
+        engine.run()
+        assert join.punctuations_absorbed == 1
+        assert join.total_state_size() == 0
+
+
+class TestMemoryOverflow:
+    @pytest.mark.parametrize("threshold", [50, 120, 400])
+    def test_correct_under_memory_pressure(self, threshold):
+        workload = generate_workload(
+            n_tuples_per_stream=1200, punct_spacing_a=15, punct_spacing_b=25, seed=4
+        )
+        join, sink = run_workload(workload, memory_threshold=threshold)
+        assert join.spills > 0
+        assert Counter(dict(sink.result_multiset())) == reference_of(workload)
+
+    def test_memory_stays_under_threshold_after_handling(self):
+        workload = generate_workload(
+            n_tuples_per_stream=600, punct_spacing_a=None, punct_spacing_b=None,
+            seed=4,
+        )
+        join, _sink = run_workload(workload, memory_threshold=100)
+        assert join.memory_state_size() < 100
+        # Nothing is lost: total state equals all inserted tuples.
+        assert join.total_state_size() == 1200
+
+    def test_disk_accounting_matches_spills(self):
+        workload = generate_workload(
+            n_tuples_per_stream=600, punct_spacing_a=None, punct_spacing_b=None,
+            seed=4,
+        )
+        join, _sink = run_workload(workload, memory_threshold=100)
+        assert join.disk.write_ops == join.spills
+        assert join.disk.tuples_written == join.total_state_size() - \
+            join.memory_state_size()
+
+
+class TestReactiveStage2:
+    def test_stage2_runs_during_lulls_and_stays_correct(self, ab_schemas):
+        """A bursty schedule with long silences activates stage 2."""
+        schema_a, schema_b = ab_schemas
+        schedule_a, schedule_b = [], []
+        t = 0.0
+        key = 0
+        for burst in range(6):
+            for i in range(60):
+                t += 0.5
+                key = (key + 1) % 10
+                schedule_a.append((t, Tuple(schema_a, (key, burst), ts=t)))
+                schedule_b.append((t, Tuple(schema_b, (key, burst), ts=t)))
+            t += 500.0  # a silence far beyond the activation threshold
+        plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+        join = XJoin(
+            plan.engine, plan.cost_model, schema_a, schema_b, "key", "key",
+            memory_threshold=60, disk_join_idle_ms=5.0,
+        )
+        sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+        join.connect(sink)
+        plan.add_source(schedule_a, join, port=0)
+        plan.add_source(schedule_b, join, port=1)
+        plan.run()
+        assert join.spills > 0
+        assert join.stage2_runs > 0
+        expected = reference_join_multiset(
+            schedule_a, schedule_b, schema_a, schema_b
+        )
+        assert Counter(dict(sink.result_multiset())) == expected
+
+    def test_no_stage2_without_disk_portions(self, engine, cheap_cost_model,
+                                             ab_schemas):
+        schema_a, schema_b = ab_schemas
+        join = XJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key")
+        sink = Sink(engine, cheap_cost_model)
+        join.connect(sink)
+        source_a = StreamSource(engine, [(1.0, Tuple(schema_a, (1, 1), ts=1.0))])
+        source_a.connect(join, 0)
+        source_b = StreamSource(engine, [])
+        source_b.connect(join, 1)
+        source_a.start()
+        source_b.start()
+        engine.run()
+        assert join.stage2_runs == 0
+
+
+class TestStateMetrics:
+    def test_state_grows_monotonically_without_purging(self):
+        workload = generate_workload(
+            n_tuples_per_stream=500, punct_spacing_a=10, punct_spacing_b=10, seed=2
+        )
+        join, _sink = run_workload(workload)
+        assert join.total_state_size() == 1000
+        assert join.state_size(0) == 500
+        assert join.state_size(1) == 500

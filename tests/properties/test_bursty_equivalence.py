@@ -1,0 +1,115 @@
+"""Property test: joins stay exact under bursts, lulls and spilling.
+
+Bursty timing is the adversarial case for the staged execution: spills
+happen mid-burst, reactive disk joins fire during silences, and the
+clean-up stage has to finish whatever is left — with pairs potentially
+producible by any of the three stages.  The output must still be the
+oracle multiset, for any random combination of burst shape, memory
+threshold and purge threshold.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.operators.sink import Sink
+from repro.operators.xjoin import XJoin
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.bursty import make_bursty
+from repro.workloads.generator import generate_workload
+from repro.workloads.reference import reference_join_multiset
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run(make_join, workload):
+    # A light cost model keeps bursts digestible so silences are real
+    # lulls and the reactive stage actually participates.
+    plan = QueryPlan(cost_model=CostModel().scaled(0.05))
+    join = make_join(plan)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0)
+    plan.add_source(workload.schedule_b, join, port=1)
+    plan.run()
+    return join, Counter(dict(sink.result_multiset()))
+
+
+@SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    spacing=st.one_of(st.none(), st.integers(5, 30)),
+    memory_threshold=st.integers(30, 150),
+    burst_ms=st.floats(50.0, 300.0),
+    silence_ms=st.floats(50.0, 600.0),
+)
+def test_xjoin_exact_on_bursty_streams(
+    seed, spacing, memory_threshold, burst_ms, silence_ms
+):
+    smooth = generate_workload(
+        n_tuples_per_stream=250,
+        punct_spacing_a=spacing,
+        punct_spacing_b=spacing,
+        seed=seed,
+    )
+    workload = make_bursty(
+        smooth, burst_ms=burst_ms, silence_ms=silence_ms, compress=0.5
+    )
+
+    def make(plan):
+        return XJoin(
+            plan.engine, plan.cost_model,
+            workload.schemas[0], workload.schemas[1], "key", "key",
+            memory_threshold=memory_threshold,
+        )
+
+    _join, got = run(make, workload)
+    expected = reference_join_multiset(
+        workload.schedule_a, workload.schedule_b,
+        workload.schemas[0], workload.schemas[1],
+    )
+    assert got == expected
+
+
+@SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    spacing_a=st.integers(5, 25),
+    spacing_b=st.integers(5, 40),
+    memory_threshold=st.integers(30, 120),
+    purge_threshold=st.integers(1, 20),
+)
+def test_pjoin_exact_on_bursty_streams(
+    seed, spacing_a, spacing_b, memory_threshold, purge_threshold
+):
+    smooth = generate_workload(
+        n_tuples_per_stream=250,
+        punct_spacing_a=spacing_a,
+        punct_spacing_b=spacing_b,
+        seed=seed,
+    )
+    workload = make_bursty(smooth, burst_ms=120.0, silence_ms=350.0, compress=0.5)
+
+    def make(plan):
+        return PJoin(
+            plan.engine, plan.cost_model,
+            workload.schemas[0], workload.schemas[1], "key", "key",
+            config=PJoinConfig(
+                purge_threshold=purge_threshold,
+                memory_threshold=memory_threshold,
+            ),
+        )
+
+    _join, got = run(make, workload)
+    expected = reference_join_multiset(
+        workload.schedule_a, workload.schedule_b,
+        workload.schemas[0], workload.schemas[1],
+    )
+    assert got == expected

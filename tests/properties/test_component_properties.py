@@ -1,0 +1,153 @@
+"""Property-based tests of individual components against brute force.
+
+Each test pits an optimised structure (the punctuation store's indexed
+``setMatch``, the union's promise-merging, the group-by's punctuated
+aggregation, the event engine's ordering) against an obviously-correct
+oracle over random inputs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.operators.groupby import GroupBy, sum_agg
+from repro.operators.sink import Sink
+from repro.operators.union import Union
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "v", name="S")
+
+values = st.integers(0, 20)
+pattern_specs = st.one_of(
+    values,
+    st.tuples(values, values).map(lambda p: (min(p), max(p))),
+    st.sets(values, min_size=1, max_size=4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=st.lists(pattern_specs, min_size=0, max_size=12),
+    removals=st.lists(st.integers(0, 11), max_size=6),
+    probe=values,
+)
+def test_store_covers_value_matches_brute_force(specs, removals, probe):
+    store = PunctuationStore(SCHEMA, "key")
+    punctuations = [Punctuation.on_field(SCHEMA, "key", spec) for spec in specs]
+    ids = [store.add(p) for p in punctuations]
+    alive = dict(zip(ids, punctuations))
+    for index in removals:
+        if index < len(ids):
+            store.remove(ids[index])
+            alive.pop(ids[index], None)
+    expected = any(
+        p.patterns[0].matches(probe) for p in alive.values()
+    )
+    assert store.covers_value(probe) == expected
+    found = store.first_covering(probe)
+    if expected:
+        pid, punct = found
+        # It is the earliest-arrived live cover.
+        earlier = [
+            i for i, p in alive.items()
+            if i < pid and p.patterns[0].matches(probe)
+        ]
+        assert not earlier
+    else:
+        assert found is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 2), values), min_size=1, max_size=60
+    ),
+    n_inputs=st.integers(2, 3),
+)
+def test_union_never_emits_a_violated_promise(events, n_inputs):
+    """Whatever the interleaving, any punctuation the union emits must
+    never be followed by a matching tuple on the merged output."""
+    engine = SimulationEngine()
+    cost_model = CostModel().scaled(0.001)
+    union = Union(engine, cost_model, SCHEMA, n_inputs=n_inputs)
+    sink = Sink(engine, cost_model, keep_items=True)
+    union.connect(sink)
+    # Build per-input valid streams from the random events: input i
+    # punctuates value v only after it will never send v again.
+    per_input_tuples = {i: [] for i in range(n_inputs)}
+    for which, value in events:
+        if which < n_inputs:
+            per_input_tuples[which].append(value)
+    t = 0.0
+    for which, value in events:
+        if which >= n_inputs:
+            continue
+        t += 1.0
+        union.push(Tuple(SCHEMA, (value, 0), ts=t), which)
+        per_input_tuples[which].pop(0)
+        # After its last occurrence on this input, punctuate it there.
+        if value not in per_input_tuples[which]:
+            union.push(Punctuation.on_field(SCHEMA, "key", value, ts=t), which)
+    engine.run()
+    # Soundness check on the merged output.
+    items = [(ts, "t", tup) for ts, tup in
+             zip(sink.tuple_arrival_times, sink.results)]
+    items += [(ts, "p", p) for ts, p in
+              zip(sink.punctuation_arrival_times, sink.punctuations)]
+    items.sort(key=lambda x: x[0])
+    promised = []
+    for _ts, kind, item in items:
+        if kind == "p":
+            promised.append(item)
+        else:
+            for punct in promised:
+                assert not punct.matches(item)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_keys=st.integers(1, 8),
+    n_tuples=st.integers(1, 60),
+)
+def test_groupby_totals_equal_oracle(seed, n_keys, n_tuples):
+    rng = random.Random(seed)
+    engine = SimulationEngine()
+    cost_model = CostModel().scaled(0.001)
+    groupby = GroupBy(engine, cost_model, SCHEMA, "key", [sum_agg("v")])
+    sink = Sink(engine, cost_model, keep_items=True)
+    groupby.connect(sink)
+    expected = {}
+    open_keys = list(range(n_keys))
+    for _ in range(n_tuples):
+        if not open_keys:
+            break
+        key = rng.choice(open_keys)
+        v = rng.randrange(100)
+        expected[key] = expected.get(key, 0) + v
+        groupby.push(Tuple(SCHEMA, (key, v)))
+        if rng.random() < 0.2:
+            groupby.push(Punctuation.on_field(SCHEMA, "key", key))
+            open_keys.remove(key)
+    groupby.push(END_OF_STREAM)
+    engine.run()
+    got = {r["key"]: r["sum_v"] for r in sink.results}
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+def test_engine_executes_in_time_order(delays):
+    engine = SimulationEngine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

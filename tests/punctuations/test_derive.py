@@ -1,0 +1,142 @@
+"""Unit tests for punctuation derivation from static constraints."""
+
+import pytest
+
+from repro.errors import PunctuationError
+from repro.punctuations.derive import (
+    ClusteredArrivalPunctuator,
+    KeyDerivedPunctuator,
+    OrderedArrivalPunctuator,
+    annotate_schedule,
+)
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "v", name="S")
+
+
+def schedule_of(*keys):
+    return [
+        (float(i), Tuple(SCHEMA, (key, i), ts=float(i)))
+        for i, key in enumerate(keys)
+    ]
+
+
+def split(annotated):
+    tuples = [i for _t, i in annotated if isinstance(i, Tuple)]
+    puncts = [i for _t, i in annotated if isinstance(i, Punctuation)]
+    return tuples, puncts
+
+
+class TestKeyDerived:
+    def test_one_punctuation_after_each_tuple(self):
+        punctuator = KeyDerivedPunctuator(SCHEMA, "key")
+        annotated = annotate_schedule(schedule_of(3, 1, 7), punctuator)
+        tuples, puncts = split(annotated)
+        assert len(tuples) == 3
+        assert [p.pattern_for("key").value for p in puncts] == [3, 1, 7]
+        assert punctuator.punctuations_derived == 3
+
+    def test_punctuation_directly_follows_its_tuple(self):
+        annotated = annotate_schedule(
+            schedule_of(3, 1), KeyDerivedPunctuator(SCHEMA, "key")
+        )
+        kinds = [type(i).__name__ for _t, i in annotated]
+        assert kinds == ["Tuple", "Punctuation", "Tuple", "Punctuation"]
+
+    def test_duplicate_key_detected(self):
+        with pytest.raises(PunctuationError, match="occurred twice"):
+            annotate_schedule(schedule_of(3, 3), KeyDerivedPunctuator(SCHEMA, "key"))
+
+    def test_derived_punctuation_shares_tuple_timestamp(self):
+        annotated = annotate_schedule(
+            schedule_of(3), KeyDerivedPunctuator(SCHEMA, "key")
+        )
+        (t_tuple, _), (t_punct, punct) = annotated
+        assert t_punct == t_tuple
+        assert punct.ts == t_tuple
+
+
+class TestOrderedArrival:
+    def test_advance_emits_strictly_below_range(self):
+        punctuator = OrderedArrivalPunctuator(SCHEMA, "key")
+        annotated = annotate_schedule(schedule_of(1, 1, 3, 5), punctuator)
+        _tuples, puncts = split(annotated)
+        assert len(puncts) == 2
+        first = puncts[0].pattern_for("key")
+        assert first.matches(0) and first.matches(2)
+        assert not first.matches(3)  # strictly below the new value
+
+    def test_no_punctuation_without_advance(self):
+        annotated = annotate_schedule(
+            schedule_of(2, 2, 2), OrderedArrivalPunctuator(SCHEMA, "key")
+        )
+        assert split(annotated)[1] == []
+
+    def test_regression_detected(self):
+        with pytest.raises(PunctuationError, match="back to"):
+            annotate_schedule(
+                schedule_of(5, 3), OrderedArrivalPunctuator(SCHEMA, "key")
+            )
+
+
+class TestClusteredArrival:
+    def test_cluster_change_punctuates_previous_cluster(self):
+        annotated = annotate_schedule(
+            schedule_of(1, 1, 2, 2, 3), ClusteredArrivalPunctuator(SCHEMA, "key")
+        )
+        _tuples, puncts = split(annotated)
+        assert [p.pattern_for("key").value for p in puncts] == [1, 2, 3]
+
+    def test_final_cluster_closed_at_end_of_stream(self):
+        annotated = annotate_schedule(
+            schedule_of(7), ClusteredArrivalPunctuator(SCHEMA, "key")
+        )
+        _tuples, puncts = split(annotated)
+        assert [p.pattern_for("key").value for p in puncts] == [7]
+
+    def test_reappearing_value_detected(self):
+        with pytest.raises(PunctuationError, match="reappeared"):
+            annotate_schedule(
+                schedule_of(1, 2, 1), ClusteredArrivalPunctuator(SCHEMA, "key")
+            )
+
+    def test_empty_schedule(self):
+        assert annotate_schedule([], ClusteredArrivalPunctuator(SCHEMA, "key")) == []
+
+
+class TestIntegrationWithPJoin:
+    def test_derived_punctuations_drive_purging(self):
+        """Clustered arrival + derivation lets PJoin bound its state —
+        the k-constraint comparison the paper makes in Section 5."""
+        from repro.core.config import PJoinConfig
+        from repro.core.pjoin import PJoin
+        from repro.operators.sink import Sink
+        from repro.query.plan import QueryPlan
+        from repro.sim.costs import CostModel
+
+        schema_b = Schema.of("key", "w", name="B")
+        # Stream A arrives clustered by key; B matches each cluster.
+        keys = [k for k in range(30) for _ in range(4)]
+        schedule_a = annotate_schedule(
+            schedule_of(*keys), ClusteredArrivalPunctuator(SCHEMA, "key")
+        )
+        schedule_b = [
+            (float(i) + 0.5, Tuple(schema_b, (k, i), ts=float(i) + 0.5))
+            for i, k in enumerate(keys)
+        ]
+        plan = QueryPlan(cost_model=CostModel().scaled(0.001))
+        join = PJoin(
+            plan.engine, plan.cost_model, SCHEMA, schema_b, "key", "key",
+            config=PJoinConfig(purge_threshold=1),
+        )
+        sink = Sink(plan.engine, plan.cost_model, keep_items=False)
+        join.connect(sink)
+        plan.add_source(schedule_a, join, port=0)
+        plan.add_source(schedule_b, join, port=1)
+        plan.run()
+        assert sink.tuple_count > 0
+        # B-state is purged cluster by cluster instead of growing to 120.
+        assert join.tuples_purged > 0
+        assert join.state_size(1) < 30

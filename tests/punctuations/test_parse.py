@@ -1,0 +1,84 @@
+"""Unit and property tests for pattern parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PatternError
+from repro.punctuations.patterns import (
+    EMPTY,
+    WILDCARD,
+    Constant,
+    EnumerationList,
+    Range,
+    make_enumeration,
+    make_range,
+    parse_pattern,
+)
+
+
+class TestParse:
+    def test_wildcard_and_empty(self):
+        assert parse_pattern("*") is WILDCARD
+        assert parse_pattern("<>") is EMPTY
+
+    def test_constants(self):
+        assert parse_pattern("42") == Constant(42)
+        assert parse_pattern("3.5") == Constant(3.5)
+        assert parse_pattern("abc") == Constant("abc")
+        assert parse_pattern("'42'") == Constant("42")
+        assert parse_pattern('"x y"') == Constant("x y")
+
+    def test_enumerations(self):
+        assert parse_pattern("{1, 2, 3}") == EnumerationList(frozenset({1, 2, 3}))
+        assert parse_pattern("{7}") == Constant(7)
+        assert parse_pattern("{}") is EMPTY
+        assert parse_pattern("{a, b}") == EnumerationList(frozenset({"a", "b"}))
+
+    def test_ranges(self):
+        assert parse_pattern("[1, 5]") == Range(1, 5)
+        assert parse_pattern("(1, 5)") == Range(1, 5, False, False)
+        assert parse_pattern("[1, 5)") == Range(1, 5, True, False)
+        assert parse_pattern("[-inf, 5)") == Range(None, 5, high_inclusive=False)
+        assert parse_pattern("[5, +inf)") == Range(5, None)
+        assert parse_pattern("[, 5]") == Range(None, 5)
+
+    def test_degenerate_ranges_normalise(self):
+        assert parse_pattern("[5, 5]") == Constant(5)
+        assert parse_pattern("(5, 5)") is EMPTY
+        assert parse_pattern("[-inf, +inf]") is WILDCARD
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            parse_pattern("")
+        with pytest.raises(PatternError):
+            parse_pattern("[1, 2, 3]")
+        with pytest.raises(PatternError):
+            parse_pattern("[ , , ]")
+
+    def test_whitespace_tolerated(self):
+        assert parse_pattern("  [ 1 , 5 ]  ") == Range(1, 5)
+
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@given(values)
+def test_constant_round_trip(v):
+    assert parse_pattern(repr(Constant(v))) == Constant(v)
+
+
+@given(st.sets(values, min_size=2, max_size=6))
+def test_enumeration_round_trip(vs):
+    pattern = make_enumeration(vs)
+    assert parse_pattern(repr(pattern)) == pattern
+
+
+@given(
+    st.one_of(st.none(), values),
+    st.one_of(st.none(), values),
+    st.booleans(),
+    st.booleans(),
+)
+def test_range_round_trip(low, high, low_inc, high_inc):
+    pattern = make_range(low, high, low_inc, high_inc)
+    assert parse_pattern(repr(pattern)) == pattern

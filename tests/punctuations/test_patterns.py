@@ -1,0 +1,264 @@
+"""Unit and property tests for the five pattern kinds and their algebra.
+
+The key property (paper Section 2.2): the "and" of any two punctuation
+patterns is again a pattern, and matching distributes over conjunction:
+``match(v, p ∧ q) ⇔ match(v, p) ∧ match(v, q)``.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PatternError
+from repro.punctuations.patterns import (
+    EMPTY,
+    WILDCARD,
+    Constant,
+    EnumerationList,
+    Pattern,
+    Range,
+    make_enumeration,
+    make_range,
+    pattern_from_spec,
+)
+
+
+class TestWildcardAndEmpty:
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches(0)
+        assert WILDCARD.matches("x")
+        assert WILDCARD.matches(None)
+
+    def test_empty_matches_nothing(self):
+        assert not EMPTY.matches(0)
+        assert not EMPTY.matches(None)
+
+    def test_wildcard_is_conjunction_identity(self):
+        pattern = Constant(3)
+        assert WILDCARD.conjoin(pattern) == pattern
+        assert pattern.conjoin(WILDCARD) == pattern
+
+    def test_empty_is_conjunction_absorber(self):
+        pattern = Constant(3)
+        assert EMPTY.conjoin(pattern) is EMPTY
+        assert pattern.conjoin(EMPTY) is EMPTY
+
+    def test_flags(self):
+        assert WILDCARD.is_wildcard and not WILDCARD.is_empty
+        assert EMPTY.is_empty and not EMPTY.is_wildcard
+
+
+class TestConstant:
+    def test_matches_only_its_value(self):
+        assert Constant(5).matches(5)
+        assert not Constant(5).matches(6)
+
+    def test_conjoin_equal_constants(self):
+        assert Constant(5).conjoin(Constant(5)) == Constant(5)
+
+    def test_conjoin_different_constants_is_empty(self):
+        assert Constant(5).conjoin(Constant(6)) is EMPTY
+
+    def test_conjoin_with_containing_range(self):
+        assert Constant(5).conjoin(Range(0, 10)) == Constant(5)
+
+    def test_conjoin_with_excluding_range(self):
+        assert Constant(50).conjoin(Range(0, 10)) is EMPTY
+
+    def test_cannot_wrap_pattern(self):
+        with pytest.raises(PatternError):
+            Constant(WILDCARD)
+
+
+class TestRange:
+    def test_closed_bounds(self):
+        rng = Range(1, 5)
+        assert rng.matches(1) and rng.matches(5)
+        assert not rng.matches(0) and not rng.matches(6)
+
+    def test_open_bounds(self):
+        rng = Range(1, 5, low_inclusive=False, high_inclusive=False)
+        assert not rng.matches(1) and not rng.matches(5)
+        assert rng.matches(2)
+
+    def test_unbounded_low(self):
+        rng = Range(None, 5)
+        assert rng.matches(-1000)
+        assert not rng.matches(6)
+
+    def test_unbounded_high(self):
+        rng = Range(5, None)
+        assert rng.matches(1000)
+        assert not rng.matches(4)
+
+    def test_uncomparable_value_does_not_match(self):
+        assert not Range(1, 5).matches("x")
+
+    def test_degenerate_construction_rejected(self):
+        with pytest.raises(PatternError):
+            Range(5, 1)
+        with pytest.raises(PatternError):
+            Range(5, 5)  # must be a Constant; use make_range
+        with pytest.raises(PatternError):
+            Range(None, None)  # must be the wildcard
+
+    def test_uncomparable_bounds_rejected(self):
+        with pytest.raises(PatternError):
+            Range(1, "x")
+
+    def test_conjoin_overlapping(self):
+        assert Range(1, 10).conjoin(Range(5, 20)) == Range(5, 10)
+
+    def test_conjoin_disjoint_is_empty(self):
+        assert Range(1, 3).conjoin(Range(5, 9)) is EMPTY
+
+    def test_conjoin_touching_closed_bounds_is_constant(self):
+        assert Range(1, 5).conjoin(Range(5, 9)) == Constant(5)
+
+    def test_conjoin_touching_open_bound_is_empty(self):
+        left = Range(1, 5, high_inclusive=False)
+        assert left.conjoin(Range(5, 9)) is EMPTY
+
+    def test_conjoin_respects_inclusivity_at_shared_bound(self):
+        left = Range(1, 5)
+        right = Range(1, 5, low_inclusive=False)
+        merged = left.conjoin(right)
+        assert not merged.matches(1)
+        assert merged.matches(5)
+
+    def test_make_range_normalises(self):
+        assert make_range(None, None) is WILDCARD
+        assert make_range(5, 5) == Constant(5)
+        assert make_range(5, 5, high_inclusive=False) is EMPTY
+        assert make_range(7, 3) is EMPTY
+        assert isinstance(make_range(1, 5), Range)
+
+    def test_repr_notation(self):
+        assert repr(Range(1, 5)) == "[1, 5]"
+        assert repr(Range(1, 5, False, False)) == "(1, 5)"
+        assert "-inf" in repr(Range(None, 5))
+
+
+class TestEnumerationList:
+    def test_matches_members_only(self):
+        pattern = EnumerationList(frozenset({1, 2, 3}))
+        assert pattern.matches(2)
+        assert not pattern.matches(4)
+
+    def test_unhashable_value_does_not_match(self):
+        assert not EnumerationList(frozenset({1, 2})).matches([1])
+
+    def test_small_sets_rejected(self):
+        with pytest.raises(PatternError):
+            EnumerationList(frozenset())
+        with pytest.raises(PatternError):
+            EnumerationList(frozenset({1}))
+
+    def test_conjoin_enumerations_intersects(self):
+        a = EnumerationList(frozenset({1, 2, 3}))
+        b = EnumerationList(frozenset({2, 3, 4}))
+        assert a.conjoin(b) == EnumerationList(frozenset({2, 3}))
+
+    def test_conjoin_to_singleton_normalises_to_constant(self):
+        a = EnumerationList(frozenset({1, 2}))
+        b = EnumerationList(frozenset({2, 3}))
+        assert a.conjoin(b) == Constant(2)
+
+    def test_conjoin_disjoint_is_empty(self):
+        a = EnumerationList(frozenset({1, 2}))
+        b = EnumerationList(frozenset({3, 4}))
+        assert a.conjoin(b) is EMPTY
+
+    def test_conjoin_with_range_filters(self):
+        pattern = EnumerationList(frozenset({1, 5, 9}))
+        assert pattern.conjoin(Range(2, 9)) == EnumerationList(frozenset({5, 9}))
+
+    def test_make_enumeration_normalises(self):
+        assert make_enumeration([]) is EMPTY
+        assert make_enumeration([7]) == Constant(7)
+        assert make_enumeration([1, 2]) == EnumerationList(frozenset({1, 2}))
+
+
+class TestPatternFromSpec:
+    def test_star_and_none_are_wildcard(self):
+        assert pattern_from_spec("*") is WILDCARD
+        assert pattern_from_spec(None) is WILDCARD
+
+    def test_tuple_is_range(self):
+        assert pattern_from_spec((1, 5)) == Range(1, 5)
+        assert pattern_from_spec((None, 5)) == Range(None, 5)
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_from_spec((1, 2, 3))
+
+    def test_set_is_enumeration(self):
+        assert pattern_from_spec({1, 2}) == EnumerationList(frozenset({1, 2}))
+
+    def test_scalar_is_constant(self):
+        assert pattern_from_spec(7) == Constant(7)
+        assert pattern_from_spec("abc") == Constant("abc")
+
+    def test_pattern_passes_through(self):
+        pattern = Constant(1)
+        assert pattern_from_spec(pattern) is pattern
+
+
+# ---------------------------------------------------------------------------
+# Property-based algebra tests
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def patterns(draw) -> Pattern:
+    kind = draw(st.sampled_from(["wildcard", "empty", "constant", "range", "enum"]))
+    if kind == "wildcard":
+        return WILDCARD
+    if kind == "empty":
+        return EMPTY
+    if kind == "constant":
+        return Constant(draw(values))
+    if kind == "range":
+        low = draw(st.one_of(st.none(), values))
+        high = draw(st.one_of(st.none(), values))
+        return make_range(
+            low, high, draw(st.booleans()), draw(st.booleans())
+        )
+    return make_enumeration(draw(st.sets(values, min_size=0, max_size=6)))
+
+
+@given(patterns(), patterns(), values)
+def test_conjunction_agrees_with_logical_and(p, q, v):
+    """match(v, p ∧ q) ⇔ match(v, p) ∧ match(v, q)."""
+    assert (p.conjoin(q)).matches(v) == (p.matches(v) and q.matches(v))
+
+
+@given(patterns(), patterns(), values)
+def test_conjunction_is_commutative_on_matching(p, q, v):
+    assert p.conjoin(q).matches(v) == q.conjoin(p).matches(v)
+
+
+@given(patterns(), patterns(), patterns(), values)
+def test_conjunction_is_associative_on_matching(p, q, r, v):
+    left = p.conjoin(q).conjoin(r)
+    right = p.conjoin(q.conjoin(r))
+    assert left.matches(v) == right.matches(v)
+
+
+@given(patterns(), values)
+def test_conjunction_is_idempotent_on_matching(p, v):
+    assert p.conjoin(p).matches(v) == p.matches(v)
+
+
+@given(patterns(), patterns())
+def test_conjunction_closed_over_patterns(p, q):
+    """The "and" of any two patterns is again a pattern."""
+    assert isinstance(p.conjoin(q), Pattern)
+
+
+@given(patterns())
+def test_empty_flag_means_unsatisfiable_on_integers(p):
+    if p.is_empty:
+        for v in range(-60, 61):
+            assert not p.matches(v)

@@ -1,0 +1,104 @@
+"""Unit tests for punctuations over schemas."""
+
+import pytest
+
+from repro.errors import PunctuationError
+from repro.punctuations.patterns import EMPTY, WILDCARD, Constant, Range
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("item_id", "bidder", "increase", name="Bid")
+
+
+class TestConstruction:
+    def test_arity_must_match_schema(self, schema):
+        with pytest.raises(PunctuationError, match="3 patterns"):
+            Punctuation(schema, [WILDCARD])
+
+    def test_patterns_must_be_patterns(self, schema):
+        with pytest.raises(PunctuationError):
+            Punctuation(schema, [WILDCARD, WILDCARD, 5])
+
+    def test_on_field_sets_one_pattern(self, schema):
+        punct = Punctuation.on_field(schema, "item_id", 42)
+        assert punct.pattern_for("item_id") == Constant(42)
+        assert punct.pattern_for("bidder").is_wildcard
+
+    def test_from_mapping(self, schema):
+        punct = Punctuation.from_mapping(
+            schema, {"item_id": (1, 5), "increase": {1.0, 2.0}}
+        )
+        assert punct.pattern_for("item_id") == Range(1, 5)
+        assert punct.pattern_for("bidder").is_wildcard
+
+
+class TestMatching:
+    def test_matches_requires_all_patterns(self, schema):
+        punct = Punctuation.from_mapping(schema, {"item_id": 1, "bidder": "bob"})
+        assert punct.matches(Tuple(schema, (1, "bob", 2.0)))
+        assert not punct.matches(Tuple(schema, (1, "eve", 2.0)))
+        assert not punct.matches(Tuple(schema, (2, "bob", 2.0)))
+
+    def test_matches_values_on_raw_tuples(self, schema):
+        punct = Punctuation.on_field(schema, "item_id", 1)
+        assert punct.matches_values((1, "x", 0.0))
+        assert not punct.matches_values((2, "x", 0.0))
+
+    def test_all_wildcard_matches_everything(self, schema):
+        punct = Punctuation(schema, [WILDCARD] * 3)
+        assert punct.is_all_wildcard
+        assert punct.matches(Tuple(schema, (9, "z", 1.0)))
+
+    def test_empty_punctuation_matches_nothing(self, schema):
+        punct = Punctuation(schema, [EMPTY, WILDCARD, WILDCARD])
+        assert punct.is_empty
+        assert not punct.matches(Tuple(schema, (9, "z", 1.0)))
+
+
+class TestConjunction:
+    def test_conjoin_is_pattern_wise(self, schema):
+        p = Punctuation.on_field(schema, "item_id", (1, 10))
+        q = Punctuation.on_field(schema, "item_id", (5, 20))
+        merged = p.conjoin(q)
+        assert merged.pattern_for("item_id") == Range(5, 10)
+
+    def test_conjoin_requires_same_schema(self, schema):
+        other = Schema.of("x")
+        with pytest.raises(PunctuationError):
+            Punctuation.on_field(schema, "item_id", 1).conjoin(
+                Punctuation.on_field(other, "x", 1)
+            )
+
+    def test_conjoin_of_disjoint_constants_is_empty(self, schema):
+        p = Punctuation.on_field(schema, "item_id", 1)
+        q = Punctuation.on_field(schema, "item_id", 2)
+        assert p.conjoin(q).is_empty
+
+
+class TestUtilities:
+    def test_with_ts(self, schema):
+        punct = Punctuation.on_field(schema, "item_id", 1, ts=1.0)
+        assert punct.with_ts(9.0).ts == 9.0
+        assert punct.ts == 1.0
+
+    def test_restricted_to(self, schema):
+        punct = Punctuation.on_field(schema, "item_id", 1)
+        small = punct.restricted_to(["item_id"])
+        assert small.schema.field_names == ("item_id",)
+        assert small.pattern_for("item_id") == Constant(1)
+
+    def test_equality_ignores_ts(self, schema):
+        assert Punctuation.on_field(schema, "item_id", 1, ts=1.0) == \
+            Punctuation.on_field(schema, "item_id", 1, ts=2.0)
+
+    def test_hashable(self, schema):
+        p = Punctuation.on_field(schema, "item_id", 1)
+        q = Punctuation.on_field(schema, "item_id", 1)
+        assert hash(p) == hash(q)
+
+    def test_repr_names_fields(self, schema):
+        assert "item_id:1" in repr(Punctuation.on_field(schema, "item_id", 1))

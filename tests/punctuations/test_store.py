@@ -1,0 +1,155 @@
+"""Unit tests for the per-stream punctuation store."""
+
+import pytest
+
+from repro.errors import PunctuationError
+from repro.punctuations.patterns import Constant, Range
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore, is_join_exploitable
+from repro.tuples.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("key", "payload", name="S")
+
+
+@pytest.fixture
+def store(schema):
+    return PunctuationStore(schema, "key")
+
+
+def punct(schema, spec, ts=0.0):
+    return Punctuation.on_field(schema, "key", spec, ts=ts)
+
+
+class TestIsJoinExploitable:
+    def test_join_only_pattern_is_exploitable(self, schema):
+        assert is_join_exploitable(punct(schema, 1), "key")
+
+    def test_wildcard_join_pattern_is_exploitable(self, schema):
+        assert is_join_exploitable(punct(schema, "*"), "key")
+
+    def test_non_join_constraint_is_not_exploitable(self, schema):
+        p = Punctuation.from_mapping(schema, {"key": 1, "payload": 2})
+        assert not is_join_exploitable(p, "key")
+
+
+class TestAddRemove:
+    def test_ids_are_arrival_positions(self, store, schema):
+        assert store.add(punct(schema, 1)) == 0
+        assert store.add(punct(schema, 2)) == 1
+        assert len(store) == 2
+
+    def test_wrong_schema_rejected(self, store):
+        other = Schema.of("key")
+        with pytest.raises(PunctuationError):
+            store.add(Punctuation.on_field(other, "key", 1))
+
+    def test_remove_keeps_ids_stable(self, store, schema):
+        store.add(punct(schema, 1))
+        pid2 = store.add(punct(schema, 2))
+        store.remove(0)
+        assert store.get(0) is None
+        assert store.get(pid2) is not None
+        assert len(store) == 1
+
+    def test_remove_is_idempotent(self, store, schema):
+        store.add(punct(schema, 1))
+        store.remove(0)
+        store.remove(0)
+        assert len(store) == 0
+
+    def test_total_added_counts_everything(self, store, schema):
+        store.add(punct(schema, 1))
+        store.remove(0)
+        store.add(punct(schema, 2))
+        assert store.total_added == 2
+
+
+class TestSetMatch:
+    def test_covers_constant(self, store, schema):
+        store.add(punct(schema, 5))
+        assert store.covers_value(5)
+        assert not store.covers_value(6)
+
+    def test_covers_range(self, store, schema):
+        store.add(punct(schema, (10, 20)))
+        assert store.covers_value(15)
+        assert not store.covers_value(25)
+
+    def test_covers_after_removal(self, store, schema):
+        pid = store.add(punct(schema, 5))
+        store.remove(pid)
+        assert not store.covers_value(5)
+
+    def test_first_covering_prefers_earliest_arrival(self, store, schema):
+        store.add(punct(schema, (0, 100)))  # id 0, general
+        store.add(punct(schema, 5))  # id 1, constant
+        pid, found = store.first_covering(5)
+        assert pid == 0
+        assert found.pattern_for("key") == Range(0, 100)
+
+    def test_first_covering_constant_before_later_range(self, store, schema):
+        store.add(punct(schema, 5))  # id 0
+        store.add(punct(schema, (0, 100)))  # id 1
+        pid, _found = store.first_covering(5)
+        assert pid == 0
+
+    def test_first_covering_none(self, store, schema):
+        store.add(punct(schema, 5))
+        assert store.first_covering(6) is None
+
+    def test_has_equal_join_pattern(self, store, schema):
+        store.add(punct(schema, 5))
+        store.add(punct(schema, (1, 3)))
+        assert store.has_equal_join_pattern(Constant(5))
+        assert store.has_equal_join_pattern(Range(1, 3))
+        assert not store.has_equal_join_pattern(Constant(6))
+        assert not store.has_equal_join_pattern(Range(1, 4))
+
+
+class TestCursors:
+    def test_since_returns_new_entries(self, store, schema):
+        store.add(punct(schema, 1))
+        cursor = store.next_id
+        store.add(punct(schema, 2))
+        store.add(punct(schema, 3))
+        fresh = store.since(cursor)
+        assert [pid for pid, _p in fresh] == [1, 2]
+
+    def test_since_skips_removed(self, store, schema):
+        store.add(punct(schema, 1))
+        store.add(punct(schema, 2))
+        store.remove(0)
+        assert [pid for pid, _p in store.since(0)] == [1]
+
+    def test_items_in_arrival_order(self, store, schema):
+        store.add(punct(schema, 3))
+        store.add(punct(schema, 1))
+        assert [p.pattern_for("key") for _i, p in store.items()] == [
+            Constant(3),
+            Constant(1),
+        ]
+
+    def test_iter_yields_punctuations(self, store, schema):
+        store.add(punct(schema, 1))
+        assert all(isinstance(p, Punctuation) for p in store)
+
+
+class TestPrefixConsistency:
+    def test_equal_patterns_allowed(self, schema):
+        store = PunctuationStore(schema, "key", check_prefix_consistency=True)
+        store.add(punct(schema, 5))
+        store.add(punct(schema, 5))
+
+    def test_disjoint_patterns_allowed(self, schema):
+        store = PunctuationStore(schema, "key", check_prefix_consistency=True)
+        store.add(punct(schema, (0, 5)))
+        store.add(punct(schema, (6, 9)))
+
+    def test_overlapping_patterns_rejected(self, schema):
+        store = PunctuationStore(schema, "key", check_prefix_consistency=True)
+        store.add(punct(schema, (0, 5)))
+        with pytest.raises(PunctuationError, match="prefix-consistency"):
+            store.add(punct(schema, (3, 9)))

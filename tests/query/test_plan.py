@@ -1,0 +1,52 @@
+"""Unit tests for query-plan assembly."""
+
+from repro.operators.select import Select
+from repro.operators.sink import Sink
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("x")
+
+
+def test_owns_engine_and_cost_model_by_default():
+    plan = QueryPlan()
+    assert isinstance(plan.engine, SimulationEngine)
+    assert isinstance(plan.cost_model, CostModel)
+
+
+def test_accepts_shared_engine():
+    engine = SimulationEngine()
+    plan = QueryPlan(engine=engine)
+    assert plan.engine is engine
+
+
+def test_runs_sources_through_operators():
+    plan = QueryPlan(cost_model=CostModel().scaled(0.001))
+    select = Select(plan.engine, plan.cost_model, lambda t: t["x"] > 1)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    select.connect(sink)
+    schedule = [(float(i), Tuple(SCHEMA, (i,), ts=float(i))) for i in range(4)]
+    plan.add_source(schedule, select)
+    plan.run()
+    assert [t["x"] for t in sink.results] == [2, 3]
+    assert sink.finished
+
+
+def test_sources_get_default_names():
+    plan = QueryPlan()
+    sink = Sink(plan.engine, plan.cost_model)
+    source = plan.add_source([], sink)
+    assert source.name == "source0"
+
+
+def test_run_until_limits_virtual_time():
+    plan = QueryPlan(cost_model=CostModel().scaled(0.001))
+    sink = Sink(plan.engine, plan.cost_model)
+    schedule = [(100.0, Tuple(SCHEMA, (1,), ts=100.0))]
+    plan.add_source(schedule, sink)
+    plan.run(until=50.0)
+    assert sink.tuple_count == 0
+    assert plan.engine.now == 50.0

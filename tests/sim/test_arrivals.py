@@ -1,0 +1,61 @@
+"""Unit tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.arrivals import (
+    FixedIntervalProcess,
+    PoissonProcess,
+    poisson_tuple_spacing,
+)
+
+
+class TestPoissonProcess:
+    def test_gaps_are_positive(self):
+        process = PoissonProcess(2.0, random.Random(1))
+        assert all(process.next_gap() > 0 for _ in range(100))
+
+    def test_mean_roughly_matches(self):
+        process = PoissonProcess(2.0, random.Random(1))
+        gaps = [process.next_gap() for _ in range(20_000)]
+        assert 1.9 < sum(gaps) / len(gaps) < 2.1
+
+    def test_seeded_determinism(self):
+        a = PoissonProcess(2.0, random.Random(7))
+        b = PoissonProcess(2.0, random.Random(7))
+        assert [a.next_gap() for _ in range(10)] == [b.next_gap() for _ in range(10)]
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonProcess(0.0)
+
+
+class TestFixedIntervalProcess:
+    def test_constant_gaps(self):
+        process = FixedIntervalProcess(3.0)
+        assert [process.next_gap() for _ in range(3)] == [3.0, 3.0, 3.0]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(WorkloadError):
+            FixedIntervalProcess(-1.0)
+
+
+class TestPoissonTupleSpacing:
+    def test_at_least_one_tuple(self):
+        rng = random.Random(3)
+        assert all(poisson_tuple_spacing(1.0, rng) >= 1 for _ in range(200))
+
+    def test_mean_roughly_matches(self):
+        rng = random.Random(3)
+        spacings = [poisson_tuple_spacing(40.0, rng) for _ in range(20_000)]
+        assert 38 < sum(spacings) / len(spacings) < 42
+
+    def test_integer_spacing(self):
+        rng = random.Random(3)
+        assert isinstance(poisson_tuple_spacing(10.0, rng), int)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(WorkloadError):
+            poisson_tuple_spacing(0, random.Random(1))

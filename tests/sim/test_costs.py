@@ -1,0 +1,64 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.costs import CostModel
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(tuple_overhead=-1.0)
+
+    def test_zero_costs_allowed(self):
+        CostModel(tuple_overhead=0.0)
+
+
+class TestCompositeFormulas:
+    def test_probe_cost_scales_with_occupancy_and_matches(self):
+        cm = CostModel(probe_per_candidate=1.0, emit_result=0.5)
+        assert cm.probe_cost(10, 4) == 10 * 1.0 + 4 * 0.5
+
+    def test_purge_cost(self):
+        cm = CostModel(purge_fixed=5.0, purge_scan_per_tuple=0.1)
+        assert cm.purge_cost(100) == 5.0 + 10.0
+
+    def test_index_build_cost(self):
+        cm = CostModel(index_fixed=1.0, index_scan_per_tuple=0.1, index_eval=0.01)
+        assert cm.index_build_cost(100, 20, 5) == pytest.approx(1.0 + 10.0 + 1.0)
+
+    def test_propagation_cost(self):
+        cm = CostModel(propagate_fixed=1.0, propagate_per_punct=0.1)
+        assert cm.propagation_cost(10) == pytest.approx(2.0)
+
+    def test_disk_costs_include_seek(self):
+        cm = CostModel(disk_seek=10.0, disk_write_per_tuple=0.1, disk_read_per_tuple=0.2)
+        assert cm.disk_write_cost(10) == pytest.approx(11.0)
+        assert cm.disk_read_cost(10) == pytest.approx(12.0)
+
+    def test_disk_costs_zero_for_zero_tuples(self):
+        cm = CostModel()
+        assert cm.disk_write_cost(0) == 0.0
+        assert cm.disk_read_cost(0) == 0.0
+
+
+class TestDerivedModels:
+    def test_scaled_multiplies_everything(self):
+        cm = CostModel().scaled(2.0)
+        base = CostModel()
+        assert cm.tuple_overhead == 2 * base.tuple_overhead
+        assert cm.disk_seek == 2 * base.disk_seek
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigError):
+            CostModel().scaled(-1.0)
+
+    def test_with_overrides(self):
+        cm = CostModel().with_overrides(insert=123.0)
+        assert cm.insert == 123.0
+        assert cm.tuple_overhead == CostModel().tuple_overhead
+
+    def test_as_dict_round_trips(self):
+        cm = CostModel()
+        assert CostModel(**cm.as_dict()) == cm

@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("late"))
+        engine.schedule(2.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_times(self, engine):
+        times = []
+        engine.schedule(2.0, lambda: times.append(engine.now))
+        engine.schedule(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [2.0, 5.0]
+
+    def test_fifo_among_equal_times(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("first"))
+        engine.schedule(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, engine):
+        engine.schedule(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_can_schedule_more_events(self, engine):
+        fired = []
+
+        def chain(n):
+            fired.append(engine.now)
+            if n:
+                engine.schedule(1.0, lambda: chain(n - 1))
+
+        engine.schedule(1.0, lambda: chain(3))
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_run_resumes_after_until(self, engine):
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == [10]
+
+    def test_run_until_advances_clock_past_last_event(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_max_events_guards_against_loops(self, engine):
+        def loop():
+            engine.schedule(0.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_reentrant_run_rejected(self, engine):
+        def inner():
+            engine.run()
+
+        engine.schedule(1.0, inner)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            engine.run()
+
+    def test_events_executed_counter(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.events_executed == 2

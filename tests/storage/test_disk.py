@@ -1,0 +1,53 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(CostModel(disk_seek=10.0, disk_write_per_tuple=0.1,
+                                   disk_read_per_tuple=0.2))
+
+
+class TestAccounting:
+    def test_write_returns_cost_and_tallies(self, disk):
+        cost = disk.write(100)
+        assert cost == pytest.approx(20.0)
+        assert disk.write_ops == 1
+        assert disk.tuples_written == 100
+        assert disk.total_write_time == pytest.approx(20.0)
+
+    def test_read_returns_cost_and_tallies(self, disk):
+        cost = disk.read(50)
+        assert cost == pytest.approx(20.0)
+        assert disk.read_ops == 1
+        assert disk.tuples_read == 50
+
+    def test_zero_tuples_is_free_and_not_an_op(self, disk):
+        assert disk.write(0) == 0.0
+        assert disk.read(0) == 0.0
+        assert disk.write_ops == 0 and disk.read_ops == 0
+
+    def test_negative_counts_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.write(-1)
+        with pytest.raises(StorageError):
+            disk.read(-1)
+
+    def test_total_io_time(self, disk):
+        disk.write(10)
+        disk.read(10)
+        assert disk.total_io_time == pytest.approx(
+            disk.total_write_time + disk.total_read_time
+        )
+
+    def test_stats_snapshot(self, disk):
+        disk.write(5)
+        stats = disk.stats()
+        assert stats["write_ops"] == 1
+        assert stats["tuples_written"] == 5
+        assert "total_io_time" in stats

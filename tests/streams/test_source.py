@@ -1,0 +1,83 @@
+"""Unit tests for stream sources."""
+
+import pytest
+
+from repro.errors import OperatorError, SimulationError
+from repro.operators.sink import Sink
+from repro.streams.source import StreamSource
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key")
+
+
+def schedule_of(*times):
+    return [(t, Tuple(SCHEMA, (i,), ts=t)) for i, t in enumerate(times)]
+
+
+class TestStreamSource:
+    def test_replays_schedule_in_time(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, schedule_of(1.0, 3.0, 7.0))
+        source.connect(sink)
+        source.start()
+        engine.run()
+        assert sink.tuple_count == 3
+        assert sink.tuple_arrival_times == [1.0, 3.0, 7.0]
+        assert source.items_sent == 3
+
+    def test_sends_eos_after_last_item(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, schedule_of(1.0))
+        source.connect(sink)
+        source.start()
+        engine.run()
+        assert sink.finished
+        assert sink.eos_time == 1.0
+
+    def test_empty_schedule_sends_only_eos(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, [])
+        source.connect(sink)
+        source.start()
+        engine.run()
+        assert sink.finished
+        assert sink.tuple_count == 0
+
+    def test_decreasing_times_rejected(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, schedule_of(5.0, 1.0))
+        source.connect(sink)
+        source.start()
+        with pytest.raises(SimulationError, match="decreases"):
+            engine.run()
+
+    def test_must_connect_before_start(self, engine):
+        source = StreamSource(engine, [])
+        with pytest.raises(OperatorError):
+            source.start()
+
+    def test_double_connect_rejected(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, [])
+        source.connect(sink)
+        with pytest.raises(OperatorError):
+            source.connect(sink)
+
+    def test_double_start_rejected(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, [])
+        source.connect(sink)
+        source.start()
+        with pytest.raises(SimulationError):
+            source.start()
+
+    def test_lazy_scheduling_keeps_heap_small(self, engine, cheap_cost_model):
+        sink = Sink(engine, cheap_cost_model)
+        source = StreamSource(engine, schedule_of(*[float(i) for i in range(1000)]))
+        source.connect(sink)
+        source.start()
+        # Only the next delivery is pending, not the whole schedule.
+        assert engine.pending_events <= 2
+        engine.run()
+        assert sink.tuple_count == 1000

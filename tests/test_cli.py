@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+        assert "figure14" in out
+        assert "ablation_purge_sweep" in out
+
+
+class TestFigures:
+    def test_runs_named_figure(self, capsys):
+        assert main(["figures", "figure6", "--scale", "0.06"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Shape checks" in out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["figures", "figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_no_names_without_all_fails(self, capsys):
+        assert main(["figures"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_demo_prints_comparison(self, capsys):
+        code = main(
+            ["demo", "--tuples", "400", "--spacing-a", "10",
+             "--spacing-b", "10", "--purge-threshold", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PJoin-5" in out
+        assert "XJoin" in out
+
+
+class TestTrace:
+    def test_trace_prints_timeline_and_stats(self, capsys):
+        code = main(
+            ["trace", "--tuples", "200", "--purge-threshold", "3",
+             "--max-events", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "purge(" in out
+        assert "join statistic" in out
+        assert "results_produced" in out
+
+    def test_trace_with_memory_threshold(self, capsys):
+        code = main(
+            ["trace", "--tuples", "300", "--memory-threshold", "40",
+             "--max-events", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relocate(" in out or "disk_join(" in out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,40 @@
+"""Every example script must run end to end and say what it promises.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in-process (same interpreter, real engine) with its
+stdout captured.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_PHRASES = {
+    "quickstart.py": ["PJoin results", "fraction of the state"],
+    "auction_monitoring.py": ["with propagation", "top items"],
+    "purge_strategy_tuning.py": ["Fastest finish", "PJoin-800"],
+    "sensor_network.py": ["join results", "WindowedPJoin"],
+    "nary_join.py": ["Three-way punctuated join", "exactly once"],
+    "derived_punctuations.py": [
+        "punctuations derived",
+        "output globally epoch-ordered : True",
+    ],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_PHRASES), (
+        "examples/ and EXPECTED_PHRASES disagree — add the new example here"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_PHRASES))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for phrase in EXPECTED_PHRASES[script]:
+        assert phrase in out, f"{script} output lacks {phrase!r}"

@@ -1,0 +1,152 @@
+"""Edge cases and error paths scattered across modules.
+
+Small behaviours that matter in practice — error messages, degenerate
+inputs, introspection helpers — collected in one place so each module's
+main test file stays focused on its semantics.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    OperatorError,
+    PatternError,
+    PunctuationError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+    StorageError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in (
+            SchemaError, PatternError, PunctuationError, SimulationError,
+            OperatorError, ConfigError, StorageError, WorkloadError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise PatternError("x")
+
+
+class TestBinaryJoinHelpers:
+    def test_other_side(self, engine, cheap_cost_model, ab_schemas):
+        from repro.operators.shj import SymmetricHashJoin
+
+        schema_a, schema_b = ab_schemas
+        join = SymmetricHashJoin(
+            engine, cheap_cost_model, schema_a, schema_b, "key", "key"
+        )
+        assert join.other(0) == 1
+        assert join.other(1) == 0
+        with pytest.raises(OperatorError):
+            join.other(2)
+
+    def test_out_schema_prefixes_clash(self, engine, cheap_cost_model,
+                                       ab_schemas):
+        from repro.operators.shj import SymmetricHashJoin
+
+        schema_a, schema_b = ab_schemas
+        join = SymmetricHashJoin(
+            engine, cheap_cost_model, schema_a, schema_b, "key", "key"
+        )
+        assert "A.key" in join.out_schema.field_names
+        assert "B.key" in join.out_schema.field_names
+
+
+class TestOperatorIntrospection:
+    def test_utilisation_zero_at_start(self, engine, cheap_cost_model):
+        from repro.operators.sink import Sink
+
+        sink = Sink(engine, cheap_cost_model)
+        assert sink.utilisation() == 0.0
+
+    def test_utilisation_capped_at_one(self, engine):
+        from repro.operators.base import Operator
+        from repro.sim.costs import CostModel
+        from repro.tuples.schema import Schema
+        from repro.tuples.tuple import Tuple
+
+        class Heavy(Operator):
+            def handle(self, item, port):
+                return 100.0
+
+        op = Heavy(engine, CostModel())
+        op.push(Tuple(Schema.of("x"), (1,)))
+        engine.run()
+        assert op.utilisation() == 1.0
+
+    def test_reprs_do_not_crash(self, engine, cheap_cost_model, ab_schemas):
+        from repro.core.pjoin import PJoin
+        from repro.operators.sink import Sink
+        from repro.punctuations.store import PunctuationStore
+        from repro.storage.hash_table import PartitionedHashTable
+
+        schema_a, schema_b = ab_schemas
+        objects = [
+            engine,
+            cheap_cost_model,
+            Sink(engine, cheap_cost_model),
+            PJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key"),
+            PunctuationStore(schema_a, "key"),
+            PartitionedHashTable(4),
+        ]
+        for obj in objects:
+            assert repr(obj)
+
+
+class TestPJoinStats:
+    def test_stats_snapshot_keys(self, engine, cheap_cost_model, ab_schemas):
+        from repro.core.pjoin import PJoin
+        from repro.tuples.tuple import Tuple
+
+        schema_a, schema_b = ab_schemas
+        join = PJoin(engine, cheap_cost_model, schema_a, schema_b, "key", "key")
+        join.push(Tuple(schema_a, (1, 0)), 0)
+        engine.run()
+        stats = join.stats()
+        assert stats["tuples_in"] == 1
+        assert stats["state_total"] == 1
+        assert "events_dispatched" in stats
+
+
+class TestSchemasInWorkloads:
+    def test_generator_schemas_are_typed(self):
+        from repro.workloads.generator import STREAM_A_SCHEMA
+
+        assert STREAM_A_SCHEMA.fields[0].dtype is int
+
+    def test_auction_schemas_join_compatible(self):
+        from repro.workloads.auction import BID_SCHEMA, OPEN_SCHEMA
+
+        assert OPEN_SCHEMA.index_of("item_id") == 0
+        assert BID_SCHEMA.index_of("item_id") == 0
+
+
+class TestTimerShutdown:
+    def test_push_time_timer_dies_with_the_join(self, engine, cheap_cost_model,
+                                                ab_schemas):
+        """A finished join must not keep rearming its propagation timer,
+        or the simulation would never drain."""
+        from repro.core.config import PJoinConfig
+        from repro.core.pjoin import PJoin
+        from repro.operators.sink import Sink
+        from repro.tuples.item import END_OF_STREAM
+
+        schema_a, schema_b = ab_schemas
+        join = PJoin(
+            engine, cheap_cost_model, schema_a, schema_b, "key", "key",
+            config=PJoinConfig(
+                propagation_mode="push_time",
+                propagate_time_threshold_ms=10.0,
+            ),
+        )
+        join.connect(Sink(engine, cheap_cost_model))
+        join.push(END_OF_STREAM, 0)
+        join.push(END_OF_STREAM, 1)
+        engine.run(max_events=100)  # would exceed this if the timer loops
+        assert join.finished

@@ -1,0 +1,97 @@
+"""Tests of the public API surface.
+
+The top-level package is the contract downstream users code against:
+every name in ``__all__`` must resolve, and the quickstart shown in the
+package docstring must actually run.
+"""
+
+import doctest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_package_docstring_quickstart_runs():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_subpackage_alls_resolve():
+    import repro.core
+    import repro.operators
+    import repro.punctuations
+    import repro.workloads
+
+    for module in (repro.core, repro.operators, repro.punctuations,
+                   repro.workloads):
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{module.__name__}.__all__ lists missing name {name!r}"
+            )
+
+
+def test_determinism_of_full_experiment():
+    """Two identical experiment runs produce identical traces.
+
+    This guards the stable-hash and seeded-RNG discipline: any use of
+    process-salted hashing or unseeded randomness would break it.
+    """
+    from repro.core.config import PJoinConfig
+    from repro.experiments.harness import pjoin_factory, run_join_experiment
+    from repro.workloads.generator import generate_workload
+
+    def run():
+        workload = generate_workload(
+            n_tuples_per_stream=800, punct_spacing_a=10, punct_spacing_b=20,
+            seed=3,
+        )
+        result = run_join_experiment(
+            pjoin_factory(PJoinConfig(purge_threshold=5)), workload
+        )
+        return (
+            result.results,
+            result.duration_ms,
+            result.state_series.values,
+            result.output_series.values,
+        )
+
+    assert run() == run()
+
+
+def test_determinism_across_processes():
+    """The same experiment yields identical numbers in a fresh process
+    with a different hash seed — bucket placement must come from the
+    stable hash, and randomness only from explicit seeds."""
+    import subprocess
+    import sys
+
+    snippet = (
+        "from repro.core.config import PJoinConfig;"
+        "from repro.experiments.harness import pjoin_factory, run_join_experiment;"
+        "from repro.workloads.generator import generate_workload;"
+        "w = generate_workload(n_tuples_per_stream=400, punct_spacing_a=10,"
+        " punct_spacing_b=20, seed=3);"
+        "r = run_join_experiment(pjoin_factory(PJoinConfig(purge_threshold=5)), w);"
+        "print(r.results, round(r.duration_ms, 6), round(r.mean_state(), 6))"
+    )
+    outputs = set()
+    for hash_seed in ("1", "271828"):
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"trace differs across processes: {outputs}"

@@ -1,0 +1,24 @@
+"""Unit tests for the stream-item taxonomy."""
+
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.item import END_OF_STREAM, EndOfStream, is_end_of_stream
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+
+def test_end_of_stream_is_singleton():
+    assert EndOfStream() is END_OF_STREAM
+
+
+def test_is_end_of_stream_on_marker():
+    assert is_end_of_stream(END_OF_STREAM)
+
+
+def test_is_end_of_stream_on_tuple_and_punctuation():
+    schema = Schema.of("a")
+    assert not is_end_of_stream(Tuple(schema, (1,)))
+    assert not is_end_of_stream(Punctuation.on_field(schema, "a", 1))
+
+
+def test_repr():
+    assert repr(END_OF_STREAM) == "END_OF_STREAM"

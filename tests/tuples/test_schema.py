@@ -1,0 +1,132 @@
+"""Unit tests for schemas and fields."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.tuples.schema import Field, Schema
+
+
+class TestField:
+    def test_untyped_field_accepts_anything(self):
+        field = Field("x")
+        field.validate(1)
+        field.validate("s")
+        field.validate(None)
+
+    def test_typed_field_accepts_matching_value(self):
+        Field("x", int).validate(5)
+
+    def test_typed_field_rejects_mismatch(self):
+        with pytest.raises(SchemaError):
+            Field("x", int).validate("five")
+
+    def test_none_is_always_accepted(self):
+        Field("x", int).validate(None)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(SchemaError):
+            Field("x", int).validate(True)
+
+    def test_int_is_acceptable_for_float(self):
+        Field("x", float).validate(3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field(3)
+
+    def test_dtype_must_be_type(self):
+        with pytest.raises(SchemaError):
+            Field("x", "int")
+
+    def test_equality_and_hash(self):
+        assert Field("x", int) == Field("x", int)
+        assert Field("x", int) != Field("x", str)
+        assert hash(Field("x")) == hash(Field("x"))
+
+    def test_repr_mentions_dtype(self):
+        assert "int" in repr(Field("x", int))
+        assert repr(Field("y")) == "Field('y')"
+
+
+class TestSchema:
+    def test_of_builds_untyped_schema(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.arity == 3
+        assert schema.field_names == ("a", "b", "c")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_non_field_member_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"])
+
+    def test_index_of(self):
+        schema = Schema.of("a", "b")
+        assert schema.index_of("a") == 0
+        assert schema.index_of("b") == 1
+
+    def test_index_of_missing_field_raises_with_field_list(self):
+        schema = Schema.of("a", "b")
+        with pytest.raises(SchemaError, match="no field 'z'"):
+            schema.index_of("z")
+
+    def test_has_field(self):
+        schema = Schema.of("a")
+        assert schema.has_field("a")
+        assert not schema.has_field("b")
+
+    def test_validate_values_checks_arity(self):
+        schema = Schema.of("a", "b")
+        with pytest.raises(SchemaError, match="arity"):
+            schema.validate_values((1,))
+
+    def test_validate_values_checks_types(self):
+        schema = Schema([Field("a", int)])
+        with pytest.raises(SchemaError):
+            schema.validate_values(("x",))
+
+    def test_project_selects_and_reorders(self):
+        schema = Schema.of("a", "b", "c")
+        projected = schema.project(["c", "a"])
+        assert projected.field_names == ("c", "a")
+
+    def test_project_unknown_field_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").project(["z"])
+
+    def test_concat_without_clashes(self):
+        left = Schema.of("a", "b", name="L")
+        right = Schema.of("c", name="R")
+        joined = left.concat(right)
+        assert joined.field_names == ("a", "b", "c")
+
+    def test_concat_prefixes_clashing_names(self):
+        left = Schema.of("key", "x", name="L")
+        right = Schema.of("key", "y", name="R")
+        joined = left.concat(right)
+        assert joined.field_names == ("L.key", "x", "R.key", "y")
+
+    def test_concat_anonymous_schemas_use_left_right(self):
+        joined = Schema.of("k").concat(Schema.of("k"))
+        assert joined.field_names == ("left.k", "right.k")
+
+    def test_equality_ignores_name(self):
+        assert Schema.of("a", name="X") == Schema.of("a", name="Y")
+
+    def test_hashable(self):
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))
+
+    def test_iteration_and_len(self):
+        schema = Schema.of("a", "b")
+        assert len(schema) == 2
+        assert [f.name for f in schema] == ["a", "b"]

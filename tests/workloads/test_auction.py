@@ -1,0 +1,95 @@
+"""Unit tests for the auction workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+from repro.workloads.auction import AuctionSpec, AuctionWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = AuctionSpec(n_items=50, seed=3)
+    return spec, AuctionWorkloadGenerator(spec).generate()
+
+
+def tuples_of(schedule):
+    return [item for _t, item in schedule if isinstance(item, Tuple)]
+
+
+def punctuations_of(schedule):
+    return [item for _t, item in schedule if isinstance(item, Punctuation)]
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AuctionSpec(n_items=0)
+        with pytest.raises(WorkloadError):
+            AuctionSpec(auction_duration_ms=0)
+
+
+class TestOpenStream:
+    def test_one_open_tuple_per_item(self, workload):
+        spec, (open_schedule, _bids) = workload
+        opens = tuples_of(open_schedule)
+        assert len(opens) == spec.n_items
+        assert sorted(t["item_id"] for t in opens) == list(range(spec.n_items))
+
+    def test_derived_punctuation_after_each_open(self, workload):
+        """item_id is a key of Open, so the query system derives one
+        punctuation per tuple (paper §1.1)."""
+        spec, (open_schedule, _bids) = workload
+        puncts = punctuations_of(open_schedule)
+        assert len(puncts) == spec.n_items
+
+    def test_derivation_can_be_disabled(self):
+        spec = AuctionSpec(n_items=10, derive_open_punctuations=False, seed=1)
+        open_schedule, _ = AuctionWorkloadGenerator(spec).generate()
+        assert punctuations_of(open_schedule) == []
+
+
+class TestBidStream:
+    def test_every_item_gets_a_closing_punctuation(self, workload):
+        spec, (_opens, bid_schedule) = workload
+        closed = {
+            p.pattern_for("item_id").value for p in punctuations_of(bid_schedule)
+        }
+        assert closed == set(range(spec.n_items))
+
+    def test_bids_only_during_auction_period(self, workload):
+        spec, (open_schedule, bid_schedule) = workload
+        opened_at = {
+            t["item_id"]: when
+            for when, t in open_schedule
+            if isinstance(t, Tuple)
+        }
+        for when, item in bid_schedule:
+            if isinstance(item, Tuple):
+                start = opened_at[item["item_id"]]
+                assert start <= when <= start + spec.auction_duration_ms
+
+    def test_bid_stream_is_valid(self, workload):
+        """No bid arrives after its item's punctuation."""
+        _spec, (_opens, bid_schedule) = workload
+        closed = set()
+        for _when, item in bid_schedule:
+            if isinstance(item, Punctuation):
+                closed.add(item.pattern_for("item_id").value)
+            elif isinstance(item, Tuple):
+                assert item["item_id"] not in closed
+
+    def test_schedules_are_time_ordered(self, workload):
+        _spec, (open_schedule, bid_schedule) = workload
+        for schedule in (open_schedule, bid_schedule):
+            times = [t for t, _ in schedule]
+            assert times == sorted(times)
+
+    def test_deterministic(self):
+        spec = AuctionSpec(n_items=20, seed=9)
+        first = AuctionWorkloadGenerator(spec).generate()
+        second = AuctionWorkloadGenerator(spec).generate()
+        assert [
+            (t, i.values) for t, i in first[1] if isinstance(i, Tuple)
+        ] == [(t, i.values) for t, i in second[1] if isinstance(i, Tuple)]

@@ -1,0 +1,64 @@
+"""Unit tests for the bursty re-timing."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tuples.tuple import Tuple
+from repro.workloads.bursty import make_bursty
+from repro.workloads.generator import generate_workload
+
+
+@pytest.fixture(scope="module")
+def smooth():
+    return generate_workload(
+        n_tuples_per_stream=600, punct_spacing_a=15, punct_spacing_b=15, seed=2
+    )
+
+
+def test_validation(smooth):
+    with pytest.raises(WorkloadError):
+        make_bursty(smooth, burst_ms=0)
+    with pytest.raises(WorkloadError):
+        make_bursty(smooth, compress=0)
+    with pytest.raises(WorkloadError):
+        make_bursty(smooth, compress=1.5)
+
+
+def test_item_order_and_content_preserved(smooth):
+    bursty = make_bursty(smooth)
+    for side in (0, 1):
+        original = [t.values for t in smooth.tuples(side)]
+        remapped = [t.values for t in bursty.tuples(side)]
+        assert original == remapped
+        assert len(smooth.punctuations(side)) == len(bursty.punctuations(side))
+
+
+def test_times_are_monotone(smooth):
+    bursty = make_bursty(smooth)
+    for schedule in bursty.schedules:
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)
+
+
+def test_timestamps_follow_schedule_times(smooth):
+    bursty = make_bursty(smooth)
+    for t, item in bursty.schedule_a:
+        if isinstance(item, Tuple):
+            assert item.ts == t
+
+
+def test_silences_appear(smooth):
+    bursty = make_bursty(smooth, burst_ms=100.0, silence_ms=500.0, compress=0.25)
+    merged = sorted(
+        t for schedule in bursty.schedules for t, _ in schedule
+    )
+    gaps = [b - a for a, b in zip(merged, merged[1:])]
+    assert max(gaps) >= 400.0  # a real silence exists
+    # And bursts are denser than the smooth workload (mean gap < 2 ms).
+    short_gaps = [g for g in gaps if g < 50.0]
+    assert sum(short_gaps) / len(short_gaps) < 1.0
+
+
+def test_total_duration_extends_by_silences(smooth):
+    bursty = make_bursty(smooth, burst_ms=100.0, silence_ms=100.0, compress=0.5)
+    assert bursty.end_time > smooth.end_time * 0.5  # compressed + silences

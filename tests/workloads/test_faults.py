@@ -1,0 +1,147 @@
+"""Failure-injection tests: broken promises, lossy and laggy sources."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.errors import PunctuationError, WorkloadError
+from repro.operators.sink import Sink
+from repro.punctuations.punctuation import Punctuation
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.workloads.faults import (
+    delay_punctuations,
+    drop_random_punctuations,
+    inject_punctuation_violation,
+)
+from repro.workloads.generator import generate_workload
+from repro.workloads.reference import reference_join_multiset
+
+
+@pytest.fixture()
+def workload():
+    return generate_workload(
+        n_tuples_per_stream=600, punct_spacing_a=10, punct_spacing_b=10, seed=6
+    )
+
+
+def run_pjoin(schedule_a, schedule_b, workload, config):
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    join = PJoin(
+        plan.engine, plan.cost_model,
+        workload.schemas[0], workload.schemas[1], "key", "key", config=config,
+    )
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(sink)
+    plan.add_source(schedule_a, join, port=0)
+    plan.add_source(schedule_b, join, port=1)
+    plan.run()
+    return join, sink
+
+
+class TestInjectViolation:
+    def test_produces_an_actually_invalid_stream(self, workload):
+        corrupted, value = inject_punctuation_violation(
+            workload.schedule_a, workload.schemas[0]
+        )
+        assert len(corrupted) == len(workload.schedule_a) + 1
+        # The injected tuple follows a punctuation covering its value.
+        seen_punct = False
+        for _ts, item in corrupted:
+            if isinstance(item, Punctuation) and item.patterns[0].matches(value):
+                seen_punct = True
+            elif (
+                seen_punct
+                and not isinstance(item, Punctuation)
+                and item.values[0] == value
+            ):
+                break
+        else:
+            pytest.fail("no violating tuple found after its punctuation")
+
+    def test_needs_a_constant_punctuation(self, workload):
+        clean = [
+            (t, i)
+            for t, i in workload.schedule_a
+            if not isinstance(i, Punctuation)
+        ]
+        with pytest.raises(WorkloadError):
+            inject_punctuation_violation(clean, workload.schemas[0])
+
+    def test_pjoin_raise_mode_detects_it(self, workload):
+        corrupted, _value = inject_punctuation_violation(
+            workload.schedule_a, workload.schemas[0]
+        )
+        with pytest.raises(PunctuationError, match="after a punctuation"):
+            run_pjoin(
+                corrupted, workload.schedule_b, workload,
+                PJoinConfig(validate_inputs="raise"),
+            )
+
+    def test_pjoin_count_mode_quarantines_it(self, workload):
+        corrupted, _value = inject_punctuation_violation(
+            workload.schedule_a, workload.schemas[0]
+        )
+        join, sink = run_pjoin(
+            corrupted, workload.schedule_b, workload,
+            PJoinConfig(validate_inputs="count"),
+        )
+        assert join.punctuation_violations == 1
+        # The clean part of the stream still joins exactly.
+        expected = reference_join_multiset(
+            workload.schedule_a, workload.schedule_b,
+            workload.schemas[0], workload.schemas[1],
+        )
+        assert Counter(dict(sink.result_multiset())) == expected
+
+
+class TestDropPunctuations:
+    def test_fraction_validated(self, workload):
+        with pytest.raises(WorkloadError):
+            drop_random_punctuations(workload.schedule_a, 1.5)
+
+    def test_dropping_is_safe_but_costs_state(self, workload):
+        expected = reference_join_multiset(
+            workload.schedule_a, workload.schedule_b,
+            workload.schemas[0], workload.schemas[1],
+        )
+        lossy_a = drop_random_punctuations(workload.schedule_a, 0.8, seed=1)
+        lossy_b = drop_random_punctuations(workload.schedule_b, 0.8, seed=2)
+        join_lossy, sink_lossy = run_pjoin(
+            lossy_a, lossy_b, workload, PJoinConfig(purge_threshold=1)
+        )
+        join_clean, _sink = run_pjoin(
+            workload.schedule_a, workload.schedule_b, workload,
+            PJoinConfig(purge_threshold=1),
+        )
+        assert Counter(dict(sink_lossy.result_multiset())) == expected
+        assert join_lossy.total_state_size() > join_clean.total_state_size()
+
+    def test_drop_all(self, workload):
+        bare = drop_random_punctuations(workload.schedule_a, 1.0)
+        assert all(not isinstance(i, Punctuation) for _t, i in bare)
+
+
+class TestDelayPunctuations:
+    def test_delay_validated(self, workload):
+        with pytest.raises(WorkloadError):
+            delay_punctuations(workload.schedule_a, -1.0)
+
+    def test_delay_preserves_validity_and_results(self, workload):
+        expected = reference_join_multiset(
+            workload.schedule_a, workload.schedule_b,
+            workload.schemas[0], workload.schemas[1],
+        )
+        laggy_a = delay_punctuations(workload.schedule_a, 500.0)
+        laggy_b = delay_punctuations(workload.schedule_b, 500.0)
+        _join, sink = run_pjoin(
+            laggy_a, laggy_b, workload, PJoinConfig(purge_threshold=1)
+        )
+        assert Counter(dict(sink.result_multiset())) == expected
+
+    def test_delayed_schedule_is_sorted(self, workload):
+        laggy = delay_punctuations(workload.schedule_a, 123.0)
+        times = [t for t, _ in laggy]
+        assert times == sorted(times)

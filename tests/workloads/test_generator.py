@@ -1,0 +1,118 @@
+"""Unit and property tests for the punctuated-stream generator.
+
+The critical property is *stream validity*: once a stream has emitted a
+punctuation for a key, it must never emit a tuple with that key again —
+PJoin's purge/drop soundness is built on that promise.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+from repro.workloads.generator import generate_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def stream_is_valid(schedule, schema) -> bool:
+    """No tuple matches an earlier punctuation of the same stream."""
+    key_index = schema.index_of("key")
+    punctuated = set()
+    for _t, item in schedule:
+        if isinstance(item, Punctuation):
+            pattern = item.patterns[key_index]
+            punctuated.add(pattern)
+        elif isinstance(item, Tuple):
+            key = item.values[key_index]
+            if any(p.matches(key) for p in punctuated):
+                return False
+    return True
+
+
+class TestBasicProperties:
+    def test_tuple_counts_match_spec(self):
+        workload = generate_workload(n_tuples_per_stream=500, seed=1)
+        assert len(workload.tuples(0)) == 500
+        assert len(workload.tuples(1)) == 500
+
+    def test_schedules_are_time_ordered(self):
+        workload = generate_workload(n_tuples_per_stream=500, seed=1)
+        for schedule in workload.schedules:
+            times = [t for t, _ in schedule]
+            assert times == sorted(times)
+
+    def test_punctuation_count_roughly_matches_spacing(self):
+        workload = generate_workload(
+            n_tuples_per_stream=4000, punct_spacing_a=10, punct_spacing_b=40, seed=2
+        )
+        assert 320 <= len(workload.punctuations(0)) <= 480
+        assert 70 <= len(workload.punctuations(1)) <= 130
+
+    def test_none_spacing_yields_no_punctuations(self):
+        workload = generate_workload(
+            n_tuples_per_stream=500, punct_spacing_a=None, punct_spacing_b=None,
+            seed=1,
+        )
+        assert workload.punctuations(0) == []
+        assert workload.punctuations(1) == []
+
+    def test_deterministic_for_equal_seeds(self):
+        a = generate_workload(n_tuples_per_stream=300, seed=7)
+        b = generate_workload(n_tuples_per_stream=300, seed=7)
+        assert [(t, i.values) for t, i in a.schedule_a if isinstance(i, Tuple)] == [
+            (t, i.values) for t, i in b.schedule_a if isinstance(i, Tuple)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(n_tuples_per_stream=300, seed=7)
+        b = generate_workload(n_tuples_per_stream=300, seed=8)
+        assert [t.values for t in a.tuples(0)] != [t.values for t in b.tuples(0)]
+
+    def test_streams_share_keys(self):
+        workload = generate_workload(n_tuples_per_stream=500, seed=1)
+        keys_a = {t["key"] for t in workload.tuples(0)}
+        keys_b = {t["key"] for t in workload.tuples(1)}
+        assert keys_a & keys_b
+
+    def test_aligned_punctuations_same_order(self):
+        workload = generate_workload(
+            n_tuples_per_stream=2000,
+            punct_spacing_a=40,
+            punct_spacing_b=40,
+            aligned_punctuations=True,
+            seed=3,
+        )
+        keys_a = [p.pattern_for("key").value for p in workload.punctuations(0)]
+        keys_b = [p.pattern_for("key").value for p in workload.punctuations(1)]
+        shared = min(len(keys_a), len(keys_b))
+        assert keys_a[:shared] == keys_b[:shared] == list(range(shared))
+
+    def test_end_time_is_last_item_time(self):
+        workload = generate_workload(n_tuples_per_stream=100, seed=1)
+        expected = max(workload.schedule_a[-1][0], workload.schedule_b[-1][0])
+        assert workload.end_time == expected
+
+
+class TestValidity:
+    def test_streams_are_valid_default_spec(self):
+        workload = generate_workload(n_tuples_per_stream=2000, seed=5)
+        for side in (0, 1):
+            assert stream_is_valid(workload.schedules[side], workload.schemas[side])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        spacing_a=st.one_of(st.none(), st.integers(2, 60)),
+        spacing_b=st.one_of(st.none(), st.integers(2, 60)),
+        active=st.integers(1, 25),
+        seed=st.integers(0, 10_000),
+    )
+    def test_streams_are_valid_for_any_spec(self, spacing_a, spacing_b, active, seed):
+        spec = WorkloadSpec(
+            n_tuples_per_stream=400,
+            punct_spacing_a=spacing_a,
+            punct_spacing_b=spacing_b,
+            active_values=active,
+            seed=seed,
+        )
+        workload = generate_workload(spec)
+        for side in (0, 1):
+            assert stream_is_valid(workload.schedules[side], workload.schemas[side])

@@ -1,0 +1,51 @@
+"""Unit tests for the sensor workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+from repro.workloads.sensors import SensorSpec, SensorWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = SensorSpec(n_epochs=10, n_sensors=5, seed=2)
+    return spec, SensorWorkloadGenerator(spec).generate()
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        SensorSpec(n_epochs=0)
+    with pytest.raises(WorkloadError):
+        SensorSpec(epoch_length_ms=0)
+
+
+def test_every_sensor_reports_every_epoch(workload):
+    spec, (readings, _queries) = workload
+    tuples = [i for _t, i in readings if isinstance(i, Tuple)]
+    assert len(tuples) == spec.n_epochs * spec.n_sensors
+
+
+def test_one_punctuation_per_epoch_per_stream(workload):
+    spec, (readings, queries) = workload
+    for schedule in (readings, queries):
+        puncts = [i for _t, i in schedule if isinstance(i, Punctuation)]
+        assert len(puncts) == spec.n_epochs
+
+
+def test_readings_precede_their_epoch_punctuation(workload):
+    _spec, (readings, _queries) = workload
+    closed = set()
+    for _t, item in readings:
+        if isinstance(item, Punctuation):
+            closed.add(item.pattern_for("epoch").value)
+        else:
+            assert item["epoch"] not in closed
+
+
+def test_schedules_time_ordered(workload):
+    _spec, schedules = workload
+    for schedule in schedules:
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)

@@ -1,0 +1,40 @@
+"""Unit tests for the workload specification."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestValidation:
+    def test_defaults_are_paper_parameters(self):
+        spec = WorkloadSpec()
+        assert spec.tuple_interarrival_ms == 2.0
+        assert spec.punct_spacings == (40.0, 40.0)
+
+    def test_tuple_count_positive(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_tuples_per_stream=0)
+
+    def test_interarrival_positive(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(tuple_interarrival_ms=0)
+
+    def test_spacings_at_least_one(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(punct_spacing_a=0.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(punct_spacing_b=-1)
+
+    def test_spacing_none_disables_punctuations(self):
+        spec = WorkloadSpec(punct_spacing_a=None)
+        assert spec.punct_spacings == (None, 40.0)
+
+    def test_active_values_positive(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(active_values=0)
+
+    def test_with_overrides(self):
+        spec = WorkloadSpec().with_overrides(seed=99)
+        assert spec.seed == 99
+        assert WorkloadSpec().seed == 42

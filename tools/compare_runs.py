@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two benchmark-report archives (regression tooling).
+
+``pytest benchmarks/ --benchmark-only`` archives each figure's
+measurements as JSON under ``benchmarks/reports/``.  This tool diffs
+two such directories — e.g. reports saved before and after a change —
+and prints, per figure and variant, how the headline metrics moved.
+
+Usage:
+    python tools/compare_runs.py OLD_DIR NEW_DIR [--threshold 0.05]
+
+Exit status 1 when any metric moved more than the threshold (relative),
+so it can serve as a CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.export import load_figure_json
+from repro.metrics.report import render_table
+
+METRICS = ("results", "mean_state", "max_state", "duration_ms",
+           "punctuations_out")
+
+
+def load_dir(path: Path) -> Dict[str, dict]:
+    figures = {}
+    for json_path in sorted(path.glob("*.json")):
+        try:
+            data = load_figure_json(json_path)
+        except ValueError as exc:
+            print(f"skipping {json_path}: {exc}", file=sys.stderr)
+            continue
+        figures[data["figure_id"]] = data
+    return figures
+
+
+def relative_change(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    if old == 0:
+        return float("inf")
+    return (new - old) / abs(old)
+
+
+def compare(old_dir: Path, new_dir: Path, threshold: float) -> int:
+    old_figures = load_dir(old_dir)
+    new_figures = load_dir(new_dir)
+    shared = sorted(set(old_figures) & set(new_figures))
+    only_old = sorted(set(old_figures) - set(new_figures))
+    only_new = sorted(set(new_figures) - set(old_figures))
+    if only_old:
+        print(f"only in {old_dir}: {only_old}")
+    if only_new:
+        print(f"only in {new_dir}: {only_new}")
+    regressions = 0
+    rows: List[List[object]] = []
+    for figure_id in shared:
+        old_runs = {r["label"]: r["summary"] for r in old_figures[figure_id]["runs"]}
+        new_runs = {r["label"]: r["summary"] for r in new_figures[figure_id]["runs"]}
+        for label in sorted(set(old_runs) & set(new_runs)):
+            for metric in METRICS:
+                old_value = old_runs[label].get(metric, 0) or 0
+                new_value = new_runs[label].get(metric, 0) or 0
+                change = relative_change(float(old_value), float(new_value))
+                if abs(change) > threshold:
+                    regressions += 1
+                    rows.append(
+                        [
+                            figure_id,
+                            label,
+                            metric,
+                            round(float(old_value), 2),
+                            round(float(new_value), 2),
+                            f"{change:+.1%}",
+                        ]
+                    )
+    if rows:
+        print(render_table(
+            ["figure", "variant", "metric", "old", "new", "change"], rows
+        ))
+    else:
+        print(f"no metric moved more than {threshold:.0%} across "
+              f"{len(shared)} shared figures")
+    return 1 if regressions else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old_dir", type=Path)
+    parser.add_argument("new_dir", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative change that counts as a regression")
+    args = parser.parse_args(argv)
+    return compare(args.old_dir, args.new_dir, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
