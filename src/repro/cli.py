@@ -1,12 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Commands:
 
 * ``figures`` — run paper-figure presets (and ablations) and print their
   reports;
 * ``demo`` — a one-shot PJoin-vs-XJoin comparison on a configurable
   workload;
-* ``list`` — show every available experiment.
+* ``list`` — show every available experiment;
+* ``trace`` — run a traced PJoin workload *or* any experiment preset and
+  print the span timeline; export Chrome trace JSON / JSONL / manifests;
+* ``metrics`` — run a workload or preset and print the per-operator
+  counter registries from its run manifest;
+* ``obs`` — the observability group: ``obs trace`` and ``obs metrics``
+  are aliases of the two commands above.
 
 Examples
 --------
@@ -16,23 +22,31 @@ Examples
     python -m repro figures figure5 figure7 --scale 0.5
     python -m repro figures --all --scale 0.2
     python -m repro demo --tuples 5000 --spacing-a 10 --spacing-b 20
+    python -m repro trace figure8 --scale 0.1 --chrome trace.json
+    python -m repro metrics --tuples 2000 --manifest run.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+import repro
 from repro.core.config import PJoinConfig
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import (
     pjoin_factory,
     run_join_experiment,
+    tracing,
     xjoin_factory,
 )
 from repro.metrics.report import render_table
+from repro.obs.export import render_timeline, save_chrome_trace, save_jsonl
+from repro.obs.trace import Tracer
 from repro.workloads.generator import generate_workload
 
 ALL_EXPERIMENTS = {**ALL_FIGURES, **ALL_ABLATIONS}
@@ -42,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Joining Punctuated Streams' (EDBT 2004)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -78,23 +95,94 @@ def build_parser() -> argparse.ArgumentParser:
     demo_cmd.add_argument("--seed", type=int, default=42)
     demo_cmd.set_defaults(func=cmd_demo)
 
-    trace_cmd = sub.add_parser(
-        "trace",
-        help="run a small PJoin with the execution tracer and print the "
-             "component timeline (purges, relocations, disk joins, "
-             "propagations)",
+    _add_trace_parser(sub)
+    _add_metrics_parser(sub)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability tools: span tracing and counter registries",
+        description="Observability tools built on the repro.obs layer: "
+                    "'obs trace' prints and exports span timelines, "
+                    "'obs metrics' prints per-operator counter registries.",
     )
-    trace_cmd.add_argument("--tuples", type=int, default=500)
-    trace_cmd.add_argument("--spacing-a", type=float, default=10.0)
-    trace_cmd.add_argument("--spacing-b", type=float, default=10.0)
-    trace_cmd.add_argument("--purge-threshold", type=int, default=5)
-    trace_cmd.add_argument("--memory-threshold", type=int, default=None)
-    trace_cmd.add_argument("--max-events", type=int, default=40,
-                           help="timeline lines to print")
-    trace_cmd.add_argument("--seed", type=int, default=42)
-    trace_cmd.set_defaults(func=cmd_trace)
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    _add_trace_parser(obs_sub)
+    _add_metrics_parser(obs_sub)
 
     return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Flags for the ad-hoc PJoin workload (used when no preset is named)."""
+    parser.add_argument("--tuples", type=int, default=500)
+    parser.add_argument("--spacing-a", type=float, default=10.0)
+    parser.add_argument("--spacing-b", type=float, default=10.0)
+    parser.add_argument("--purge-threshold", type=int, default=5)
+    parser.add_argument("--memory-threshold", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_export_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chrome", type=Path, default=None, metavar="PATH",
+        help="write the span trace as Chrome trace-event JSON "
+             "(load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--jsonl", type=Path, default=None, metavar="PATH",
+        help="write the raw trace events as JSON lines",
+    )
+    parser.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help="write the run manifest(s) as JSON "
+             "(diff two with tools/compare_runs.py)",
+    )
+
+
+def _add_trace_parser(sub) -> None:
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run a traced PJoin workload or experiment preset and print "
+             "the component timeline (purges, relocations, disk joins, "
+             "propagations)",
+    )
+    trace_cmd.add_argument(
+        "target", nargs="?", default=None,
+        help="optional experiment preset to trace (e.g. figure8; "
+             "see 'repro list'); omit to trace an ad-hoc PJoin workload",
+    )
+    trace_cmd.add_argument(
+        "--scale", type=float, default=0.1,
+        help="workload scale factor for preset targets (default 0.1)",
+    )
+    _add_workload_args(trace_cmd)
+    trace_cmd.add_argument("--max-events", type=int, default=40,
+                           help="timeline lines to print")
+    _add_export_args(trace_cmd)
+    trace_cmd.set_defaults(func=cmd_trace)
+
+
+def _add_metrics_parser(sub) -> None:
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run a workload or experiment preset and print the "
+             "per-operator counter registries from its run manifest",
+    )
+    metrics_cmd.add_argument(
+        "target", nargs="?", default=None,
+        help="optional experiment preset (e.g. figure8); omit for an "
+             "ad-hoc PJoin workload",
+    )
+    metrics_cmd.add_argument(
+        "--scale", type=float, default=0.1,
+        help="workload scale factor for preset targets (default 0.1)",
+    )
+    _add_workload_args(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help="also write the run manifest(s) as JSON",
+    )
+    metrics_cmd.set_defaults(func=cmd_metrics)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -165,46 +253,98 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core.pjoin import PJoin
-    from repro.operators.sink import Sink
-    from repro.query.plan import QueryPlan
-    from repro.sim.trace import Tracer
+def _traced_runs(args: argparse.Namespace, tracer: Tracer):
+    """Run the requested preset or ad-hoc workload under *tracer*.
 
+    Returns the list of :class:`ExperimentRun` objects, or ``None`` when
+    the preset name is unknown (an error was already printed).
+    """
+    if args.target is not None:
+        if args.target not in ALL_EXPERIMENTS:
+            print(f"unknown experiment: {args.target!r}; try 'repro list'",
+                  file=sys.stderr)
+            return None
+        with tracing(tracer):
+            result = ALL_EXPERIMENTS[args.target](scale=args.scale)
+        return list(result.runs)
     workload = generate_workload(
         n_tuples_per_stream=args.tuples,
         punct_spacing_a=args.spacing_a,
         punct_spacing_b=args.spacing_b,
         seed=args.seed,
     )
-    plan = QueryPlan()
-    plan.engine.tracer = Tracer()
-    join = PJoin(
-        plan.engine, plan.cost_model,
-        workload.schemas[0], workload.schemas[1], "key", "key",
-        config=PJoinConfig(
-            purge_threshold=args.purge_threshold,
-            memory_threshold=args.memory_threshold,
-            propagation_mode="push_count",
-            propagate_count_threshold=max(2, args.purge_threshold),
-        ),
+    config = PJoinConfig(
+        purge_threshold=args.purge_threshold,
+        memory_threshold=args.memory_threshold,
+        propagation_mode="push_count",
+        propagate_count_threshold=max(2, args.purge_threshold),
     )
-    sink = Sink(plan.engine, plan.cost_model, keep_items=False)
-    join.connect(sink)
-    plan.add_source(workload.schedule_a, join, port=0, name="A")
-    plan.add_source(workload.schedule_b, join, port=1, name="B")
-    plan.run()
-    tracer = plan.engine.tracer
-    print(tracer.render(max_events=args.max_events))
+    run = run_join_experiment(
+        pjoin_factory(config),
+        workload,
+        label=f"PJoin-{args.purge_threshold}",
+        keep_items=False,
+        tracer=tracer,
+    )
+    return [run]
+
+
+def _write_manifests(runs, path: Path) -> None:
+    """Write one manifest (single run) or a ``{label: manifest}`` map."""
+    if len(runs) == 1:
+        payload = runs[0].manifest
+    else:
+        payload = {run.label: run.manifest for run in runs}
+    path.write_text(json.dumps(payload, indent=1))
+    print(f"wrote manifest: {path}")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    runs = _traced_runs(args, tracer)
+    if runs is None:
+        return 2
+    print(render_timeline(tracer, max_events=args.max_events))
     print()
     print(render_table(
         ["action", "count"], sorted(tracer.counts().items())
     ))
-    print()
-    stats = join.stats()
-    rows = [[key, value] for key, value in stats.items()
-            if not isinstance(value, (dict, tuple))]
-    print(render_table(["join statistic", "value"], rows))
+    for run in runs:
+        stats = getattr(run.join, "stats", None)
+        if stats is None:
+            continue
+        print()
+        rows = [[key, value] for key, value in stats().items()
+                if not isinstance(value, (dict, tuple))]
+        print(render_table([f"join statistic ({run.label})", "value"], rows))
+    if args.chrome is not None:
+        save_chrome_trace(tracer, args.chrome)
+        print(f"\nwrote Chrome trace: {args.chrome}")
+    if args.jsonl is not None:
+        save_jsonl(tracer, args.jsonl)
+        print(f"wrote JSONL trace: {args.jsonl}")
+    if args.manifest is not None:
+        _write_manifests(runs, args.manifest)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    runs = _traced_runs(args, Tracer())
+    if runs is None:
+        return 2
+    for run in runs:
+        rows = []
+        for op_name, counters in run.manifest.get("counters", {}).items():
+            for counter, value in counters.items():
+                rows.append([op_name, counter,
+                             round(value, 3) if isinstance(value, float)
+                             else value])
+        print(render_table(
+            [f"operator ({run.label})", "counter", "value"], rows
+        ))
+        print()
+    if args.manifest is not None:
+        _write_manifests(runs, args.manifest)
     return 0
 
 

@@ -25,6 +25,7 @@ from typing import List, Tuple as PyTuple
 
 from repro.core.pjoin import PJoin
 from repro.errors import ConfigError
+from repro.obs.trace import get_tracer
 
 
 class AdaptivePurgeController:
@@ -104,6 +105,13 @@ class AdaptivePurgeController:
         if new != current:
             self.join.reconfigure(purge_threshold=new)
             self.adjustments.append((self.join.engine.now, new))
+            tracer = get_tracer(self.join.engine)
+            if tracer is not None:
+                tracer.record(
+                    self.join.engine.now, self.join.name, "adaptive_adjust",
+                    old=current, new=new,
+                    purge_delta=purge_delta, probe_delta=probe_delta,
+                )
 
     @property
     def current_threshold(self) -> int:

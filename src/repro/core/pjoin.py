@@ -39,6 +39,7 @@ from repro.core.purge import PurgeResult, purge_side
 from repro.core.registry import EventListenerRegistry, default_registry_for
 from repro.core.state import JoinStateSide
 from repro.errors import OperatorError, PunctuationError
+from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import (
     already_produced,
@@ -159,6 +160,8 @@ class PJoin(BinaryHashJoin):
         # eager/lazy trade-off; read by the adaptive purge controller.
         self.probe_time_total = 0.0
         self.purge_time_total = 0.0
+        # Propagation delay: punctuation arrival → release downstream.
+        self.propagation_latency_total_ms = 0.0
         if self.config.propagation_mode == PROPAGATE_PUSH_TIME:
             self._arm_propagation_timer()
 
@@ -261,6 +264,8 @@ class PJoin(BinaryHashJoin):
             return cost  # "count" mode: drop the offending tuple
         # Memory join: probe the opposite state's memory portion.
         occupancy, matches = self.sides[other].probe(value)
+        self.probes += 1
+        self.probe_matches += len(matches)
         for entry in matches:
             self.emit_join(tup, entry, side)
         probe_cost = self.cost_model.probe_cost(occupancy, len(matches))
@@ -280,6 +285,7 @@ class PJoin(BinaryHashJoin):
                     self.tuples_dropped_on_fly += 1
         if not dropped:
             self.sides[side].insert(tup, value, self.engine.now)
+            self.insertions += 1
             cost += self.cost_model.insert
             event = self.monitor.on_insert(self.memory_state_size())
             if event is not None:
@@ -312,19 +318,33 @@ class PJoin(BinaryHashJoin):
     def _component_state_purge(self, event: Optional[Event]) -> float:
         """One purge run over both states; returns its virtual cost."""
         now = self.engine.now
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.begin(now, self.name, "purge")
         total = PurgeResult()
         for side in (0, 1):
-            total += purge_side(self.sides[side], self.sides[self.other(side)], now)
+            result = purge_side(self.sides[side], self.sides[self.other(side)], now)
+            if tracer is not None:
+                tracer.record(
+                    now, self.name, "hash_purge",
+                    side=self.sides[side].side_name,
+                    scanned=result.scanned,
+                    discarded=result.discarded,
+                    buffered=result.buffered,
+                )
+            total += result
         self.purge_runs += 1
         self.tuples_purged += total.removed
         cost = self.cost_model.purge_cost(total.scanned)
         self.purge_time_total += cost
-        self._trace(
-            "purge",
-            scanned=total.scanned,
-            discarded=total.discarded,
-            buffered=total.buffered,
-        )
+        if tracer is not None:
+            tracer.end(
+                now,
+                scanned=total.scanned,
+                discarded=total.discarded,
+                buffered=total.buffered,
+                cost=cost,
+            )
         return cost
 
     # ==================================================================
@@ -397,6 +417,12 @@ class PJoin(BinaryHashJoin):
             sides[0].clear_purge_buffer()
             sides[1].clear_purge_buffer()
             return 0.0
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.begin(
+                now, self.name, "disk_join",
+                disk_left=sides[0].disk_size, disk_right=sides[1].disk_size,
+            )
         self.disk_join_runs += 1
         cost = 0.0
         emitted = 0
@@ -406,6 +432,13 @@ class PJoin(BinaryHashJoin):
             part = [sides[0].table.partitions[index], sides[1].table.partitions[index]]
             if part[0].disk_count == 0 and part[1].disk_count == 0:
                 continue
+            if tracer is not None:
+                tracer.record(
+                    now, self.name, "disk_partition",
+                    index=index,
+                    disk_left=part[0].disk_count,
+                    disk_right=part[1].disk_count,
+                )
             cost += self.disk.read(part[0].disk_count)
             cost += self.disk.read(part[1].disk_count)
             for side in (0, 1):
@@ -428,6 +461,7 @@ class PJoin(BinaryHashJoin):
             part[1].record_probe(now)
         cost += self.cost_model.emit_result * emitted
         # Purge disk portions: covered entries have settled all debts.
+        disk_purged = 0
         for side in (0, 1):
             covers = sides[self.other(side)].store.covers_value
             for partition in sides[side].table.partitions_with_disk():
@@ -437,10 +471,16 @@ class PJoin(BinaryHashJoin):
                 for entry in removed:
                     sides[side].discard_entry(entry)
                 self.tuples_purged += len(removed)
+                disk_purged += len(removed)
                 cost += self.cost_model.purge_scan_per_tuple * len(removed)
+        if tracer is not None and disk_purged:
+            tracer.record(now, self.name, "disk_purge", removed=disk_purged)
         buffers_cleared = sides[0].clear_purge_buffer() + sides[1].clear_purge_buffer()
         self._last_full_disk_join = now
-        self._trace("disk_join", emitted=emitted, buffers_cleared=buffers_cleared)
+        if tracer is not None:
+            tracer.end(
+                now, emitted=emitted, buffers_cleared=buffers_cleared, cost=cost
+            )
         return cost
 
     def _buffer_by_partition(self, side: int) -> Dict[int, List[StateEntry]]:
@@ -524,10 +564,19 @@ class PJoin(BinaryHashJoin):
     def _component_index_build(self, event: Optional[Event]) -> float:
         """Run Index-Build for every side with fresh punctuations."""
         cost = 0.0
+        tracer = get_tracer(self.engine)
         for side in self.sides:
             if side.index.pending_unindexed_punctuations == 0:
                 continue
             result = side.index.build(side.iter_all_entries())
+            if tracer is not None:
+                tracer.record(
+                    self.engine.now, self.name, "index_build",
+                    side=side.side_name,
+                    scanned=result.scanned,
+                    unindexed=result.unindexed,
+                    fresh=result.fresh_punctuations,
+                )
             cost += self.cost_model.index_build_cost(
                 result.scanned, result.unindexed, result.fresh_punctuations
             )
@@ -539,14 +588,25 @@ class PJoin(BinaryHashJoin):
 
     def _component_propagate(self, event: Optional[Event]) -> float:
         """Release all propagable punctuations to the output stream."""
+        now = self.engine.now
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.begin(now, self.name, "propagate")
         result = run_propagation(
-            self.sides, self.out_schema, self._out_join_indices, self.engine.now
+            self.sides, self.out_schema, self._out_join_indices, now
         )
         for punct in result.emitted:
             self.emit(punct)
         self.propagation_runs += 1
         self.punctuations_propagated += result.propagated
-        self._trace("propagate", checked=result.checked, emitted=result.propagated)
+        self.propagation_latency_total_ms += result.latency_total_ms
+        if tracer is not None:
+            tracer.end(
+                now,
+                checked=result.checked,
+                emitted=result.propagated,
+                latency_ms=result.latency_total_ms,
+            )
         return self.cost_model.propagation_cost(result.checked)
 
     # ==================================================================
@@ -627,9 +687,33 @@ class PJoin(BinaryHashJoin):
             "punctuation_violations": self.punctuation_violations,
             "probe_time_total": self.probe_time_total,
             "purge_time_total": self.purge_time_total,
+            "propagation_latency_total_ms": self.propagation_latency_total_ms,
             "busy_time": self.busy_time,
             "events_dispatched": dict(self.events_dispatched),
         }
+
+    def counters(self) -> Dict[str, Any]:
+        """The uniform counter registry (see :mod:`repro.obs.counters`)."""
+        out = super().counters()
+        out.update(
+            tuples_purged=self.tuples_purged,
+            tuples_dropped_on_fly=self.tuples_dropped_on_fly,
+            purge_runs=self.purge_runs,
+            disk_join_runs=self.disk_join_runs,
+            spills=self.spills,
+            propagation_runs=self.propagation_runs,
+            punctuations_propagated=self.punctuations_propagated,
+            propagation_latency_total_ms=self.propagation_latency_total_ms,
+            punctuation_violations=self.punctuation_violations,
+            probe_time_ms=self.probe_time_total,
+            purge_time_ms=self.purge_time_total,
+            purge_events_fired=self.monitor.purge_events_fired,
+            state_full_events_fired=self.monitor.state_full_events_fired,
+            propagation_events_fired=self.monitor.propagation_events_fired,
+        )
+        for event_name, count in self.events_dispatched.items():
+            out[f"events.{event_name}"] = count
+        return out
 
     def __repr__(self) -> str:
         return (

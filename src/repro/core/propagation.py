@@ -31,11 +31,14 @@ from repro.tuples.schema import Schema
 class PropagationResult:
     """Statistics and output of one propagation run."""
 
-    __slots__ = ("checked", "emitted")
+    __slots__ = ("checked", "emitted", "latency_total_ms")
 
     def __init__(self) -> None:
         self.checked = 0
         self.emitted: List[Punctuation] = []
+        # Sum over emitted punctuations of (release time - arrival time):
+        # the paper's propagation-delay metric (Figure 14), aggregated.
+        self.latency_total_ms = 0.0
 
     @property
     def propagated(self) -> int:
@@ -74,7 +77,8 @@ def run_propagation(
             ready.append((punct.ts, side_number, pid, punct))
     # Steady, deterministic output order: by original arrival time.
     ready.sort(key=lambda item: (item[0], item[1], item[2]))
-    for _ts, side_number, pid, punct in ready:
+    for arrival_ts, side_number, pid, punct in ready:
+        result.latency_total_ms += max(0.0, now - arrival_ts)
         side = sides[side_number]
         join_pattern = punct.patterns[side.store.join_index]
         out_patterns = [WILDCARD] * out_schema.arity

@@ -49,6 +49,11 @@ class WindowedPJoin(PJoin):
         self.window_ms = window_ms
         self.tuples_expired = 0
 
+    def counters(self) -> dict:
+        out = super().counters()
+        out["tuples_expired"] = self.tuples_expired
+        return out
+
     def _handle_tuple(self, tup: Tuple, side: int) -> float:
         """Expire the probed bucket, then run the normal PJoin path."""
         other = self.other(side)

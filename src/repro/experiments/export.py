@@ -16,7 +16,9 @@ from repro.experiments.figures import FigureResult
 from repro.experiments.harness import ExperimentRun
 from repro.metrics.series import TimeSeries
 
-FORMAT_VERSION = 1
+# Version 2 added the per-run "manifest" block (config, seed, counters).
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def series_to_dict(series: TimeSeries) -> Dict[str, Any]:
@@ -39,6 +41,7 @@ def run_to_dict(run: ExperimentRun) -> Dict[str, Any]:
         "label": run.label,
         "summary": run.summary(),
         "series": {name: series_to_dict(s) for name, s in run.series.items()},
+        "manifest": run.manifest,
     }
 
 
@@ -71,9 +74,9 @@ def load_figure_json(path: Path) -> Dict[str, Any]:
     """
     data = json.loads(path.read_text())
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"{path} has format version {version!r}; "
-            f"this build reads {FORMAT_VERSION}"
+            f"this build reads {SUPPORTED_VERSIONS}"
         )
     return data

@@ -8,13 +8,16 @@ figures need: time series, final counters and derived statistics.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+import contextlib
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.core.config import PJoinConfig
 from repro.core.pjoin import PJoin
 from repro.core.registry import EventListenerRegistry
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.series import TimeSeries
+from repro.obs.manifest import build_manifest
+from repro.obs.trace import Tracer
 from repro.operators.base import Operator
 from repro.operators.shj import SymmetricHashJoin
 from repro.operators.sink import Sink
@@ -25,6 +28,31 @@ from repro.workloads.generator import GeneratedWorkload
 
 # A factory builds the join under test inside the experiment's plan.
 JoinFactory = Callable[[QueryPlan, GeneratedWorkload], Operator]
+
+# Tracer installed by the tracing() context manager; every
+# run_join_experiment call inside the block attaches it to its engine.
+_ACTIVE_TRACER: Optional[Tracer] = None
+
+
+@contextlib.contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Trace every experiment run inside the ``with`` block.
+
+    The CLI's ``repro trace fig08`` uses this to instrument experiment
+    presets without threading a tracer through every preset function:
+    ``run_join_experiment`` consults the active tracer when its own
+    ``tracer`` argument is ``None``.  Yields the tracer so callers can
+    export its events afterwards.
+    """
+    global _ACTIVE_TRACER
+    if tracer is None:
+        tracer = Tracer()
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER = previous
 
 
 class ExperimentRun:
@@ -37,12 +65,16 @@ class ExperimentRun:
         sink: Sink,
         series: Dict[str, TimeSeries],
         duration_ms: float,
+        manifest: Optional[Dict[str, Any]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.label = label
         self.join = join
         self.sink = sink
         self.series = series
         self.duration_ms = duration_ms
+        self.manifest = manifest or {}
+        self.tracer = tracer
 
     # -- metric accessors ----------------------------------------------------
 
@@ -123,6 +155,7 @@ def run_join_experiment(
     cost_model: Optional[CostModel] = None,
     keep_items: bool = False,
     horizon_factor: float = 4.0,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentRun:
     """Execute one join over one workload and return its measurements.
 
@@ -141,8 +174,17 @@ def run_join_experiment(
         Metrics are pre-scheduled until ``end_time * horizon_factor`` so
         a saturated join that lags behind its inputs is still sampled;
         trailing samples after completion are trimmed.
+    tracer:
+        Attach this :class:`~repro.obs.trace.Tracer` to the simulation
+        engine for the run.  Defaults to the tracer installed by the
+        :func:`tracing` context manager, if any; otherwise the run is
+        untraced (the zero-cost-when-off path).
     """
+    if tracer is None:
+        tracer = _ACTIVE_TRACER
     plan = QueryPlan(cost_model=cost_model)
+    if tracer is not None:
+        plan.engine.tracer = tracer
     join = factory(plan, workload)
     sink = Sink(plan.engine, plan.cost_model, keep_items=keep_items)
     join.connect(sink)
@@ -159,12 +201,25 @@ def run_join_experiment(
     series = {
         name: _trim(ts, sink.eos_time) for name, ts in collector.series.items()
     }
+    run_label = label or type(join).__name__
+    duration = sink.eos_time if sink.eos_time >= 0 else plan.engine.now
+    manifest = build_manifest(
+        run_label,
+        join,
+        sink,
+        plan.engine,
+        workload=workload,
+        series=series,
+        duration_ms=duration,
+    )
     return ExperimentRun(
-        label or type(join).__name__,
+        run_label,
         join,
         sink,
         series,
-        duration_ms=sink.eos_time if sink.eos_time >= 0 else plan.engine.now,
+        duration_ms=duration,
+        manifest=manifest,
+        tracer=tracer,
     )
 
 

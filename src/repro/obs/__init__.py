@@ -1,0 +1,68 @@
+"""The observability layer: span tracing, counters, exporters, manifests.
+
+Everything the paper's experimental story needs to be *seen* lives
+here:
+
+* :class:`~repro.obs.trace.Tracer` — virtual-time instant events and
+  hierarchical spans, recorded through the zero-cost-when-off engine
+  hook (``engine.tracer = Tracer()``);
+* :mod:`~repro.obs.counters` — uniform per-component counter
+  snapshots (every instrumented operator, the simulated disk and the
+  punctuation stores expose ``counters()``);
+* :mod:`~repro.obs.export` — JSONL event logs, Chrome trace-event
+  JSON (open in Perfetto) and a human-readable indented timeline;
+* :mod:`~repro.obs.manifest` — the run manifest: config + seed +
+  counters + final series of one experiment run, written next to the
+  figure data and diffable with ``tools/compare_runs.py``.
+
+The periodic gauge sampler (:class:`~repro.metrics.collector.
+MetricsCollector`) is re-exported here; its implementation stays in
+:mod:`repro.metrics` alongside the series/report machinery it feeds.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.obs.counters import counters_of, merge_component, namespaced
+from repro.obs.export import (
+    render_timeline,
+    save_chrome_trace,
+    save_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    diff_counters,
+    iter_plan_operators,
+    operator_counters,
+)
+from repro.obs.trace import Span, TraceEvent, Tracer, get_tracer, trace_hook
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "TraceEvent",
+    "Span",
+    "trace_hook",
+    "get_tracer",
+    # counters
+    "counters_of",
+    "merge_component",
+    "namespaced",
+    # exporters
+    "to_jsonl",
+    "save_jsonl",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+    "render_timeline",
+    # manifests
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "diff_counters",
+    "iter_plan_operators",
+    "operator_counters",
+    # sampling
+    "MetricsCollector",
+]

@@ -1,0 +1,52 @@
+"""Uniform access to per-component counters.
+
+Instrumented components (operators, the simulated disk, punctuation
+stores) keep their counters as plain attributes — bumping an attribute
+is the cheapest thing Python can do on a hot path — and expose them
+through a ``counters()`` method returning a flat ``{name: number}``
+dict.  This module holds the helpers that compose those snapshots into
+one namespaced registry: sub-component counters are merged under
+dotted prefixes (``disk.tuples_written``, ``store.left.live``), which
+keeps the manifest JSON flat and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+Counters = Dict[str, float]
+
+
+def namespaced(prefix: str, counters: Mapping[str, Any]) -> Counters:
+    """Return *counters* with every key prefixed by ``prefix.``."""
+    return {f"{prefix}.{key}": value for key, value in counters.items()}
+
+
+def merge_component(
+    into: Counters, prefix: str, component: Optional[Any]
+) -> Counters:
+    """Merge a sub-component's ``counters()`` under *prefix* into *into*.
+
+    Components without a ``counters()`` method (or ``None``) are
+    skipped, so call sites need no isinstance checks.
+    """
+    snapshot = getattr(component, "counters", None)
+    if snapshot is None:
+        return into
+    into.update(namespaced(prefix, snapshot()))
+    return into
+
+
+def counters_of(component: Any) -> Counters:
+    """A component's counter snapshot, or ``{}`` when uninstrumented."""
+    snapshot = getattr(component, "counters", None)
+    return dict(snapshot()) if snapshot is not None else {}
+
+
+def numeric_only(counters: Mapping[str, Any]) -> Counters:
+    """Drop non-numeric values (nested dicts, tuples) from a snapshot."""
+    return {
+        key: float(value)
+        for key, value in counters.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }

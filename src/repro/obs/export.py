@@ -1,0 +1,163 @@
+"""Exporters for recorded traces.
+
+Three output formats, all fed from one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`to_jsonl` — one JSON object per event, the machine-readable
+  archival form;
+* :func:`to_chrome_trace` — the Chrome trace-event JSON array (open it
+  in Perfetto at https://ui.perfetto.dev or in chrome://tracing);
+  virtual milliseconds map to trace microseconds, each source becomes
+  a named "thread", and every begin mark is guaranteed a matching end;
+* :func:`render_timeline` — a human-readable indented timeline that
+  supersedes the old ``Tracer.render()`` flat listing.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import islice
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.trace import PHASE_BEGIN, PHASE_END, PHASE_INSTANT, Tracer
+
+#: One virtual millisecond maps to this many trace microseconds.
+US_PER_MS = 1000.0
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per recorded event, newline-separated."""
+    return "\n".join(json.dumps(e.to_dict(), default=str) for e in tracer.events)
+
+
+def save_jsonl(tracer: Tracer, path: Union[str, Path]) -> None:
+    """Write the JSONL event log to *path*."""
+    text = to_jsonl(tracer)
+    Path(path).write_text(text + "\n" if text else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
+    """The recorded events as a Chrome trace-event array.
+
+    Every emitted ``B`` has a matching ``E`` on the same ``tid``:
+    end marks whose begin was evicted by the ring buffer are skipped,
+    and begins that never ended (span still open at export time, or
+    end mark evicted) get a synthetic end at the last recorded time.
+    Instants are emitted as thread-scoped ``i`` events.
+    """
+    out: List[Dict[str, Any]] = []
+    open_begins: Dict[int, Dict[str, Any]] = {}
+    last_time = 0.0
+    for event in tracer.events:
+        last_time = max(last_time, event.time)
+        base: Dict[str, Any] = {
+            "name": event.action,
+            "ph": event.phase,
+            "ts": event.time * US_PER_MS,
+            "pid": pid,
+            "tid": event.source,
+        }
+        if event.details:
+            base["args"] = dict(event.details)
+        if event.phase == PHASE_BEGIN:
+            open_begins[event.span_id] = base
+            out.append(base)
+        elif event.phase == PHASE_END:
+            begin = open_begins.pop(event.span_id, None)
+            if begin is None:
+                continue  # begin was evicted; an unmatched E is invalid
+            base["tid"] = begin["tid"]
+            out.append(base)
+        else:
+            base["s"] = "t"  # thread-scoped instant
+            out.append(base)
+    # Close anything still open so B/E pairs always match.
+    for begin in open_begins.values():
+        out.append({
+            "name": begin["name"],
+            "ph": PHASE_END,
+            "ts": max(begin["ts"], last_time * US_PER_MS),
+            "pid": pid,
+            "tid": begin["tid"],
+        })
+    return out
+
+
+def save_chrome_trace(tracer: Tracer, path: Union[str, Path], pid: int = 1) -> None:
+    """Write the Chrome trace-event JSON array to *path*."""
+    Path(path).write_text(json.dumps(to_chrome_trace(tracer, pid=pid), indent=1))
+
+
+def validate_chrome_trace(events: List[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless *events* is a well-formed trace.
+
+    Checks the schema (every event is a dict with ``name``/``ph``/
+    ``ts``/``pid``/``tid``) and that begin/end marks pair up per
+    ``(pid, tid)`` in proper nesting order.
+    """
+    stacks: Dict[Any, List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not a dict: {event!r}")
+        missing = {"name", "ph", "ts", "pid", "tid"} - set(event)
+        if missing:
+            raise ValueError(f"event {i} is missing keys {sorted(missing)}")
+        key = (event["pid"], event["tid"])
+        if event["ph"] == PHASE_BEGIN:
+            stacks.setdefault(key, []).append(event["name"])
+        elif event["ph"] == PHASE_END:
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"event {i}: E without a matching B on {key}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                raise ValueError(
+                    f"event {i}: E for {event['name']!r} closes B for {opened!r}"
+                )
+        elif event["ph"] != PHASE_INSTANT:
+            raise ValueError(f"event {i}: unknown phase {event['ph']!r}")
+    unclosed = {key: stack for key, stack in stacks.items() if stack}
+    if unclosed:
+        raise ValueError(f"unclosed B events: {unclosed}")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable timeline
+# ---------------------------------------------------------------------------
+
+
+def render_timeline(tracer: Tracer, max_events: int = 200) -> str:
+    """An indented virtual-time timeline of the recorded events.
+
+    Instants print as one line; spans print their begin (``▶``) and end
+    (``◀``) marks, with everything recorded in between indented one
+    level deeper.  A header reports ring-buffer evictions so truncated
+    traces are never mistaken for complete ones.
+    """
+    lines: List[str] = []
+    if tracer.dropped:
+        lines.append(f"({tracer.dropped} earlier events dropped by the "
+                     f"ring buffer, limit={tracer.limit})")
+    depth = 0
+    shown = 0
+    for event in islice(tracer.events, max_events):
+        if event.phase == PHASE_END:
+            depth = max(0, depth - 1)
+        lines.append("  " * depth + repr(event))
+        shown += 1
+        if event.phase == PHASE_BEGIN:
+            depth += 1
+    remaining = len(tracer.events) - shown
+    if remaining > 0:
+        lines.append(f"... and {remaining} more")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Run manifests: the structured record of one experiment run.
+
+A manifest is a plain JSON-serialisable dict capturing everything
+needed to compare two runs of the same experiment: the configuration
+and workload parameters (with the seed), the virtual duration, the
+final value of every sampled series, and a per-operator counter
+registry (probes, matches, purges, disk I/O, punctuation flow).  The
+experiment harness attaches one to every
+:class:`~repro.experiments.harness.ExperimentRun`, the JSON exporter
+writes it next to the figure data, and ``tools/compare_runs.py`` diffs
+the counters of two archived manifests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.counters import counters_of, merge_component
+
+MANIFEST_VERSION = 1
+
+
+def _config_dict(join: Any) -> Dict[str, Any]:
+    """The join's config as a plain dict (empty for config-less joins)."""
+    config = getattr(join, "config", None)
+    if config is None:
+        # XJoin/SHJ keep their few knobs as attributes.
+        out = {}
+        for knob in ("memory_threshold", "disk_join_idle_ms", "window_ms"):
+            if hasattr(join, knob):
+                out[knob] = getattr(join, knob)
+        return out
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    return dict(vars(config))
+
+
+def iter_plan_operators(plan: Any) -> Iterator[Any]:
+    """Every operator reachable from the plan's sources, in plan order."""
+    seen = set()
+    for source in getattr(plan, "sources", []):
+        op = getattr(source, "_downstream", None)
+        while op is not None and id(op) not in seen:
+            seen.add(id(op))
+            yield op
+            op = getattr(op, "_downstream", None)
+
+
+def operator_counters(op: Any) -> Dict[str, float]:
+    """One operator's full counter registry, sub-components included."""
+    counters = counters_of(op)
+    merge_component(counters, "disk", getattr(op, "disk", None))
+    sides = getattr(op, "sides", None)
+    if sides is not None:
+        for number, side in enumerate(sides):
+            name = getattr(side, "side_name", None) or f"side{number}"
+            merge_component(counters, f"store.{name}", getattr(side, "store", None))
+    return counters
+
+
+def build_manifest(
+    label: str,
+    join: Any,
+    sink: Any,
+    engine: Any,
+    workload: Any = None,
+    series: Optional[Dict[str, Any]] = None,
+    duration_ms: Optional[float] = None,
+    extra_operators: Optional[List[Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the run manifest for one finished experiment.
+
+    Parameters
+    ----------
+    label, join, sink, engine:
+        The run's identity and its main components.
+    workload:
+        A :class:`~repro.workloads.generator.GeneratedWorkload`; its
+        spec (including the seed) is embedded when present.
+    series:
+        The sampled ``{name: TimeSeries}`` dict; only each series'
+        final value lands in the manifest (the full series live in the
+        figure JSON next to it).
+    duration_ms:
+        Virtual completion time of the run.
+    extra_operators:
+        Additional instrumented operators in the plan (n-ary stages,
+        downstream group-bys) to include in the counter registry.
+    """
+    spec = getattr(workload, "spec", None)
+    counters: Dict[str, Dict[str, float]] = {}
+    operators = [join, sink] + list(extra_operators or [])
+    for op in operators:
+        name = getattr(op, "name", None) or type(op).__name__
+        if name in counters:  # two unnamed operators of the same type
+            name = f"{name}#{len(counters)}"
+        counters[name] = operator_counters(op)
+    manifest: Dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "label": label,
+        "join_type": type(join).__name__,
+        "config": _config_dict(join),
+        "workload": dataclasses.asdict(spec) if spec is not None else {},
+        "seed": getattr(spec, "seed", None),
+        "duration_ms": duration_ms if duration_ms is not None else engine.now,
+        "engine": {
+            "virtual_now_ms": engine.now,
+            "events_executed": engine.events_executed,
+        },
+        "counters": counters,
+        "series_final": {
+            name: (ts.values[-1] if len(ts) else None)
+            for name, ts in (series or {}).items()
+        },
+    }
+    return manifest
+
+
+def diff_counters(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.0,
+) -> List[Tuple[str, str, float, float, float]]:
+    """Diff two manifests' counter registries.
+
+    Returns ``(operator, counter, old, new, relative_change)`` rows for
+    every counter present in both manifests whose relative change
+    exceeds *threshold* (``inf`` when a zero became non-zero).  Rows
+    come back sorted by operator then counter name.
+    """
+    rows: List[Tuple[str, str, float, float, float]] = []
+    old_ops = old.get("counters", {})
+    new_ops = new.get("counters", {})
+    for op_name in sorted(set(old_ops) & set(new_ops)):
+        old_counters = old_ops[op_name]
+        new_counters = new_ops[op_name]
+        for counter in sorted(set(old_counters) & set(new_counters)):
+            old_value = old_counters[counter]
+            new_value = new_counters[counter]
+            if not isinstance(old_value, (int, float)):
+                continue
+            if not isinstance(new_value, (int, float)):
+                continue
+            if old_value == new_value:
+                continue
+            if old_value == 0:
+                change = float("inf")
+            else:
+                change = (new_value - old_value) / abs(old_value)
+            if abs(change) > threshold:
+                rows.append((op_name, counter, float(old_value),
+                             float(new_value), change))
+    return rows

@@ -1,0 +1,269 @@
+"""Virtual-time event and span tracing.
+
+The :class:`Tracer` is the recording backend of the observability
+layer.  Attach one to a :class:`~repro.sim.engine.SimulationEngine`
+(``engine.tracer = Tracer()``) and instrumented components record what
+they did and when — purge runs, relocations, disk joins, propagation —
+as structured :class:`TraceEvent` records.  Tracing is off by default
+and costs one attribute check per recording site when off.
+
+Two kinds of record exist:
+
+* **instant events** (:meth:`Tracer.record`) — "this happened now";
+* **spans** (:meth:`Tracer.begin` / :meth:`Tracer.end`) — "this
+  component ran", with begin/end marks and a parent link to the
+  enclosing span.  The simulation is single-threaded, so spans nest
+  by bracketing: whatever is recorded between ``begin`` and ``end``
+  is a child of that span.
+
+Exporters in :mod:`repro.obs.export` turn the recorded stream into a
+JSONL log, a Chrome trace-event file (viewable in Perfetto or
+chrome://tracing) or a human-readable indented timeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.metrics.report import format_number
+
+#: Phase markers, mirroring the Chrome trace-event phases.
+PHASE_INSTANT = "i"
+PHASE_BEGIN = "B"
+PHASE_END = "E"
+
+
+class TraceEvent:
+    """One recorded action (an instant, or a span begin/end mark)."""
+
+    __slots__ = ("time", "source", "action", "details", "phase",
+                 "span_id", "parent_id")
+
+    def __init__(
+        self,
+        time: float,
+        source: str,
+        action: str,
+        details: Dict[str, Any],
+        phase: str = PHASE_INSTANT,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+    ) -> None:
+        self.time = time
+        self.source = source
+        self.action = action
+        self.details = details
+        self.phase = phase
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form for the JSONL exporter."""
+        out: Dict[str, Any] = {
+            "time": self.time,
+            "source": self.source,
+            "action": self.action,
+            "phase": self.phase,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.details:
+            out["details"] = self.details
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={format_number(v) if isinstance(v, (int, float)) else v}"
+                          for k, v in self.details.items())
+        mark = {PHASE_BEGIN: "▶ ", PHASE_END: "◀ "}.get(self.phase, "")
+        return f"[{self.time:10.2f}ms] {self.source}: {mark}{self.action}({inner})"
+
+
+class Span:
+    """One completed (or still-open) span, reassembled from the events."""
+
+    __slots__ = ("span_id", "parent_id", "source", "action", "begin", "end",
+                 "details")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        source: str,
+        action: str,
+        begin: float,
+        end: Optional[float],
+        details: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.source = source
+        self.action = action
+        self.begin = begin
+        self.end = end
+        self.details = details
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Recorded virtual duration (0 while still open)."""
+        return (self.end - self.begin) if self.end is not None else 0.0
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.2f}" if self.end is not None else "open"
+        return (
+            f"Span({self.action!r}, source={self.source!r}, "
+            f"[{self.begin:.2f}..{end}]ms, parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, optionally filtered.
+
+    Parameters
+    ----------
+    actions:
+        When given, only these action names are recorded.  Filtering a
+        span's action suppresses its begin/end records but keeps the
+        nesting intact, so children still link to the right ancestor.
+    limit:
+        Hard cap on stored events.  The buffer is a ring: when full,
+        the **oldest** events are evicted so the newest are kept, and
+        :attr:`dropped` counts the evictions (also surfaced by
+        :meth:`render`).
+    """
+
+    def __init__(
+        self,
+        actions: Optional[List[str]] = None,
+        limit: int = 100_000,
+    ) -> None:
+        self.actions = set(actions) if actions is not None else None
+        self.limit = limit
+        self.events: Deque[TraceEvent] = deque(maxlen=limit)
+        self.dropped = 0
+        self._next_span_id = 0
+        # Stack of (span_id, source, action) for currently-open spans.
+        self._open: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _store(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+        self.events.append(event)
+
+    def record(self, time: float, source: str, action: str, **details: Any) -> None:
+        """Record an instant event (nested under the open span, if any)."""
+        if self.actions is not None and action not in self.actions:
+            return
+        parent = self._open[-1][0] if self._open else None
+        self._store(
+            TraceEvent(time, source, action, details, PHASE_INSTANT,
+                       span_id=None, parent_id=parent)
+        )
+
+    def begin(self, time: float, source: str, action: str, **details: Any) -> int:
+        """Open a span; returns its id.  Pair with :meth:`end`."""
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent = self._open[-1][0] if self._open else None
+        if self.actions is None or action in self.actions:
+            self._store(
+                TraceEvent(time, source, action, details, PHASE_BEGIN,
+                           span_id=span_id, parent_id=parent)
+            )
+        self._open.append((span_id, source, action))
+        return span_id
+
+    def end(self, time: float, **details: Any) -> None:
+        """Close the innermost open span."""
+        if not self._open:
+            return
+        span_id, source, action = self._open.pop()
+        parent = self._open[-1][0] if self._open else None
+        if self.actions is None or action in self.actions:
+            self._store(
+                TraceEvent(time, source, action, details, PHASE_END,
+                           span_id=span_id, parent_id=parent)
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_action(self, action: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.action == action]
+
+    def spans(self) -> List[Span]:
+        """Reassemble spans from the recorded begin/end marks.
+
+        Spans whose begin mark was evicted by the ring buffer are
+        omitted; spans still open (or whose end mark was never seen)
+        come back with ``end=None``.
+        """
+        by_id: Dict[int, Span] = {}
+        order: List[Span] = []
+        for event in self.events:
+            if event.phase == PHASE_BEGIN:
+                span = Span(
+                    event.span_id, event.parent_id, event.source,
+                    event.action, event.time, None, dict(event.details),
+                )
+                by_id[event.span_id] = span
+                order.append(span)
+            elif event.phase == PHASE_END:
+                span = by_id.get(event.span_id)
+                if span is not None:
+                    span.end = event.time
+                    span.details.update(event.details)
+        return order
+
+    def counts(self) -> Dict[str, int]:
+        """``{action: occurrences}``; spans count once (their begin)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.phase == PHASE_END:
+                continue
+            out[event.action] = out.get(event.action, 0) + 1
+        return out
+
+    def render(self, max_events: int = 200) -> str:
+        """Human-readable timeline (see :func:`repro.obs.export.render_timeline`)."""
+        from repro.obs.export import render_timeline
+
+        return render_timeline(self, max_events=max_events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self.events)
+
+
+def trace_hook(engine) -> Optional[Callable[..., None]]:
+    """The engine's recording function, or ``None`` when tracing is off.
+
+    Components call ``hook = trace_hook(self.engine)`` once per action
+    site: ``if hook: hook(engine.now, self.name, "purge", removed=3)``.
+    """
+    tracer = getattr(engine, "tracer", None)
+    if tracer is None:
+        return None
+    return tracer.record
+
+
+def get_tracer(engine) -> Optional[Tracer]:
+    """The engine's attached tracer, or ``None`` when tracing is off.
+
+    This *is* the zero-cost-when-off discipline: every instrumentation
+    site reduces to one ``getattr`` returning ``None``.
+    """
+    return getattr(engine, "tracer", None)

@@ -222,6 +222,24 @@ class Operator:
     def finished(self) -> bool:
         return self._finished
 
+    def counters(self) -> dict:
+        """Flat ``{name: number}`` snapshot of this operator's counters.
+
+        Every operator exposes this uniform registry; subclasses extend
+        it with their own counters (probes, purges, disk I/O, ...).
+        The observability layer folds these snapshots into the run
+        manifest — see :mod:`repro.obs.manifest`.
+        """
+        return {
+            "items_processed": self.items_processed,
+            "tuples_in": self.tuples_in,
+            "punctuations_in": self.punctuations_in,
+            "tuples_out": self.tuples_out,
+            "punctuations_out": self.punctuations_out,
+            "busy_time_ms": self.busy_time,
+            "max_queue_length": self.max_queue_length,
+        }
+
     def utilisation(self) -> float:
         """Fraction of elapsed virtual time this operator was busy."""
         if self.engine.now == 0:

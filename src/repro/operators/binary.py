@@ -63,6 +63,10 @@ class BinaryHashJoin(Operator):
             PartitionedHashTable(n_partitions),
         ]
         self.results_produced = 0
+        # Memory-join counters, bumped by every subclass's probe path.
+        self.probes = 0
+        self.probe_matches = 0
+        self.insertions = 0
 
     # ------------------------------------------------------------------
     # Helpers for subclasses
@@ -105,6 +109,18 @@ class BinaryHashJoin(Operator):
             Tuple(self.out_schema, values, ts=self.engine.now, validate=False)
         )
         self.results_produced += 1
+
+    def counters(self) -> dict:
+        out = super().counters()
+        out.update(
+            results_produced=self.results_produced,
+            probes=self.probes,
+            probe_matches=self.probe_matches,
+            insertions=self.insertions,
+            state_total=self.total_state_size(),
+            state_memory=self.memory_state_size(),
+        )
+        return out
 
     # ------------------------------------------------------------------
     # State-size metrics (sampled by the metrics collector)

@@ -223,3 +223,13 @@ class GroupBy(Operator):
     def open_groups(self) -> int:
         """Number of groups still blocked (waiting for a punctuation)."""
         return len(self._groups)
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out.update(
+            groups_emitted=self.groups_emitted,
+            open_groups=self.open_groups,
+            punctuations_absorbed=self.punctuations_absorbed,
+            pull_requests_sent=self.pull_requests_sent,
+        )
+        return out

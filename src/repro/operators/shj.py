@@ -29,9 +29,12 @@ class SymmetricHashJoin(BinaryHashJoin):
         other = self.other(side)
         value = self.join_value(item, side)
         occupancy, matches = self.states[other].probe(value)
+        self.probes += 1
+        self.probe_matches += len(matches)
         for entry in matches:
             self.emit_join(item, entry, side)
         self.states[side].insert(item, value, self.engine.now)
+        self.insertions += 1
         return (
             self.cost_model.tuple_overhead
             + self.cost_model.probe_cost(occupancy, len(matches))

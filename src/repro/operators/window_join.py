@@ -65,6 +65,9 @@ class SlidingWindowJoin(Operator):
         self.results_produced = 0
         self.tuples_expired = 0
         self.punctuations_absorbed = 0
+        self.probes = 0
+        self.probe_matches = 0
+        self.insertions = 0
 
     def handle(self, item: Any, port: int) -> float:
         if isinstance(item, Punctuation):
@@ -78,6 +81,8 @@ class SlidingWindowJoin(Operator):
         expired = self._expire(other, now)
         value = item.values[self.join_indices[side]]
         matches = self._by_value[other].get(value, [])
+        self.probes += 1
+        self.probe_matches += len(matches)
         for match in matches:
             if side == 0:
                 values = item.values + match.values
@@ -96,6 +101,19 @@ class SlidingWindowJoin(Operator):
     def _insert(self, side: int, tup: Tuple, value: Any) -> None:
         self._order[side].append(tup)
         self._by_value[side].setdefault(value, []).append(tup)
+        self.insertions += 1
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out.update(
+            results_produced=self.results_produced,
+            probes=self.probes,
+            probe_matches=self.probe_matches,
+            insertions=self.insertions,
+            tuples_expired=self.tuples_expired,
+            punctuations_absorbed=self.punctuations_absorbed,
+        )
+        return out
 
     def _expire(self, side: int, now: float) -> int:
         """Drop tuples outside the window; returns how many."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple as PyTuple
 
 from repro.errors import ConfigError
+from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import already_produced, stage1_covered
 from repro.punctuations.punctuation import Punctuation
@@ -107,9 +108,12 @@ class XJoin(BinaryHashJoin):
         other = self.other(side)
         value = self.join_value(item, side)
         occupancy, matches = self.states[other].probe(value)
+        self.probes += 1
+        self.probe_matches += len(matches)
         for entry in matches:
             self.emit_join(item, entry, side)
         self.states[side].insert(item, value, self.engine.now)
+        self.insertions += 1
         cost = (
             self.cost_model.tuple_overhead
             + self.cost_model.probe_cost(occupancy, len(matches))
@@ -127,6 +131,7 @@ class XJoin(BinaryHashJoin):
         if self.memory_threshold is None:
             return 0.0
         cost = 0.0
+        tracer = get_tracer(self.engine)
         while self.memory_state_size() >= self.memory_threshold:
             victim_side, victim = self._largest_memory_partition()
             moved = self.states[victim_side].spill_partition(victim, self.engine.now)
@@ -134,6 +139,11 @@ class XJoin(BinaryHashJoin):
                 break
             cost += self.disk.write(moved)
             self.spills += 1
+            if tracer is not None:
+                tracer.record(
+                    self.engine.now, self.name, "relocate",
+                    side=victim_side, partition=victim.index, moved=moved,
+                )
         return cost
 
     def _largest_memory_partition(self) -> PyTuple[int, HybridPartition]:
@@ -228,6 +238,13 @@ class XJoin(BinaryHashJoin):
             * (partition.disk_count + opposite.memory_count)
             + self.cost_model.emit_result * matches
         )
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.record(
+                self.engine.now, self.name, "disk_join",
+                stage=2, side=side, partition=partition.index,
+                disk=partition.disk_count, emitted=matches, cost=cost,
+            )
         self.run_background_task(cost, description="xjoin stage-2 disk join")
 
     # ------------------------------------------------------------------
@@ -237,6 +254,10 @@ class XJoin(BinaryHashJoin):
     def on_finish(self) -> float:
         """Produce every pair not yet output because of relocation."""
         cost = 0.0
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.begin(self.engine.now, self.name, "cleanup_join")
+        emitted_before = self.stage3_pairs_emitted
         for index in range(self.states[0].n_partitions):
             part_a = self.states[0].partitions[index]
             part_b = self.states[1].partitions[index]
@@ -245,7 +266,23 @@ class XJoin(BinaryHashJoin):
             cost += self.disk.read(part_a.disk_count)
             cost += self.disk.read(part_b.disk_count)
             cost += self._cleanup_partition(part_a, part_b)
+        if tracer is not None:
+            tracer.end(
+                self.engine.now,
+                emitted=self.stage3_pairs_emitted - emitted_before,
+                cost=cost,
+            )
         return cost
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out.update(
+            spills=self.spills,
+            stage2_runs=self.stage2_runs,
+            stage3_pairs_emitted=self.stage3_pairs_emitted,
+            punctuations_absorbed=self.punctuations_absorbed,
+        )
+        return out
 
     def _cleanup_partition(
         self, part_a: HybridPartition, part_b: HybridPartition

@@ -229,6 +229,14 @@ class PunctuationStore:
         """The id the next added punctuation will receive."""
         return len(self._entries)
 
+    def counters(self) -> dict:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        return {
+            "punctuations_seen": self.total_added,
+            "live": self._live_count,
+            "removed": self.total_added - self._live_count,
+        }
+
     def __len__(self) -> int:
         return self._live_count
 

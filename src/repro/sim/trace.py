@@ -1,97 +1,11 @@
-"""Optional execution tracing.
+"""Backwards-compatibility shim for the execution tracer.
 
-Attach a :class:`Tracer` to a :class:`~repro.sim.engine.SimulationEngine`
-(``engine.tracer = Tracer()``) and instrumented components record what
-they did and when — purge runs, relocations, disk joins, propagation —
-as structured :class:`TraceEvent` records.  Tracing is off by default
-and costs one attribute check per recording site when off.
-
-This is a debugging and teaching aid: ``tracer.render()`` prints a
-timeline of PJoin's component activity that reads like the paper's
-Figure 4 in motion.
+The tracer grew into the full observability layer and moved to
+:mod:`repro.obs.trace` (spans, ring buffering, exporters); this module
+keeps the original import path working.  New code should import from
+:mod:`repro.obs`.
 """
 
-from __future__ import annotations
+from repro.obs.trace import Span, TraceEvent, Tracer, get_tracer, trace_hook
 
-from typing import Any, Callable, Dict, List, Optional
-
-from repro.metrics.report import format_number
-
-
-class TraceEvent:
-    """One recorded action."""
-
-    __slots__ = ("time", "source", "action", "details")
-
-    def __init__(self, time: float, source: str, action: str,
-                 details: Dict[str, Any]) -> None:
-        self.time = time
-        self.source = source
-        self.action = action
-        self.details = details
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={format_number(v) if isinstance(v, (int, float)) else v}"
-                          for k, v in self.details.items())
-        return f"[{self.time:10.2f}ms] {self.source}: {self.action}({inner})"
-
-
-class Tracer:
-    """Collects :class:`TraceEvent` records, optionally filtered.
-
-    Parameters
-    ----------
-    actions:
-        When given, only these action names are recorded.
-    limit:
-        Hard cap on stored events (oldest kept); protects long runs.
-    """
-
-    def __init__(
-        self,
-        actions: Optional[List[str]] = None,
-        limit: int = 100_000,
-    ) -> None:
-        self.actions = set(actions) if actions is not None else None
-        self.limit = limit
-        self.events: List[TraceEvent] = []
-        self.dropped = 0
-
-    def record(self, time: float, source: str, action: str, **details: Any) -> None:
-        if self.actions is not None and action not in self.actions:
-            return
-        if len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(TraceEvent(time, source, action, details))
-
-    def of_action(self, action: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.action == action]
-
-    def render(self, max_events: int = 200) -> str:
-        lines = [repr(e) for e in self.events[:max_events]]
-        if len(self.events) > max_events:
-            lines.append(f"... and {len(self.events) - max_events} more")
-        return "\n".join(lines)
-
-    def counts(self) -> Dict[str, int]:
-        """``{action: occurrences}`` summary."""
-        out: Dict[str, int] = {}
-        for event in self.events:
-            out[event.action] = out.get(event.action, 0) + 1
-        return out
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-
-def trace_hook(engine) -> Optional[Callable[..., None]]:
-    """The engine's recording function, or ``None`` when tracing is off.
-
-    Components call ``hook = trace_hook(self.engine)`` once per action
-    site: ``if hook: hook(engine.now, self.name, "purge", removed=3)``.
-    """
-    tracer = getattr(engine, "tracer", None)
-    if tracer is None:
-        return None
-    return tracer.record
+__all__ = ["Tracer", "TraceEvent", "Span", "trace_hook", "get_tracer"]

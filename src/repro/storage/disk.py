@@ -22,10 +22,19 @@ class SimulatedDisk:
     cost_model:
         Supplies :meth:`~repro.sim.costs.CostModel.disk_write_cost` and
         :meth:`~repro.sim.costs.CostModel.disk_read_cost`.
+    bytes_per_tuple:
+        Nominal serialised tuple size, used only for the byte-volume
+        counters the observability layer reports (the cost model keeps
+        charging per tuple).
     """
 
-    def __init__(self, cost_model: CostModel) -> None:
+    def __init__(self, cost_model: CostModel, bytes_per_tuple: int = 64) -> None:
+        if bytes_per_tuple <= 0:
+            raise StorageError(
+                f"bytes_per_tuple must be positive, got {bytes_per_tuple}"
+            )
         self.cost_model = cost_model
+        self.bytes_per_tuple = bytes_per_tuple
         self.write_ops = 0
         self.read_ops = 0
         self.tuples_written = 0
@@ -62,6 +71,16 @@ class SimulatedDisk:
         """Total virtual time spent on disk I/O."""
         return self.total_write_time + self.total_read_time
 
+    @property
+    def bytes_written(self) -> int:
+        """Nominal bytes flushed (``tuples_written * bytes_per_tuple``)."""
+        return self.tuples_written * self.bytes_per_tuple
+
+    @property
+    def bytes_read(self) -> int:
+        """Nominal bytes fetched (``tuples_read * bytes_per_tuple``)."""
+        return self.tuples_read * self.bytes_per_tuple
+
     def stats(self) -> dict:
         """A snapshot of all counters, for metrics and reports."""
         return {
@@ -73,6 +92,13 @@ class SimulatedDisk:
             "total_read_time": self.total_read_time,
             "total_io_time": self.total_io_time,
         }
+
+    def counters(self) -> dict:
+        """The uniform registry form (see :mod:`repro.obs.counters`)."""
+        out = self.stats()
+        out["bytes_written"] = self.bytes_written
+        out["bytes_read"] = self.bytes_read
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,111 @@
+"""Counter registries: helper functions and hand-checked join counts."""
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.obs.counters import (
+    counters_of,
+    merge_component,
+    namespaced,
+    numeric_only,
+)
+from repro.operators.sink import Sink
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA_A = Schema.of("key", "a", name="A")
+SCHEMA_B = Schema.of("key", "b", name="B")
+
+
+class TestHelpers:
+    def test_namespaced_prefixes_every_key(self):
+        assert namespaced("disk", {"reads": 1, "writes": 2}) == {
+            "disk.reads": 1, "disk.writes": 2,
+        }
+
+    def test_merge_component_skips_uninstrumented(self):
+        out = {"a": 1}
+        assert merge_component(out, "x", object()) == {"a": 1}
+        assert merge_component(out, "x", None) == {"a": 1}
+
+    def test_merge_component_merges_counters(self):
+        class Disk:
+            def counters(self):
+                return {"reads": 3}
+
+        out = merge_component({}, "disk", Disk())
+        assert out == {"disk.reads": 3}
+
+    def test_counters_of_uninstrumented_is_empty(self):
+        assert counters_of(object()) == {}
+
+    def test_numeric_only_drops_structures_and_bools(self):
+        counters = {"n": 3, "t": 1.5, "nested": {"x": 1}, "flag": True}
+        assert numeric_only(counters) == {"n": 3.0, "t": 1.5}
+
+
+class TestHandCheckedPJoinRun:
+    """A tiny scripted run whose counters are verifiable by hand."""
+
+    def build(self, engine, cheap_cost_model):
+        join = PJoin(
+            engine, cheap_cost_model, SCHEMA_A, SCHEMA_B, "key", "key",
+            config=PJoinConfig(purge_threshold=1),
+        )
+        sink = Sink(engine, cheap_cost_model, keep_items=True)
+        join.connect(sink)
+        return join, sink
+
+    def test_probe_match_insert_and_purge_counts(self, engine, cheap_cost_model):
+        join, sink = self.build(engine, cheap_cost_model)
+        # Three tuples: each probes the opposite state once; only the
+        # B tuple finds a match (the stored A key=1).
+        join.push(Tuple(SCHEMA_A, (1, 10)), 0)
+        join.push(Tuple(SCHEMA_A, (2, 20)), 0)
+        join.push(Tuple(SCHEMA_B, (1, 30)), 1)
+        # B promises no more key=1: the stored A key=1 tuple is purged.
+        join.push(Punctuation.on_field(SCHEMA_B, "key", 1), 1)
+        engine.run()
+
+        counters = join.counters()
+        assert counters["tuples_in"] == 3
+        assert counters["punctuations_in"] == 1
+        assert counters["probes"] == 3
+        assert counters["probe_matches"] == 1
+        assert counters["insertions"] == 3
+        assert counters["results_produced"] == 1
+        assert counters["tuples_out"] == 1
+        assert counters["purge_runs"] == 1
+        assert counters["tuples_purged"] == 1
+        assert counters["state_total"] == 2  # A key=2 and B key=1 remain
+        assert sink.tuple_count == 1
+
+    def test_counters_match_live_attributes(self, engine, cheap_cost_model):
+        join, _sink = self.build(engine, cheap_cost_model)
+        join.push(Tuple(SCHEMA_A, (1, 10)), 0)
+        join.push(Tuple(SCHEMA_B, (1, 30)), 1)
+        engine.run()
+        counters = join.counters()
+        assert counters["probes"] == join.probes
+        assert counters["insertions"] == join.insertions
+        assert counters["tuples_purged"] == join.tuples_purged
+        assert counters["propagation_runs"] == join.propagation_runs
+
+    def test_punctuation_store_counters(self, engine, cheap_cost_model):
+        join, _sink = self.build(engine, cheap_cost_model)
+        join.push(Punctuation.on_field(SCHEMA_B, "key", 7), 1)
+        engine.run()
+        store = join.sides[1].store
+        counters = store.counters()
+        assert counters["punctuations_seen"] == 1
+        assert counters["live"] + counters["removed"] == 1
+
+    def test_operator_base_counters_present(self, engine, cheap_cost_model):
+        join, sink = self.build(engine, cheap_cost_model)
+        join.push(Tuple(SCHEMA_A, (1, 10)), 0)
+        engine.run()
+        for op in (join, sink):
+            counters = op.counters()
+            for key in ("items_processed", "tuples_in", "punctuations_in",
+                        "tuples_out", "busy_time_ms", "max_queue_length"):
+                assert key in counters, (op.name, key)

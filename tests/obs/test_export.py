@@ -1,0 +1,137 @@
+"""Exporters: JSONL, Chrome trace-event JSON and the indented timeline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import (
+    render_timeline,
+    save_chrome_trace,
+    save_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.trace import Tracer
+
+GOLDEN = Path(__file__).parent / "data" / "golden_chrome_trace.json"
+
+
+def golden_tracer() -> Tracer:
+    """The fixed scenario the golden file was generated from."""
+    tracer = Tracer()
+    tracer.record(0.5, "join", "event", type="PurgeThresholdReachEvent")
+    tracer.begin(1.0, "join", "purge")
+    tracer.record(1.0, "join", "hash_purge", side="left", scanned=2, discarded=1)
+    tracer.end(1.0, scanned=2, discarded=1, cost=3.5)
+    tracer.begin(2.0, "join", "disk_join")  # left open on purpose
+    return tracer
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self):
+        events = to_chrome_trace(golden_tracer())
+        assert events == json.loads(GOLDEN.read_text())
+
+    def test_every_event_has_the_required_keys(self):
+        for event in to_chrome_trace(golden_tracer()):
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+    def test_virtual_ms_become_trace_us(self):
+        tracer = Tracer()
+        tracer.record(12.25, "op", "x")
+        (event,) = to_chrome_trace(tracer)
+        assert event["ts"] == 12250.0
+
+    def test_open_span_gets_synthetic_end(self):
+        events = to_chrome_trace(golden_tracer())
+        validate_chrome_trace(events)  # would raise on an unclosed B
+        assert events[-1]["ph"] == "E"
+        assert events[-1]["name"] == "disk_join"
+
+    def test_end_with_evicted_begin_is_skipped(self):
+        tracer = Tracer(limit=1)
+        tracer.begin(1.0, "op", "span")
+        tracer.end(2.0)  # evicts the B; an unmatched E would be invalid
+        events = to_chrome_trace(tracer)
+        validate_chrome_trace(events)
+        assert [e["ph"] for e in events] == []
+
+    def test_save_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(golden_tracer(), path)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+
+class TestValidator:
+    def test_accepts_matched_pairs(self):
+        validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": "t"},
+            {"name": "b", "ph": "i", "ts": 1, "pid": 1, "tid": "t"},
+            {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": "t"},
+        ])
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_chrome_trace([{"name": "a", "ph": "i"}])
+
+    def test_rejects_unmatched_end(self):
+        with pytest.raises(ValueError, match="E without a matching B"):
+            validate_chrome_trace(
+                [{"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": "t"}]
+            )
+
+    def test_rejects_interleaved_spans_on_one_thread(self):
+        with pytest.raises(ValueError, match="closes B"):
+            validate_chrome_trace([
+                {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": "t"},
+                {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": "t"},
+                {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": "t"},
+            ])
+
+    def test_rejects_unclosed_begin(self):
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_chrome_trace(
+                [{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": "t"}]
+            )
+
+    def test_rejects_non_dict_events(self):
+        with pytest.raises(ValueError, match="not a dict"):
+            validate_chrome_trace(["nope"])
+
+
+class TestJsonl:
+    def test_one_json_object_per_event(self):
+        lines = to_jsonl(golden_tracer()).splitlines()
+        assert len(lines) == 5
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["action"] == "event"
+        assert parsed[1]["phase"] == "B"
+        assert parsed[3]["details"]["cost"] == 3.5
+
+    def test_save_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(golden_tracer(), path)
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_jsonl(Tracer(), path)
+        assert path.read_text() == ""
+
+
+class TestTimeline:
+    def test_children_indent_under_their_span(self):
+        lines = render_timeline(golden_tracer()).splitlines()
+        assert lines[0].startswith("[")           # instant at depth 0
+        assert "▶ purge" in lines[1]
+        assert lines[2].startswith("  ")          # nested hash_purge
+        assert "◀ purge" in lines[3]
+        assert not lines[3].startswith("  ")      # end back at depth 0
+
+    def test_truncation_reports_the_remainder(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.record(float(i), "op", "x")
+        assert "... and 7 more" in render_timeline(tracer, max_events=3)

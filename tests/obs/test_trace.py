@@ -1,0 +1,125 @@
+"""Span tracing: nesting, ordering, filtering and the ring buffer."""
+
+from repro.obs.trace import PHASE_BEGIN, PHASE_END, Tracer, get_tracer
+
+
+class TestSpans:
+    def test_begin_end_reassembles_a_closed_span(self):
+        tracer = Tracer()
+        span_id = tracer.begin(1.0, "join", "purge", reason="threshold")
+        tracer.end(1.0, removed=3, cost=2.5)
+        (span,) = tracer.spans()
+        assert span.span_id == span_id
+        assert span.closed
+        assert span.begin == 1.0 and span.end == 1.0
+        assert span.details == {"reason": "threshold", "removed": 3, "cost": 2.5}
+
+    def test_nested_spans_link_to_their_parent(self):
+        tracer = Tracer()
+        outer = tracer.begin(1.0, "join", "purge_run")
+        inner = tracer.begin(1.0, "join", "hash_purge")
+        tracer.end(1.0)
+        tracer.end(1.0)
+        spans = {s.action: s for s in tracer.spans()}
+        assert spans["purge_run"].parent_id is None
+        assert spans["hash_purge"].parent_id == outer
+        assert spans["hash_purge"].span_id == inner
+
+    def test_instants_nest_under_the_open_span(self):
+        tracer = Tracer()
+        outer = tracer.begin(1.0, "join", "disk_join")
+        tracer.record(1.0, "join", "disk_partition", partition=4)
+        tracer.end(1.0)
+        tracer.record(2.0, "join", "event")
+        instants = [e for e in tracer.events if e.phase == "i"]
+        assert instants[0].parent_id == outer
+        assert instants[1].parent_id is None
+
+    def test_events_keep_virtual_time_order_of_recording(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", "x")
+        tracer.begin(2.0, "a", "y")
+        tracer.end(3.0)
+        tracer.record(4.0, "a", "z")
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_open_span_has_no_end(self):
+        tracer = Tracer()
+        tracer.begin(5.0, "join", "disk_join")
+        (span,) = tracer.spans()
+        assert not span.closed
+        assert span.end is None
+        assert span.duration == 0.0
+
+    def test_end_without_begin_is_a_noop(self):
+        tracer = Tracer()
+        tracer.end(1.0)
+        assert len(tracer) == 0
+
+    def test_counts_count_spans_once(self):
+        tracer = Tracer()
+        tracer.begin(1.0, "join", "purge")
+        tracer.end(2.0)
+        tracer.record(3.0, "join", "purge")
+        assert tracer.counts() == {"purge": 2}
+
+
+class TestFiltering:
+    def test_filtered_span_keeps_descendant_parent_links(self):
+        """Suppressing a span's records must not re-parent its children."""
+        tracer = Tracer(actions=["hash_purge"])
+        hidden = tracer.begin(1.0, "join", "purge_run")
+        tracer.record(1.0, "join", "hash_purge", side="left")
+        tracer.end(1.0)
+        (event,) = list(tracer.events)
+        assert event.action == "hash_purge"
+        assert event.parent_id == hidden
+
+    def test_filter_applies_to_begin_and_end_marks(self):
+        tracer = Tracer(actions=["propagate"])
+        tracer.begin(1.0, "join", "purge")
+        tracer.end(1.0)
+        tracer.begin(2.0, "join", "propagate")
+        tracer.end(2.0)
+        actions = {e.action for e in tracer.events}
+        assert actions == {"propagate"}
+        phases = [e.phase for e in tracer.events]
+        assert phases == [PHASE_BEGIN, PHASE_END]
+
+
+class TestRingBuffer:
+    def test_keeps_newest_events_and_counts_drops(self):
+        tracer = Tracer(limit=3)
+        for i in range(10):
+            tracer.record(float(i), "op", "x", i=i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        assert [e.details["i"] for e in tracer.events] == [7, 8, 9]
+
+    def test_spans_with_evicted_begin_are_omitted(self):
+        tracer = Tracer(limit=2)
+        tracer.begin(1.0, "op", "old")
+        tracer.end(1.0)
+        tracer.begin(2.0, "op", "new")
+        tracer.end(2.0)
+        # buffer holds only the "new" B/E pair now
+        assert [s.action for s in tracer.spans()] == ["new"]
+
+    def test_dropped_surfaces_in_render(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.record(float(i), "op", "x")
+        out = tracer.render()
+        assert "3 earlier events dropped" in out
+        assert "limit=2" in out
+
+
+class TestEngineHook:
+    def test_get_tracer_returns_none_when_off(self, engine):
+        assert get_tracer(engine) is None
+
+    def test_get_tracer_returns_attached_tracer(self, engine):
+        tracer = Tracer()
+        engine.tracer = tracer
+        assert get_tracer(engine) is tracer

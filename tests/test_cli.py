@@ -64,7 +64,62 @@ class TestTrace:
         assert "relocate(" in out or "disk_join(" in out
 
 
+class TestTraceExports:
+    def test_trace_writes_chrome_jsonl_and_manifest(self, capsys, tmp_path):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "manifest.json"
+        code = main(
+            ["trace", "--tuples", "200", "--purge-threshold", "3",
+             "--max-events", "3",
+             "--chrome", str(chrome), "--jsonl", str(jsonl),
+             "--manifest", str(manifest)]
+        )
+        assert code == 0
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        validate_chrome_trace(json.loads(chrome.read_text()))
+        assert jsonl.read_text().strip()
+        data = json.loads(manifest.read_text())
+        assert data["counters"]["pjoin"]["probes"] > 0
+
+    def test_trace_unknown_target_fails(self, capsys):
+        assert main(["trace", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_metrics_prints_counter_registry(self, capsys):
+        code = main(["metrics", "--tuples", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probes" in out
+        assert "tuples_purged" in out
+        assert "disk.write_ops" in out
+
+    def test_obs_aliases_work(self, capsys):
+        assert main(["obs", "metrics", "--tuples", "100"]) == 0
+        assert "probes" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_obs_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out

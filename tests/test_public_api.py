@@ -72,8 +72,14 @@ def test_determinism_across_processes():
     """The same experiment yields identical numbers in a fresh process
     with a different hash seed — bucket placement must come from the
     stable hash, and randomness only from explicit seeds."""
+    import os
     import subprocess
     import sys
+
+    # The child must be able to import repro no matter how this process
+    # found it (installed, or via PYTHONPATH=src): point PYTHONPATH at
+    # the directory containing the package we actually imported.
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
 
     snippet = (
         "from repro.core.config import PJoinConfig;"
@@ -90,7 +96,11 @@ def test_determinism_across_processes():
             [sys.executable, "-c", snippet],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": hash_seed,
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": package_root,
+            },
             check=True,
         )
         outputs.add(proc.stdout.strip())
