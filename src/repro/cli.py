@@ -12,7 +12,10 @@ Commands:
 * ``metrics`` — run a workload or preset and print the per-operator
   counter registries from its run manifest;
 * ``obs`` — the observability group: ``obs trace`` and ``obs metrics``
-  are aliases of the two commands above.
+  are aliases of the two commands above;
+* ``chaos`` — run deterministic fault-injection scenarios (contract
+  violations, disorder, disk faults, source stalls) under a chosen
+  fault policy and print/check their resilience counter summaries.
 
 Examples
 --------
@@ -24,6 +27,8 @@ Examples
     python -m repro demo --tuples 5000 --spacing-a 10 --spacing-b 20
     python -m repro trace figure8 --scale 0.1 --chrome trace.json
     python -m repro metrics --tuples 2000 --manifest run.json
+    python -m repro chaos gentle disk_storm --policy quarantine
+    python -m repro chaos --all --check tests/goldens
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ from repro.experiments.harness import (
 from repro.metrics.report import render_table
 from repro.obs.export import render_timeline, save_chrome_trace, save_jsonl
 from repro.obs.trace import Tracer
+from repro.resilience.chaos import CHAOS_SCENARIOS, run_chaos
+from repro.resilience.policy import FAULT_POLICIES, QUARANTINE
 from repro.workloads.generator import generate_workload
 
 ALL_EXPERIMENTS = {**ALL_FIGURES, **ALL_ABLATIONS}
@@ -97,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_trace_parser(sub)
     _add_metrics_parser(sub)
+    _add_chaos_parser(sub)
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -120,6 +128,11 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--purge-threshold", type=int, default=5)
     parser.add_argument("--memory-threshold", type=int, default=None)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--fault-policy", choices=sorted(FAULT_POLICIES), default="strict",
+        help="punctuation-contract fault policy for the ad-hoc PJoin "
+             "(quarantine adds dead-letter counters to the registry)",
+    )
 
 
 def _add_export_args(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +196,92 @@ def _add_metrics_parser(sub) -> None:
         help="also write the run manifest(s) as JSON",
     )
     metrics_cmd.set_defaults(func=cmd_metrics)
+
+
+def _add_chaos_parser(sub) -> None:
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run deterministic fault-injection scenarios and print "
+             "their resilience counter summaries",
+        description="Chaos harness: each preset composes seeded faults "
+                    "(contract violations, disorder, duplicates, disk "
+                    "faults, stalls) into one deterministic run; same "
+                    "preset + seed always yields identical counters.",
+    )
+    chaos_cmd.add_argument(
+        "names", nargs="*",
+        help=f"scenario presets ({', '.join(sorted(CHAOS_SCENARIOS))}); "
+             "omit with --all to run every preset",
+    )
+    chaos_cmd.add_argument(
+        "--all", action="store_true", help="run every chaos preset"
+    )
+    chaos_cmd.add_argument(
+        "--policy", choices=sorted(FAULT_POLICIES), default=QUARANTINE,
+        help="fault policy for the join under chaos (default quarantine; "
+             "strict will raise on scenarios that inject violations)",
+    )
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed",
+    )
+    chaos_cmd.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help="write the run manifest(s), resilience section included",
+    )
+    chaos_cmd.add_argument(
+        "--check", type=Path, default=None, metavar="DIR",
+        help="diff each summary against DIR/chaos_<name>.json and fail "
+             "on any counter drift (the CI chaos-smoke gate)",
+    )
+    chaos_cmd.set_defaults(func=cmd_chaos)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    names: List[str] = list(CHAOS_SCENARIOS) if args.all else args.names
+    if not names:
+        print("nothing to run: name scenarios or pass --all", file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in CHAOS_SCENARIOS]
+    if unknown:
+        print(f"unknown chaos scenarios: {unknown}; presets: "
+              f"{sorted(CHAOS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    runs = []
+    drifted = []
+    for name in names:
+        run = run_chaos(name, policy=args.policy, seed=args.seed)
+        runs.append(run)
+        print(f"{run.scenario.name}: {run.scenario.description}")
+        rows = [[key, value] for key, value in run.summary.items()]
+        print(render_table([f"counter ({run.manifest['label']})", "value"],
+                           rows))
+        if run.join.dead_letters:
+            print(f"dead-letter store: {len(run.join.dead_letters)} tuples "
+                  f"({run.join.dead_letters.counters()})")
+        print()
+        if args.check is not None:
+            golden_path = args.check / f"chaos_{name}.json"
+            if not golden_path.exists():
+                print(f"missing golden: {golden_path}", file=sys.stderr)
+                drifted.append(name)
+                continue
+            golden = json.loads(golden_path.read_text())
+            if golden != run.summary:
+                drifted.append(name)
+                keys = sorted(set(golden) | set(run.summary))
+                for key in keys:
+                    expected, got = golden.get(key), run.summary.get(key)
+                    if expected != got:
+                        print(f"  drift in {name}.{key}: "
+                              f"golden={expected!r} run={got!r}",
+                              file=sys.stderr)
+    if args.manifest is not None:
+        _write_manifests(runs, args.manifest)
+    if drifted:
+        print(f"chaos counter drift: {drifted}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -278,6 +377,7 @@ def _traced_runs(args: argparse.Namespace, tracer: Tracer):
         memory_threshold=args.memory_threshold,
         propagation_mode="push_count",
         propagate_count_threshold=max(2, args.purge_threshold),
+        fault_policy=getattr(args, "fault_policy", "strict"),
     )
     run = run_join_experiment(
         pjoin_factory(config),

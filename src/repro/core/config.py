@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ResilienceError
+from repro.resilience.policy import STRICT, normalize_policy
 
 INDEX_EAGER = "eager"
 INDEX_LAZY = "lazy"
@@ -83,11 +84,17 @@ class PJoinConfig:
         optimisation).
     n_partitions:
         Hash buckets per state.
-    validate_inputs:
-        ``"raise"`` — raise on a punctuation violation (a tuple arriving
-        after a same-stream punctuation covering it); ``"count"`` —
-        tally it in :attr:`~repro.core.pjoin.PJoin.punctuation_violations`
-        and drop the tuple; ``"off"`` — trust the source, skip the check.
+    fault_policy:
+        How to treat a punctuation-contract violation (a tuple arriving
+        after a same-stream punctuation covering it) — one of
+        :data:`~repro.resilience.policy.FAULT_POLICIES`:
+        ``"strict"`` raises
+        :class:`~repro.errors.ContractViolationError` (the default);
+        ``"quarantine"`` routes the tuple to the operator's dead-letter
+        store; ``"repair"`` retracts the offending punctuation and
+        admits the tuple; ``"trust"`` skips the check entirely.  The
+        legacy ``validate_inputs`` spellings ``"raise"``/``"count"``/
+        ``"off"`` are accepted and normalised.
     """
 
     purge_threshold: int = 1
@@ -101,7 +108,7 @@ class PJoinConfig:
     disk_join_before_propagation: bool = True
     on_the_fly_drop: bool = True
     n_partitions: int = 32
-    validate_inputs: str = "raise"
+    fault_policy: str = STRICT
 
     def __post_init__(self) -> None:
         if self.purge_threshold < 1:
@@ -143,11 +150,12 @@ class PJoinConfig:
             )
         if self.n_partitions < 1:
             raise ConfigError(f"n_partitions must be >= 1, got {self.n_partitions}")
-        if self.validate_inputs not in ("raise", "count", "off"):
-            raise ConfigError(
-                "validate_inputs must be 'raise', 'count' or 'off', "
-                f"got {self.validate_inputs!r}"
-            )
+        try:
+            normalized = normalize_policy(self.fault_policy)
+        except ResilienceError as exc:
+            raise ConfigError(str(exc)) from None
+        if normalized != self.fault_policy:
+            object.__setattr__(self, "fault_policy", normalized)
 
     @property
     def eager_purge(self) -> bool:

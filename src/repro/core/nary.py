@@ -29,9 +29,11 @@ from repro.core.config import INDEX_EAGER, PROPAGATE_OFF, PJoinConfig
 from repro.core.monitor import Monitor
 from repro.core.propagation import run_propagation
 from repro.core.state import JoinStateSide
-from repro.errors import ConfigError, OperatorError, PunctuationError
+from repro.errors import ConfigError, OperatorError
 from repro.operators.base import Operator
 from repro.punctuations.punctuation import Punctuation
+from repro.resilience.policy import STRICT
+from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
 from repro.tuples.schema import Schema
@@ -78,6 +80,10 @@ class NaryPJoin(Operator):
             )
             for i, (schema, field) in enumerate(zip(schemas, join_fields))
         ]
+        self.validator = ContractValidator.for_sides(
+            engine, name, self.config.fault_policy, self.sides
+        )
+        self.dead_letters = self.validator.dead_letters
         self.monitor = Monitor(self.config)
         self._out_join_indices = self._compute_out_join_indices()
         self.results_produced = 0
@@ -85,7 +91,11 @@ class NaryPJoin(Operator):
         self.tuples_purged = 0
         self.purge_runs = 0
         self.punctuations_propagated = 0
-        self.punctuation_violations = 0
+
+    @property
+    def punctuation_violations(self) -> int:
+        """Contract violations seen (counter-compatible alias)."""
+        return self.validator.violations
 
     def _build_out_schema(self) -> Schema:
         out = self.schemas[0]
@@ -116,14 +126,8 @@ class NaryPJoin(Operator):
     def _handle_tuple(self, tup: Tuple, side: int) -> float:
         value = tup.values[self.join_indices[side]]
         cost = self.cost_model.tuple_overhead
-        if self.config.validate_inputs != "off" and self.sides[side].covers(value):
-            self.punctuation_violations += 1
-            if self.config.validate_inputs == "raise":
-                raise PunctuationError(
-                    f"{self.name}: tuple {tup!r} arrived after a punctuation "
-                    f"covering join value {value!r} on stream {side}"
-                )
-            return cost
+        if not self.validator.admit(tup, value, side):
+            return cost  # quarantined: must not probe or enter the state
         # Probe every other state; a result needs a match from each.
         match_lists: List[List[Tuple]] = []
         complete = True
@@ -255,3 +259,20 @@ class NaryPJoin(Operator):
 
     def total_state_size(self) -> int:
         return sum(side.total_size for side in self.sides)
+
+    def counters(self) -> dict:
+        """Uniform counter registry (see :mod:`repro.obs.counters`)."""
+        out = super().counters()
+        out.update(
+            results_produced=self.results_produced,
+            tuples_dropped_on_fly=self.tuples_dropped_on_fly,
+            tuples_purged=self.tuples_purged,
+            purge_runs=self.purge_runs,
+            punctuations_propagated=self.punctuations_propagated,
+            punctuation_violations=self.punctuation_violations,
+        )
+        # Non-default policies only: default manifests stay unchanged.
+        if self.validator.policy != STRICT:
+            for key, value in self.validator.counters().items():
+                out[f"resilience.{key}"] = value
+        return out

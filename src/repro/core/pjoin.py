@@ -38,7 +38,7 @@ from repro.core.propagation import run_propagation
 from repro.core.purge import PurgeResult, purge_side
 from repro.core.registry import EventListenerRegistry, default_registry_for
 from repro.core.state import JoinStateSide
-from repro.errors import OperatorError, PunctuationError
+from repro.errors import OperatorError
 from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import (
@@ -47,6 +47,8 @@ from repro.operators.dedupe import (
     stage2_covered_one_side,
 )
 from repro.punctuations.punctuation import Punctuation
+from repro.resilience.policy import STRICT
+from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
 from repro.storage.disk import SimulatedDisk
@@ -125,6 +127,12 @@ class PJoin(BinaryHashJoin):
         ]
         # Keep the inherited helpers pointed at the real tables.
         self.states = [self.sides[0].table, self.sides[1].table]
+        # The punctuation-contract validator applies the configured
+        # fault policy to every arriving tuple (resilience layer).
+        self.validator = ContractValidator.for_sides(
+            engine, name, self.config.fault_policy, self.sides
+        )
+        self.dead_letters = self.validator.dead_letters
         self.monitor = Monitor(self.config)
         self.registry = (
             registry if registry is not None else default_registry_for(self.config)
@@ -148,7 +156,6 @@ class PJoin(BinaryHashJoin):
         self._idle_check_pending = False
         # --- counters -----------------------------------------------------
         self.tuples_dropped_on_fly = 0
-        self.punctuation_violations = 0
         self.purge_runs = 0
         self.tuples_purged = 0
         self.disk_join_runs = 0
@@ -254,14 +261,8 @@ class PJoin(BinaryHashJoin):
         other = self.other(side)
         value = self.join_value(tup, side)
         cost = self.cost_model.tuple_overhead
-        if self.config.validate_inputs != "off" and self.sides[side].covers(value):
-            self.punctuation_violations += 1
-            if self.config.validate_inputs == "raise":
-                raise PunctuationError(
-                    f"{self.name}: tuple {tup!r} arrived after a punctuation "
-                    f"covering join value {value!r} on the same stream"
-                )
-            return cost  # "count" mode: drop the offending tuple
+        if not self.validator.admit(tup, value, side):
+            return cost  # quarantined: the tuple must not probe or insert
         # Memory join: probe the opposite state's memory portion.
         occupancy, matches = self.sides[other].probe(value)
         self.probes += 1
@@ -651,6 +652,11 @@ class PJoin(BinaryHashJoin):
     # Metrics
     # ==================================================================
 
+    @property
+    def punctuation_violations(self) -> int:
+        """Contract violations seen (kept as a counter-compatible alias)."""
+        return self.validator.violations
+
     def state_size(self, side: int) -> int:
         """One side's tuple count (memory + disk + purge buffer)."""
         return self.sides[side].total_size
@@ -713,6 +719,11 @@ class PJoin(BinaryHashJoin):
         )
         for event_name, count in self.events_dispatched.items():
             out[f"events.{event_name}"] = count
+        # Resilience counters only appear under a non-default policy, so
+        # default (strict) manifests stay byte-identical to the seed.
+        if self.validator.policy != STRICT:
+            for key, value in self.validator.counters().items():
+                out[f"resilience.{key}"] = value
         return out
 
     def __repr__(self) -> str:

@@ -90,6 +90,33 @@ class JoinStateSide:
         """``setMatch``: do this stream's punctuations cover the value?"""
         return self.store.covers_value(join_value)
 
+    def retract_covering(self, join_value: Any) -> int:
+        """Withdraw every stored punctuation covering *join_value*.
+
+        The ``repair`` fault policy calls this when a tuple arrives in
+        violation of an earlier punctuation: the promise was false, so
+        it is removed from the punctuation set *and* the punctuation
+        index.  Entries already tagged with a retracted pid are untagged
+        (their ``pid`` reset to ``None``) so a later, equal punctuation
+        re-counts them from scratch instead of inheriting stale counts.
+        Returns the number of punctuations retracted.
+        """
+        doomed = [
+            pid
+            for pid, punct in self.store.items()
+            if punct.patterns[self.store.join_index].matches(join_value)
+        ]
+        if not doomed:
+            return 0
+        for pid in doomed:
+            self.store.remove(pid)
+            self.index.on_punctuation_removed(pid)
+        doomed_set = set(doomed)
+        for entry in self.iter_all_entries():
+            if entry.pid in doomed_set:
+                entry.pid = None
+        return len(doomed)
+
     # ------------------------------------------------------------------
     # Purge bookkeeping
     # ------------------------------------------------------------------

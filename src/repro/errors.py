@@ -54,3 +54,44 @@ class StorageError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid or inconsistent."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the resilience layer (fault policies, chaos).
+
+    Raised when graceful degradation itself cannot proceed: an unknown
+    fault policy, an exhausted retry budget, a chaos scenario that is
+    inconsistent.  Recoverable conditions (contract violations under
+    ``quarantine``/``repair``, transient I/O faults within the retry
+    budget) are absorbed and counted instead of raised.
+    """
+
+
+class ContractViolationError(ResilienceError, PunctuationError):
+    """A tuple arrived after a same-stream punctuation covering it.
+
+    Raised only under the ``strict`` fault policy; ``quarantine`` routes
+    the tuple to the operator's dead-letter store and ``repair``
+    retracts the broken promise instead.  Subclasses
+    :class:`PunctuationError` so pre-resilience callers that caught the
+    old hard failure keep working.
+    """
+
+
+class TransientIOError(ResilienceError, StorageError):
+    """A simulated disk fault outlived the configured retry budget.
+
+    The simulated disk absorbs transient faults by retrying with
+    exponential backoff in virtual time; this error means the outage
+    lasted longer than the whole backoff schedule.  Subclasses
+    :class:`StorageError` so storage-level handlers keep working.
+    """
+
+
+class SourceStallError(ResilienceError):
+    """A stream source stalled past the watchdog's tolerance.
+
+    Only raised when a :class:`~repro.resilience.watchdog.StallWatchdog`
+    is configured with ``on_stall="raise"``; the default modes synthesise
+    heartbeat punctuations or merely flag the run as degraded.
+    """

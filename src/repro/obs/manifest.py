@@ -51,6 +51,9 @@ def operator_counters(op: Any) -> Dict[str, float]:
     """One operator's full counter registry, sub-components included."""
     counters = counters_of(op)
     merge_component(counters, "disk", getattr(op, "disk", None))
+    # Quarantine policy only: dead_letters is None under other policies,
+    # so default manifests gain no keys.
+    merge_component(counters, "dead_letter", getattr(op, "dead_letters", None))
     sides = getattr(op, "sides", None)
     if sides is not None:
         for number, side in enumerate(sides):

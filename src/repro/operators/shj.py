@@ -5,29 +5,75 @@ Keeps every arriving tuple forever: it is the strawman whose
 Punctuations are absorbed (it has no constraint-exploiting mechanism).
 Useful as a reference implementation in tests and as the
 memory-overflow-free baseline in examples.
+
+Like XJoin, the operator can optionally enforce the punctuation
+contract through the shared :class:`~repro.resilience.validator.
+ContractValidator` — the default ``"trust"`` policy keeps the paper's
+zero-overhead behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict
 
 from repro.operators.binary import BinaryHashJoin
 from repro.punctuations.punctuation import Punctuation
+from repro.resilience.policy import TRUST
+from repro.resilience.validator import ContractValidator
+from repro.sim.costs import CostModel
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
 from repro.tuples.tuple import Tuple
 
 
 class SymmetricHashJoin(BinaryHashJoin):
     """Probe the opposite state, emit matches, insert — never purge."""
 
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cost_model: CostModel,
+        left_schema: Schema,
+        right_schema: Schema,
+        left_field: str,
+        right_field: str,
+        n_partitions: int = 16,
+        name: str = "",
+        fault_policy: str = TRUST,
+    ) -> None:
+        super().__init__(
+            engine,
+            cost_model,
+            left_schema,
+            right_schema,
+            left_field,
+            right_field,
+            n_partitions=n_partitions,
+            name=name,
+        )
+        self.validator = ContractValidator.tracking(
+            engine,
+            name or "shj",
+            fault_policy,
+            [left_schema, right_schema],
+            [left_field, right_field],
+        )
+        self.dead_letters = self.validator.dead_letters
+        self.punctuations_absorbed = 0
+
     def handle(self, item: Any, port: int) -> float:
         if isinstance(item, Punctuation):
             # No constraint-exploiting mechanism: absorb.
+            self.validator.observe_punctuation(item, port)
+            self.punctuations_absorbed += 1
             return self.cost_model.punct_overhead
         if not isinstance(item, Tuple):
             return 0.0
         side = port
         other = self.other(side)
         value = self.join_value(item, side)
+        if not self.validator.admit(item, value, side):
+            return self.cost_model.tuple_overhead
         occupancy, matches = self.states[other].probe(value)
         self.probes += 1
         self.probe_matches += len(matches)
@@ -40,3 +86,12 @@ class SymmetricHashJoin(BinaryHashJoin):
             + self.cost_model.probe_cost(occupancy, len(matches))
             + self.cost_model.insert
         )
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out["punctuations_absorbed"] = self.punctuations_absorbed
+        # Non-default policies only: default manifests stay unchanged.
+        if self.validator.policy != TRUST:
+            for key, value in self.validator.counters().items():
+                out[f"resilience.{key}"] = value
+        return out

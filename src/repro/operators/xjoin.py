@@ -28,6 +28,8 @@ from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import already_produced, stage1_covered
 from repro.punctuations.punctuation import Punctuation
+from repro.resilience.policy import TRUST
+from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
 from repro.storage.disk import SimulatedDisk
@@ -51,6 +53,13 @@ class XJoin(BinaryHashJoin):
     disk:
         The shared :class:`~repro.storage.disk.SimulatedDisk`; a private
         one is created when omitted.
+    fault_policy:
+        Punctuation-contract fault policy (see
+        :mod:`repro.resilience.policy`).  XJoin has no
+        constraint-exploiting mechanism of its own, so the default is
+        ``"trust"`` — the paper's behaviour, with zero overhead.  Any
+        other policy makes the operator track arriving punctuations in a
+        private store and check every tuple against them.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class XJoin(BinaryHashJoin):
         disk_join_idle_ms: float = 5.0,
         disk: Optional[SimulatedDisk] = None,
         name: str = "xjoin",
+        fault_policy: str = TRUST,
     ) -> None:
         super().__init__(
             engine,
@@ -88,6 +98,14 @@ class XJoin(BinaryHashJoin):
         self.memory_threshold = memory_threshold
         self.disk_join_idle_ms = disk_join_idle_ms
         self.disk = disk if disk is not None else SimulatedDisk(cost_model)
+        self.validator = ContractValidator.tracking(
+            engine,
+            name,
+            fault_policy,
+            [left_schema, right_schema],
+            [left_field, right_field],
+        )
+        self.dead_letters = self.validator.dead_letters
         self._idle_check_pending = False
         self.spills = 0
         self.stage2_runs = 0
@@ -100,6 +118,7 @@ class XJoin(BinaryHashJoin):
 
     def handle(self, item: Any, port: int) -> float:
         if isinstance(item, Punctuation):
+            self.validator.observe_punctuation(item, port)
             self.punctuations_absorbed += 1
             return self.cost_model.punct_overhead
         if not isinstance(item, Tuple):
@@ -107,6 +126,8 @@ class XJoin(BinaryHashJoin):
         side = port
         other = self.other(side)
         value = self.join_value(item, side)
+        if not self.validator.admit(item, value, side):
+            return self.cost_model.tuple_overhead
         occupancy, matches = self.states[other].probe(value)
         self.probes += 1
         self.probe_matches += len(matches)
@@ -282,6 +303,10 @@ class XJoin(BinaryHashJoin):
             stage3_pairs_emitted=self.stage3_pairs_emitted,
             punctuations_absorbed=self.punctuations_absorbed,
         )
+        # Non-default policies only: default manifests stay unchanged.
+        if self.validator.policy != TRUST:
+            for key, value in self.validator.counters().items():
+                out[f"resilience.{key}"] = value
         return out
 
     def _cleanup_partition(

@@ -48,10 +48,18 @@ class QueryPlan:
         operator: Operator,
         port: int = 0,
         name: str = "",
+        disorder_slack_ms: Optional[float] = None,
     ) -> StreamSource:
-        """Create a source feeding *operator*'s input *port*."""
+        """Create a source feeding *operator*'s input *port*.
+
+        ``disorder_slack_ms`` routes the source through a re-sequencing
+        disorder buffer (see :mod:`repro.resilience.disorder`).
+        """
         source = StreamSource(
-            self.engine, schedule, name=name or f"source{len(self.sources)}"
+            self.engine,
+            schedule,
+            name=name or f"source{len(self.sources)}",
+            disorder_slack_ms=disorder_slack_ms,
         )
         source.connect(operator, port)
         self.sources.append(source)

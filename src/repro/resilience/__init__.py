@@ -1,0 +1,97 @@
+"""Resilience layer: graceful degradation for punctuated joins.
+
+The paper assumes well-behaved inputs — punctuations that are never
+violated, streams that arrive in order, disks that never fail, sources
+that never stall.  This package removes those assumptions one at a
+time, each behind an explicit opt-in so the paper's own experiments
+stay byte-identical:
+
+* :mod:`~repro.resilience.policy` — the fault-policy vocabulary
+  (``strict`` / ``quarantine`` / ``repair`` / ``trust``);
+* :mod:`~repro.resilience.validator` — the shared punctuation-contract
+  validator used by every join operator;
+* :mod:`~repro.resilience.deadletter` — where quarantined tuples go;
+* :mod:`~repro.resilience.disorder` — bounded re-sequencing of
+  out-of-order arrivals at the sources;
+* :mod:`~repro.resilience.retry` — seeded transient disk faults and
+  exponential-backoff retry, in virtual time;
+* :mod:`~repro.resilience.watchdog` — source-stall detection and
+  heartbeat punctuation synthesis;
+* :mod:`~repro.resilience.chaos` — deterministic chaos scenarios
+  composing all of the above (the ``repro chaos`` CLI command).
+"""
+
+from repro.resilience.deadletter import (
+    DEFAULT_SAMPLE_CAPACITY,
+    REASON_CONTRACT_VIOLATION,
+    REASON_DUPLICATE,
+    DeadLetter,
+    DeadLetterStore,
+)
+from repro.resilience.disorder import DisorderBuffer
+from repro.resilience.policy import (
+    FAULT_POLICIES,
+    QUARANTINE,
+    REPAIR,
+    STRICT,
+    TRUST,
+    normalize_policy,
+)
+from repro.resilience.retry import (
+    DiskFaultInjector,
+    DiskFaultProfile,
+    RetryPolicy,
+    maybe_injector,
+)
+from repro.resilience.validator import (
+    ContractValidator,
+    InertSideContract,
+    StateSideContract,
+    TrackedSideContract,
+)
+from repro.resilience.watchdog import (
+    ON_STALL_FLAG,
+    ON_STALL_HEARTBEAT,
+    ON_STALL_RAISE,
+    StallWatchdog,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_CAPACITY",
+    "REASON_CONTRACT_VIOLATION",
+    "REASON_DUPLICATE",
+    "DeadLetter",
+    "DeadLetterStore",
+    "DisorderBuffer",
+    "FAULT_POLICIES",
+    "QUARANTINE",
+    "REPAIR",
+    "STRICT",
+    "TRUST",
+    "normalize_policy",
+    "DiskFaultInjector",
+    "DiskFaultProfile",
+    "RetryPolicy",
+    "maybe_injector",
+    "ContractValidator",
+    "InertSideContract",
+    "StateSideContract",
+    "TrackedSideContract",
+    "ON_STALL_FLAG",
+    "ON_STALL_HEARTBEAT",
+    "ON_STALL_RAISE",
+    "StallWatchdog",
+    "ChaosScenario",
+    "CHAOS_SCENARIOS",
+    "run_chaos",
+]
+
+
+def __getattr__(name):
+    # chaos imports operators/query layers; load lazily to keep the
+    # resilience core importable from below those layers.
+    if name in ("ChaosScenario", "CHAOS_SCENARIOS", "run_chaos"):
+        from repro.resilience import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

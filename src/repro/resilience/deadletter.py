@@ -1,0 +1,92 @@
+"""The per-operator dead-letter store.
+
+Under the ``quarantine`` fault policy, contract-violating tuples are not
+silently dropped: they land here, stamped with the virtual time, input
+side and reason, so every degradation is auditable after the run.  The
+store keeps a bounded sample of the offending tuples (enough to debug a
+broken source) and exact counters (enough for manifests and the
+``repro metrics`` / ``repro chaos`` reports to show precisely how much
+was quarantined, and why).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+REASON_CONTRACT_VIOLATION = "contract_violation"
+REASON_DUPLICATE = "duplicate"
+
+# How many offending tuples to retain verbatim; counters stay exact
+# beyond this, only the samples stop growing.
+DEFAULT_SAMPLE_CAPACITY = 64
+
+
+class DeadLetter(NamedTuple):
+    """One quarantined item with its full audit context."""
+
+    item: Any
+    side: int
+    reason: str
+    join_value: Any
+    quarantined_at: float
+
+
+class DeadLetterStore:
+    """Quarantined tuples of one operator, counted by reason and side.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and reports (usually ``<operator>.dlq``).
+    sample_capacity:
+        Maximum number of :class:`DeadLetter` records retained verbatim;
+        ``None`` keeps every one (tests), ``0`` keeps none.
+    """
+
+    def __init__(
+        self,
+        name: str = "dead_letter",
+        sample_capacity: Optional[int] = DEFAULT_SAMPLE_CAPACITY,
+    ) -> None:
+        self.name = name
+        self.sample_capacity = sample_capacity
+        self.entries: List[DeadLetter] = []
+        self.total = 0
+        self.by_reason: Dict[str, int] = {}
+        self.by_side: Dict[int, int] = {}
+
+    def add(
+        self,
+        item: Any,
+        side: int,
+        reason: str,
+        join_value: Any,
+        now: float,
+    ) -> DeadLetter:
+        """Quarantine one item; returns the stored record."""
+        letter = DeadLetter(item, side, reason, join_value, now)
+        if self.sample_capacity is None or len(self.entries) < self.sample_capacity:
+            self.entries.append(letter)
+        self.total += 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.by_side[side] = self.by_side.get(side, 0) + 1
+        return letter
+
+    def quarantined_values(self) -> List[Any]:
+        """Join values of the sampled dead letters, in quarantine order."""
+        return [letter.join_value for letter in self.entries]
+
+    def counters(self) -> Dict[str, int]:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        out: Dict[str, int] = {"quarantined": self.total}
+        for reason, count in sorted(self.by_reason.items()):
+            out[f"reason.{reason}"] = count
+        for side, count in sorted(self.by_side.items()):
+            out[f"side{side}"] = count
+        return out
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:
+        return f"DeadLetterStore({self.name!r}, quarantined={self.total})"

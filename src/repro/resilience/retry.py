@@ -1,0 +1,166 @@
+"""Retry with exponential backoff, in virtual time.
+
+The simulated disk never used to fail; production storage does, in
+bursts.  This module models both sides of that reality:
+
+* :class:`RetryPolicy` — a deterministic exponential-backoff schedule
+  (initial backoff, multiplier, retry budget) expressed in virtual
+  milliseconds, shared by anything that needs to survive a transient
+  fault;
+* :class:`DiskFaultProfile` — a *seeded* description of how the disk
+  misbehaves: a per-operation failure probability and a burst outage
+  duration (once an operation faults, the device stays down for the
+  whole burst, and retries only succeed after their cumulative backoff
+  has outlived it).
+
+The combination turns an outage into *measurable virtual latency*: the
+faulted operation's cost grows by the backoff sum, every retry is
+counted, and the join above it simply runs slower — exactly the
+graceful-degradation contract.  Only when the whole retry budget cannot
+outlast the burst does :class:`~repro.errors.TransientIOError` escape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple as PyTuple
+
+from repro.errors import ResilienceError, TransientIOError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff schedule in virtual milliseconds."""
+
+    max_retries: int = 8
+    initial_backoff_ms: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ResilienceError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.initial_backoff_ms <= 0:
+            raise ResilienceError(
+                f"initial_backoff_ms must be positive, got {self.initial_backoff_ms}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ResilienceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoffs(self) -> Iterator[float]:
+        """The backoff before each retry, in order (``max_retries`` of them)."""
+        backoff = self.initial_backoff_ms
+        for _ in range(self.max_retries):
+            yield backoff
+            backoff *= self.backoff_factor
+
+    @property
+    def total_backoff_ms(self) -> float:
+        """The whole schedule's worth of waiting — the survivable outage."""
+        return sum(self.backoffs())
+
+
+@dataclass(frozen=True)
+class DiskFaultProfile:
+    """Seeded transient-fault behaviour of a simulated disk.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability that any single read/write operation hits a fault.
+    outage_ms:
+        Once an operation faults, the device is down for this long
+        (virtual time); retries fail until their cumulative backoff
+        exceeds it.
+    retry:
+        The backoff schedule used to ride out the outage.
+    seed:
+        Seed of the private RNG drawing faults — same seed, same fault
+        sequence, same manifest counters.
+    """
+
+    failure_rate: float = 0.0
+    outage_ms: float = 2.0
+    retry: RetryPolicy = RetryPolicy()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ResilienceError(
+                f"failure_rate must be in [0, 1], got {self.failure_rate}"
+            )
+        if self.outage_ms < 0:
+            raise ResilienceError(
+                f"outage_ms must be non-negative, got {self.outage_ms}"
+            )
+
+    def make_injector(self) -> "DiskFaultInjector":
+        return DiskFaultInjector(self)
+
+
+class DiskFaultInjector:
+    """Draws faults for one disk and accounts the retries that absorb them."""
+
+    def __init__(self, profile: DiskFaultProfile) -> None:
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+        self.faults_injected = 0
+        self.retries = 0
+        self.backoff_time_ms = 0.0
+
+    def charge(self, operation: str) -> PyTuple[float, int]:
+        """Decide one operation's fate; return ``(penalty_ms, retries)``.
+
+        A fault-free operation costs nothing extra.  A faulted one pays
+        the backoff schedule until the cumulative wait outlives the
+        burst outage; if the budget runs out first, the outage was not
+        transient after all and :class:`~repro.errors.TransientIOError`
+        propagates to the operator.
+        """
+        profile = self.profile
+        if profile.failure_rate == 0.0:
+            return 0.0, 0
+        if self._rng.random() >= profile.failure_rate:
+            return 0.0, 0
+        self.faults_injected += 1
+        waited = 0.0
+        attempts = 0
+        for backoff in profile.retry.backoffs():
+            attempts += 1
+            self.retries += 1
+            waited += backoff
+            self.backoff_time_ms += backoff
+            if waited >= profile.outage_ms:
+                return waited, attempts
+        raise TransientIOError(
+            f"disk {operation} still failing after {attempts} retries "
+            f"({waited:g} ms of backoff < {profile.outage_ms:g} ms outage); "
+            f"raise the retry budget or shorten the outage"
+        )
+
+    def counters(self) -> dict:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "backoff_time_ms": self.backoff_time_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskFaultInjector(rate={self.profile.failure_rate}, "
+            f"faults={self.faults_injected}, retries={self.retries})"
+        )
+
+
+def maybe_injector(
+    profile: Optional[DiskFaultProfile],
+) -> Optional[DiskFaultInjector]:
+    """Build an injector when a profile with a non-zero rate is given."""
+    if profile is None or profile.failure_rate == 0.0:
+        return None
+    return profile.make_injector()

@@ -1,0 +1,220 @@
+"""Source-stall detection and heartbeat synthesis.
+
+A punctuation-exploiting join starves in a specific way when one source
+stalls: the partner side's state can no longer be purged (no new
+promises arrive) and pending punctuations can never propagate (their
+index counts never reach zero).  The paper assumes sources never stall;
+the watchdog removes that assumption.
+
+The :class:`StallWatchdog` polls every watched source on the virtual
+clock.  When a source has been silent — no tuple *and* no punctuation —
+for longer than the timeout while the simulation advances (i.e. other
+sources keep making progress), a stall episode is declared and handled
+according to the configured mode:
+
+``"heartbeat"``
+    Synthesise an **all-wildcard punctuation** on the stalled input:
+    the strongest promise a silent source can be presumed to make ("no
+    more tuples at all").  The partner side's purge and propagation
+    immediately unblock.  If the source later *resumes*, its tuples now
+    violate the synthesised promise — which is exactly the contract
+    -violation path, so the operator's fault policy (quarantine/repair)
+    takes over.  Pair heartbeat mode with ``repair`` to get back to
+    normal operation automatically after a resume, or with
+    ``quarantine`` to audit every post-stall arrival.
+
+``"flag"``
+    Only mark the run degraded and count the episode — for deployments
+    where synthesising promises is unacceptable.
+
+``"raise"``
+    Raise :class:`~repro.errors.SourceStallError` (strict deployments).
+
+One heartbeat is emitted per stall episode: after firing, the watchdog
+re-arms only once the source has emitted again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ResilienceError, SourceStallError
+from repro.obs.trace import get_tracer
+from repro.punctuations.patterns import WILDCARD
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.schema import Schema
+
+ON_STALL_HEARTBEAT = "heartbeat"
+ON_STALL_FLAG = "flag"
+ON_STALL_RAISE = "raise"
+
+_ON_STALL_MODES = (ON_STALL_HEARTBEAT, ON_STALL_FLAG, ON_STALL_RAISE)
+
+
+class _Watch:
+    """One watched (source, operator input) binding."""
+
+    __slots__ = ("source", "operator", "port", "schema", "handled_since")
+
+    def __init__(self, source: Any, operator: Any, port: int, schema: Schema) -> None:
+        self.source = source
+        self.operator = operator
+        self.port = port
+        self.schema = schema
+        # Virtual time of the last source emission this watchdog already
+        # reacted to; one reaction per stall episode.
+        self.handled_since = float("-inf")
+
+
+class StallWatchdog:
+    """Detects punctuation-silent sources and keeps the join fed.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine.
+    timeout_ms:
+        Silence tolerance: a source that emitted nothing for this long
+        (while the clock advances) is stalled.
+    on_stall:
+        ``"heartbeat"``, ``"flag"`` or ``"raise"`` — see module docs.
+    check_interval_ms:
+        Poll interval; defaults to half the timeout.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        timeout_ms: float,
+        on_stall: str = ON_STALL_HEARTBEAT,
+        check_interval_ms: Optional[float] = None,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ResilienceError(
+                f"stall timeout must be positive, got {timeout_ms}"
+            )
+        if on_stall not in _ON_STALL_MODES:
+            raise ResilienceError(
+                f"on_stall must be one of {_ON_STALL_MODES}, got {on_stall!r}"
+            )
+        if check_interval_ms is not None and check_interval_ms <= 0:
+            raise ResilienceError(
+                f"check interval must be positive, got {check_interval_ms}"
+            )
+        self.engine = engine
+        self.timeout_ms = timeout_ms
+        self.on_stall = on_stall
+        self.check_interval_ms = (
+            check_interval_ms if check_interval_ms is not None else timeout_ms / 2.0
+        )
+        self._watches: List[_Watch] = []
+        self._started = False
+        self._stopped = False
+        # -- counters ---------------------------------------------------
+        self.stalls_detected = 0
+        self.heartbeats_emitted = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def watch(self, source: Any, operator: Any, port: int, schema: Schema) -> None:
+        """Monitor *source* feeding *operator*'s input *port*."""
+        self._watches.append(_Watch(source, operator, port, schema))
+
+    def watch_plan_sources(self, plan: Any, schemas: Any) -> None:
+        """Convenience: watch every source of a query plan, in order."""
+        for source, schema in zip(plan.sources, schemas):
+            target = getattr(source, "_target", None)
+            port = getattr(source, "_port", 0)
+            if target is not None:
+                self.watch(source, target, port, schema)
+
+    def start(self) -> None:
+        """Begin polling.  Call before (or right after) ``plan.run()``."""
+        if self._started:
+            raise ResilienceError("watchdog was already started")
+        if not self._watches:
+            raise ResilienceError("watchdog has nothing to watch")
+        self._started = True
+        self.engine.schedule(self.check_interval_ms, self._check)
+
+    def stop(self) -> None:
+        """Stop polling after the current interval."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # The poll
+    # ------------------------------------------------------------------
+
+    def _active_watches(self) -> List[_Watch]:
+        return [
+            watch
+            for watch in self._watches
+            if not getattr(watch.source, "exhausted", False)
+            and not watch.operator.finished
+        ]
+
+    def _check(self) -> None:
+        if self._stopped:
+            return
+        active = self._active_watches()
+        if not active:
+            return  # every source done: let the simulation drain
+        now = self.engine.now
+        for watch in active:
+            last_emit = getattr(watch.source, "last_emit_time", 0.0)
+            if now - last_emit < self.timeout_ms:
+                continue
+            if watch.handled_since >= last_emit:
+                continue  # this stall episode was already handled
+            watch.handled_since = last_emit
+            self._on_stall(watch, now, last_emit)
+        self.engine.schedule(self.check_interval_ms, self._check)
+
+    def _on_stall(self, watch: _Watch, now: float, last_emit: float) -> None:
+        self.stalls_detected += 1
+        self.degraded = True
+        tracer = get_tracer(self.engine)
+        if tracer is not None:
+            tracer.record(
+                now, "watchdog", "stall_detected",
+                source=getattr(watch.source, "name", "?"),
+                silent_ms=now - last_emit,
+            )
+        if self.on_stall == ON_STALL_RAISE:
+            raise SourceStallError(
+                f"source {getattr(watch.source, 'name', '?')!r} silent for "
+                f"{now - last_emit:g} ms (timeout {self.timeout_ms:g} ms)"
+            )
+        if self.on_stall != ON_STALL_HEARTBEAT:
+            return
+        heartbeat = Punctuation(
+            watch.schema, [WILDCARD] * watch.schema.arity, ts=now
+        )
+        watch.operator.push(heartbeat, watch.port)
+        self.heartbeats_emitted += 1
+        if tracer is not None:
+            tracer.record(
+                now, "watchdog", "heartbeat",
+                source=getattr(watch.source, "name", "?"), port=watch.port,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        return {
+            "stalls_detected": self.stalls_detected,
+            "heartbeats_emitted": self.heartbeats_emitted,
+            "degraded": int(self.degraded),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StallWatchdog(timeout={self.timeout_ms:g}ms, "
+            f"mode={self.on_stall}, stalls={self.stalls_detected})"
+        )

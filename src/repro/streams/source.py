@@ -5,6 +5,17 @@ non-decreasing times, where items are tuples or punctuations (already
 timestamped by the workload generator).  The source walks the schedule
 with chained engine events — one pending event at a time — so even very
 long streams do not bloat the event heap.
+
+Resilience hooks
+----------------
+A source can be given a **disorder slack**: items are then routed
+through a :class:`~repro.resilience.disorder.DisorderBuffer` that holds
+them for up to ``disorder_slack_ms`` of virtual time and re-sequences
+them by item timestamp, repairing bounded delivery disorder before the
+operator ever sees it.  The source also tracks
+:attr:`~StreamSource.last_emit_time` and
+:attr:`~StreamSource.exhausted` so a
+:class:`~repro.resilience.watchdog.StallWatchdog` can detect silence.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from typing import Any, Iterable, Iterator, Optional, Tuple as PyTuple
 
 from repro.errors import OperatorError, SimulationError
 from repro.operators.base import Operator
+from repro.resilience.disorder import DisorderBuffer
 from repro.sim.engine import SimulationEngine
 from repro.tuples.item import END_OF_STREAM
 
@@ -28,6 +40,10 @@ class StreamSource:
         Iterable of ``(time, item)`` pairs, times non-decreasing.
     name:
         Label used in error messages and metrics.
+    disorder_slack_ms:
+        When set, deliver through a disorder buffer with this much
+        virtual-time slack (see :mod:`repro.resilience.disorder`);
+        ``None`` (the default) delivers in schedule order, unchanged.
     """
 
     def __init__(
@@ -35,6 +51,7 @@ class StreamSource:
         engine: SimulationEngine,
         schedule: Iterable[PyTuple[float, Any]],
         name: str = "source",
+        disorder_slack_ms: Optional[float] = None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -44,6 +61,15 @@ class StreamSource:
         self._last_time = 0.0
         self._started = False
         self.items_sent = 0
+        self.disorder_buffer = (
+            DisorderBuffer(disorder_slack_ms)
+            if disorder_slack_ms is not None
+            else None
+        )
+        # Watchdog hooks: when this source last delivered anything, and
+        # whether it has run out of schedule (sent end-of-stream).
+        self.last_emit_time = 0.0
+        self.exhausted = False
 
     def connect(self, operator: Operator, port: int = 0) -> Operator:
         """Deliver this source's items to *operator*'s input *port*."""
@@ -80,13 +106,35 @@ class StreamSource:
 
     def _send(self, item: Any) -> None:
         assert self._target is not None
+        if self.disorder_buffer is None:
+            self._deliver(item)
+        else:
+            for ready in self.disorder_buffer.push(item, self.engine.now):
+                self._deliver(ready)
+        self._schedule_next()
+
+    def _deliver(self, item: Any) -> None:
+        assert self._target is not None
         self._target.push(item, self._port)
         self.items_sent += 1
-        self._schedule_next()
+        self.last_emit_time = self.engine.now
 
     def _send_eos(self) -> None:
         assert self._target is not None
+        if self.disorder_buffer is not None:
+            for ready in self.disorder_buffer.flush():
+                self._deliver(ready)
+        self.exhausted = True
+        self.last_emit_time = self.engine.now
         self._target.push(END_OF_STREAM, self._port)
+
+    def counters(self) -> dict:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        out = {"items_sent": self.items_sent}
+        if self.disorder_buffer is not None:
+            for key, value in self.disorder_buffer.counters().items():
+                out[f"disorder.{key}"] = value
+        return out
 
     def __repr__(self) -> str:
         return f"StreamSource({self.name!r}, sent={self.items_sent})"

@@ -25,9 +25,13 @@ from repro.workloads.auction import AuctionSpec, AuctionWorkloadGenerator
 from repro.workloads.sensors import SensorSpec, SensorWorkloadGenerator
 from repro.workloads.bursty import make_bursty
 from repro.workloads.faults import (
+    InjectedViolation,
     delay_punctuations,
     drop_random_punctuations,
+    inject_duplicates,
+    inject_out_of_order,
     inject_punctuation_violation,
+    inject_stall,
 )
 from repro.workloads.reference import (
     reference_join_multiset,
@@ -44,7 +48,11 @@ __all__ = [
     "SensorSpec",
     "SensorWorkloadGenerator",
     "make_bursty",
+    "InjectedViolation",
     "inject_punctuation_violation",
+    "inject_duplicates",
+    "inject_out_of_order",
+    "inject_stall",
     "drop_random_punctuations",
     "delay_punctuations",
     "reference_join_multiset",

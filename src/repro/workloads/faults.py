@@ -3,16 +3,19 @@
 Punctuation-exploiting operators are only as sound as the promises they
 are fed: a source that emits a tuple *after* punctuating its value has
 broken the contract, and a join that silently trusted it would produce
-an incorrect (silently shrunken or unsound) answer.  PJoin therefore
-validates arrivals (``validate_inputs`` in
-:class:`~repro.core.config.PJoinConfig`); this module produces the
-broken streams that tests use to prove the validation works.
+an incorrect (silently shrunken or unsound) answer.  Every join
+therefore applies a fault policy to arrivals (``fault_policy`` in
+:class:`~repro.core.config.PJoinConfig` and the
+:class:`~repro.resilience.validator.ContractValidator`); this module
+produces the broken streams that tests and chaos scenarios use to
+prove the policies work: contract violations, disorder, duplicates
+and source stalls.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Tuple as PyTuple
+from typing import Any, List, NamedTuple, Optional, Tuple as PyTuple
 
 from repro.errors import WorkloadError
 from repro.punctuations.punctuation import Punctuation
@@ -22,17 +25,32 @@ from repro.tuples.tuple import Tuple
 Schedule = List[PyTuple[float, Any]]
 
 
+class InjectedViolation(NamedTuple):
+    """The result of :func:`inject_punctuation_violation`.
+
+    ``position`` is the index of the violating tuple in the returned
+    schedule — tests and chaos manifests use it to report exactly where
+    the contract was broken.
+    """
+
+    schedule: Schedule
+    value: Any
+    position: int
+
+
 def inject_punctuation_violation(
     schedule: Schedule,
     schema: Schema,
     field_name: str = "key",
     seed: int = 0,
-) -> PyTuple[Schedule, Any]:
+) -> "InjectedViolation":
     """Insert one tuple that violates an earlier constant punctuation.
 
     Picks a random constant punctuation of the stream and appends,
     shortly after it, a tuple carrying the punctuated value.  Returns
-    ``(corrupted_schedule, violating_value)``.
+    an :class:`InjectedViolation` naming the corrupted schedule, the
+    violating join value and the position of the violating tuple in the
+    corrupted schedule.
 
     Raises :class:`WorkloadError` when the schedule has no constant
     punctuation to violate.
@@ -63,7 +81,7 @@ def inject_punctuation_violation(
     bad_tuple = Tuple(schema, tuple(values), ts=bad_ts, validate=False)
     corrupted = list(schedule)
     corrupted.insert(position + 1, (bad_ts, bad_tuple))
-    return corrupted, value
+    return InjectedViolation(corrupted, value, position + 1)
 
 
 def drop_random_punctuations(
@@ -106,3 +124,85 @@ def delay_punctuations(
             moved.append((ts, item))
     moved.sort(key=lambda pair: pair[0])
     return moved
+
+
+def inject_out_of_order(
+    schedule: Schedule,
+    displacement_ms: float,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> Schedule:
+    """Delay a random fraction of the *tuples* (a disordered channel).
+
+    Each chosen tuple's **arrival** time moves up to *displacement_ms*
+    later while the tuple's own timestamp stays put — the classic
+    network-reordering model.  The schedule is re-sorted by arrival
+    time (a stable sort, so undisturbed items keep their relative
+    order).  Punctuations are never displaced: moving a promise earlier
+    than a tuple it covers would *create* a contract violation, and
+    this injector models disorder, not corruption.  Pair it with a
+    source ``disorder_slack_ms`` of at least *displacement_ms* to see
+    the disorder buffer absorb the damage.
+    """
+    if displacement_ms < 0:
+        raise WorkloadError(
+            f"displacement_ms must be non-negative, got {displacement_ms}"
+        )
+    if not 0 <= fraction <= 1:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    moved: Schedule = []
+    for ts, item in schedule:
+        if not isinstance(item, Punctuation) and rng.random() < fraction:
+            moved.append((ts + rng.uniform(0.0, displacement_ms), item))
+        else:
+            moved.append((ts, item))
+    moved.sort(key=lambda pair: pair[0])
+    return moved
+
+
+def inject_duplicates(
+    schedule: Schedule, fraction: float = 0.05, seed: int = 0
+) -> Schedule:
+    """Re-deliver a random fraction of the tuples (at-least-once source).
+
+    Each chosen tuple appears a second time immediately after its
+    original — same tuple object, same timestamp — modelling a source
+    that retries sends without deduplication.  Punctuations are never
+    duplicated (a repeated promise is merely redundant, and the joins
+    already tally duplicate punctuations separately).
+    """
+    if not 0 <= fraction <= 1:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    doubled: Schedule = []
+    for ts, item in schedule:
+        doubled.append((ts, item))
+        if not isinstance(item, Punctuation) and rng.random() < fraction:
+            doubled.append((ts, item))
+    return doubled
+
+
+def inject_stall(
+    schedule: Schedule, at_fraction: float = 0.5, gap_ms: float = 1000.0
+) -> Schedule:
+    """Freeze the source mid-stream: one long gap, then normal delivery.
+
+    Every arrival from position ``len(schedule) * at_fraction`` onwards
+    is shifted *gap_ms* later, leaving a silence a
+    :class:`~repro.resilience.watchdog.StallWatchdog` can detect.  Item
+    timestamps move with the arrivals, keeping the schedule valid.
+    """
+    if not 0 < at_fraction < 1:
+        raise WorkloadError(
+            f"at_fraction must be in (0, 1), got {at_fraction}"
+        )
+    if gap_ms <= 0:
+        raise WorkloadError(f"gap_ms must be positive, got {gap_ms}")
+    pivot = int(len(schedule) * at_fraction)
+    stalled: Schedule = list(schedule[:pivot])
+    for ts, item in schedule[pivot:]:
+        if hasattr(item, "with_ts"):
+            item = item.with_ts(item.ts + gap_ms)
+        stalled.append((ts + gap_ms, item))
+    return stalled

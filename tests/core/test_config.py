@@ -58,11 +58,16 @@ class TestValidation:
         with pytest.raises(ConfigError):
             PJoinConfig(n_partitions=0)
 
-    def test_validate_inputs_values(self):
-        for mode in ("raise", "count", "off"):
-            PJoinConfig(validate_inputs=mode)
+    def test_fault_policy_values(self):
+        for policy in ("strict", "quarantine", "repair", "trust"):
+            assert PJoinConfig(fault_policy=policy).fault_policy == policy
         with pytest.raises(ConfigError):
-            PJoinConfig(validate_inputs="maybe")
+            PJoinConfig(fault_policy="maybe")
+
+    def test_fault_policy_legacy_spellings_normalise(self):
+        assert PJoinConfig(fault_policy="raise").fault_policy == "strict"
+        assert PJoinConfig(fault_policy="count").fault_policy == "quarantine"
+        assert PJoinConfig(fault_policy="off").fault_policy == "trust"
 
 
 class TestOverrides:

@@ -164,8 +164,8 @@ class TestValidation:
         with pytest.raises(PunctuationError, match="after a punctuation"):
             engine.run()
 
-    def test_count_mode_drops_and_tallies(self, engine, joined):
-        join, sink = joined(PJoinConfig(validate_inputs="count"))
+    def test_quarantine_mode_drops_and_tallies(self, engine, joined):
+        join, sink = joined(PJoinConfig(fault_policy="quarantine"))
         join.push(a_punct(1), 0)
         join.push(a_tup(1), 0)
         join.push(b_tup(1), 1)
@@ -173,9 +173,9 @@ class TestValidation:
         assert join.punctuation_violations == 1
         assert sink.tuple_count == 0  # the offending tuple never joined
 
-    def test_off_mode_skips_check(self, engine, joined):
+    def test_trust_mode_skips_check(self, engine, joined):
         join, _sink = joined(
-            PJoinConfig(validate_inputs="off", on_the_fly_drop=False)
+            PJoinConfig(fault_policy="trust", on_the_fly_drop=False)
         )
         join.push(a_punct(1), 0)
         join.push(a_tup(1), 0)

@@ -1,0 +1,183 @@
+"""Quarantine equivalence: a corrupted stream joins like its clean twin.
+
+The property behind the ``quarantine`` fault policy: because the
+contract check fires *before* a tuple is probed or inserted, routing
+every violating tuple to the dead-letter store must leave exactly the
+clean workload's join result — for all three operators, any workload,
+and any number of injected violations.  The dead-letter store must hold
+precisely the injected tuples, nothing more.
+
+For the trackable operators (XJoin, SHJ — which never purge state), the
+``repair`` policy has its own exact property: retracting the broken
+promise and admitting the tuple reproduces the *corrupted* stream's
+reference join.  (PJoin purges eagerly, so a retraction there cannot
+resurrect already-purged partners; repair on PJoin is best-effort and
+not asserted exact.)
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.core.config import PJoinConfig
+from repro.core.pjoin import PJoin
+from repro.operators.shj import SymmetricHashJoin
+from repro.operators.sink import Sink
+from repro.operators.xjoin import XJoin
+from repro.query.plan import QueryPlan
+from repro.sim.costs import CostModel
+from repro.errors import WorkloadError
+from repro.workloads.faults import inject_punctuation_violation
+from repro.workloads.generator import generate_workload
+from repro.workloads.reference import reference_join_multiset
+from repro.workloads.spec import WorkloadSpec
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Violations need punctuations to violate, so spacings are never None.
+corruptible_specs = st.builds(
+    WorkloadSpec,
+    n_tuples_per_stream=st.integers(50, 250),
+    punct_spacing_a=st.integers(2, 30),
+    punct_spacing_b=st.integers(2, 30),
+    active_values=st.integers(1, 12),
+    seed=st.integers(0, 100_000),
+)
+
+violation_counts = st.tuples(st.integers(0, 3), st.integers(0, 3)).filter(
+    lambda pair: sum(pair) > 0
+)
+
+
+def corrupt(workload, violations, seed):
+    """Inject the requested violations; assume() away workloads whose
+    target side happens to contain no constant punctuation to violate."""
+    schedules = [list(workload.schedule_a), list(workload.schedule_b)]
+    for side, count in enumerate(violations):
+        for i in range(count):
+            try:
+                schedules[side], _value, _pos = inject_punctuation_violation(
+                    schedules[side], workload.schemas[side],
+                    seed=seed + 50 * side + i,
+                )
+            except WorkloadError:
+                assume(False)
+    return schedules
+
+
+def run_schedules(make_join, schedules):
+    plan = QueryPlan(cost_model=CostModel().scaled(0.01))
+    join = make_join(plan)
+    sink = Sink(plan.engine, plan.cost_model, keep_items=True)
+    join.connect(sink)
+    plan.add_source(schedules[0], join, port=0)
+    plan.add_source(schedules[1], join, port=1)
+    plan.run()
+    return join, Counter(dict(sink.result_multiset()))
+
+
+def reference(workload, schedules):
+    return reference_join_multiset(
+        schedules[0], schedules[1], workload.schemas[0], workload.schemas[1]
+    )
+
+
+def pjoin_builder(workload, policy):
+    def make(plan):
+        return PJoin(
+            plan.engine, plan.cost_model,
+            workload.schemas[0], workload.schemas[1], "key", "key",
+            config=PJoinConfig(fault_policy=policy),
+        )
+
+    return make
+
+
+def xjoin_builder(workload, policy):
+    def make(plan):
+        return XJoin(
+            plan.engine, plan.cost_model,
+            workload.schemas[0], workload.schemas[1], "key", "key",
+            fault_policy=policy,
+        )
+
+    return make
+
+
+def shj_builder(workload, policy):
+    def make(plan):
+        return SymmetricHashJoin(
+            plan.engine, plan.cost_model,
+            workload.schemas[0], workload.schemas[1], "key", "key",
+            fault_policy=policy,
+        )
+
+    return make
+
+
+BUILDERS = {
+    "pjoin": pjoin_builder,
+    "xjoin": xjoin_builder,
+    "shj": shj_builder,
+}
+
+
+@SETTINGS
+@given(
+    spec=corruptible_specs,
+    violations=violation_counts,
+    fault_seed=st.integers(0, 10_000),
+)
+def test_quarantine_equals_clean_join_on_every_operator(
+    spec, violations, fault_seed
+):
+    workload = generate_workload(spec)
+    corrupted = corrupt(workload, violations, fault_seed)
+    clean = reference(
+        workload, [workload.schedule_a, workload.schedule_b]
+    )
+    for name, builder in BUILDERS.items():
+        join, got = run_schedules(
+            builder(workload, "quarantine"), corrupted
+        )
+        assert got == clean, f"{name}: quarantine drifted from clean join"
+        assert join.validator.violations == sum(violations), name
+        assert len(join.dead_letters) == sum(violations), name
+
+
+@SETTINGS
+@given(
+    spec=corruptible_specs,
+    violations=violation_counts,
+    fault_seed=st.integers(0, 10_000),
+)
+def test_repair_equals_corrupted_join_on_state_keeping_operators(
+    spec, violations, fault_seed
+):
+    workload = generate_workload(spec)
+    corrupted = corrupt(workload, violations, fault_seed)
+    expected = reference(workload, corrupted)
+    for name in ("xjoin", "shj"):
+        join, got = run_schedules(
+            BUILDERS[name](workload, "repair"), corrupted
+        )
+        assert got == expected, f"{name}: repair drifted from corrupted join"
+        assert join.validator.punctuations_retracted >= 1, name
+        assert join.dead_letters is None, name
+
+
+@SETTINGS
+@given(spec=corruptible_specs, fault_seed=st.integers(0, 10_000))
+def test_quarantine_on_clean_stream_is_invisible(spec, fault_seed):
+    """No violations ⇒ quarantine behaves exactly like strict."""
+    workload = generate_workload(spec)
+    schedules = [list(workload.schedule_a), list(workload.schedule_b)]
+    join, got = run_schedules(
+        pjoin_builder(workload, "quarantine"), schedules
+    )
+    assert got == reference(workload, schedules)
+    assert len(join.dead_letters) == 0

@@ -1,0 +1,91 @@
+"""Chaos scenarios: determinism, golden counters, policy coverage.
+
+These tests back the acceptance criteria directly: the same scenario and
+seed must yield identical fault/retry/quarantine counters across runs,
+and quarantine/repair runs must complete on every preset.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ContractViolationError, ResilienceError
+from repro.resilience import CHAOS_SCENARIOS, run_chaos
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "goldens"
+
+SCENARIOS = sorted(CHAOS_SCENARIOS)
+# Presets that plant contract violations in the schedules; `stall` only
+# produces violations indirectly (heartbeat vs. resumed source).
+VIOLATING = [s for s in SCENARIOS if CHAOS_SCENARIOS[s].violations_a > 0]
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_same_seed_same_counters(name):
+    first = run_chaos(name, policy="quarantine")
+    second = run_chaos(name, policy="quarantine")
+    assert first.summary == second.summary
+    assert first.sink.tuple_count == second.sink.tuple_count
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_summary_matches_checked_in_golden(name):
+    golden_path = GOLDEN_DIR / f"chaos_{name}.json"
+    golden = json.loads(golden_path.read_text())
+    assert run_chaos(name).summary == golden
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_lenient_policies_complete_every_preset(name, policy):
+    run = run_chaos(name, policy=policy)
+    summary = run.summary
+    assert summary["policy"] == policy
+    # Injected schedule faults were seen (or nothing was injected).
+    assert summary["violations_seen"] >= summary["violations_injected"]
+    if policy == "quarantine":
+        assert summary["dead_letters"] == summary["tuples_quarantined"]
+        assert summary["punctuations_retracted"] == 0
+    else:
+        assert summary["dead_letters"] == 0
+        assert summary["punctuations_retracted"] == summary["violations_seen"]
+    assert summary["results_produced"] > 0
+
+
+@pytest.mark.parametrize("name", VIOLATING)
+def test_strict_raises_on_violating_presets(name):
+    with pytest.raises(ContractViolationError):
+        run_chaos(name, policy="strict")
+
+
+def test_explicit_seed_overrides_preset_seed():
+    run = run_chaos("gentle", seed=123)
+    assert run.summary["seed"] == 123
+    again = run_chaos("gentle", seed=123)
+    assert run.summary == again.summary
+
+
+def test_disk_storm_actually_faults_and_retries():
+    summary = run_chaos("disk_storm").summary
+    assert summary["disk_faults_injected"] > 0
+    assert summary["disk_retries"] >= summary["disk_faults_injected"]
+
+
+def test_stall_scenario_emits_heartbeat_and_degrades():
+    summary = run_chaos("stall").summary
+    assert summary["stalls_detected"] >= 1
+    assert summary["heartbeats_emitted"] >= 1
+    assert summary["degraded"] == 1
+
+
+def test_disorder_scenario_reorders_but_nothing_is_late():
+    summary = run_chaos("disorder").summary
+    assert summary["tuples_reordered"] > 0
+    # Slack (20 ms) covers the injected displacement (15 ms).
+    assert summary["late_releases"] == 0
+
+
+def test_unknown_scenario_name_rejected():
+    with pytest.raises(ResilienceError, match="unknown chaos scenario"):
+        run_chaos("mayhem")

@@ -1,0 +1,60 @@
+"""Every public exception hangs off ReproError; resilience errors slot in."""
+
+import inspect
+
+from repro import errors
+from repro.errors import (
+    ContractViolationError,
+    PunctuationError,
+    ReproError,
+    ResilienceError,
+    SourceStallError,
+    StorageError,
+    TransientIOError,
+)
+
+
+def public_exception_classes():
+    return [
+        obj
+        for name, obj in vars(errors).items()
+        if inspect.isclass(obj)
+        and issubclass(obj, Exception)
+        and not name.startswith("_")
+    ]
+
+
+def test_every_public_exception_subclasses_repro_error():
+    classes = public_exception_classes()
+    assert classes, "expected the errors module to export exception classes"
+    for cls in classes:
+        assert issubclass(cls, ReproError), f"{cls.__name__} escapes ReproError"
+
+
+def test_catching_repro_error_catches_resilience_failures():
+    for cls in (
+        ResilienceError,
+        ContractViolationError,
+        TransientIOError,
+        SourceStallError,
+    ):
+        try:
+            raise cls("boom")
+        except ReproError:
+            pass
+
+
+def test_contract_violation_is_still_a_punctuation_error():
+    # Pre-resilience code caught PunctuationError on contract violations.
+    assert issubclass(ContractViolationError, PunctuationError)
+    assert issubclass(ContractViolationError, ResilienceError)
+
+
+def test_transient_io_error_is_still_a_storage_error():
+    assert issubclass(TransientIOError, StorageError)
+    assert issubclass(TransientIOError, ResilienceError)
+
+
+def test_source_stall_error_is_a_resilience_error():
+    assert issubclass(SourceStallError, ResilienceError)
+    assert not issubclass(SourceStallError, StorageError)

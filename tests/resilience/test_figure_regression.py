@@ -1,0 +1,28 @@
+"""Default-path regression: resilience must not perturb the figures.
+
+The golden was captured before the resilience layer landed.  Under the
+default strict policy with no fault injection, every counter, sample and
+check in the figure export must still match it exactly — byte-identical
+results are the contract that lets `strict` stay the default.
+
+(Manifest ``config`` sections are excluded: the config schema legitimately
+gained the ``fault_policy`` field.)
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.export import figure_to_dict
+from repro.experiments.figures import ALL_FIGURES
+
+GOLDEN = Path(__file__).resolve().parents[1] / "goldens" / "figure5_scale005.json"
+
+
+def test_figure5_unchanged_by_resilience_layer():
+    result = ALL_FIGURES["figure5"](scale=0.05)
+    exported = figure_to_dict(result)
+    for run in exported["runs"]:
+        run["manifest"].pop("config", None)
+
+    golden = json.loads(GOLDEN.read_text())
+    assert exported == golden

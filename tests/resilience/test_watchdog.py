@@ -1,0 +1,161 @@
+"""The source-stall watchdog: detection, heartbeat, flag and raise modes."""
+
+import pytest
+
+from repro.errors import ResilienceError, SourceStallError
+from repro.punctuations.patterns import WILDCARD
+from repro.punctuations.punctuation import Punctuation
+from repro.resilience.watchdog import StallWatchdog
+from repro.sim.engine import SimulationEngine
+from repro.tuples.schema import Schema
+
+SCHEMA = Schema.of("key", "payload")
+
+
+class FakeSource:
+    """Just the surface the watchdog polls."""
+
+    def __init__(self, name="A"):
+        self.name = name
+        self.last_emit_time = 0.0
+        self.exhausted = False
+
+
+class FakeOperator:
+    """Records pushes so tests can inspect synthesised heartbeats."""
+
+    def __init__(self):
+        self.finished = False
+        self.pushed = []
+
+    def push(self, item, port):
+        self.pushed.append((item, port))
+
+
+@pytest.fixture
+def rig():
+    engine = SimulationEngine()
+    source = FakeSource()
+    operator = FakeOperator()
+    return engine, source, operator
+
+
+def finish_at(engine, source, time):
+    """End the episode so the watchdog stops re-scheduling itself."""
+
+    def done():
+        source.exhausted = True
+
+    engine.schedule_at(time, done)
+
+
+class TestHeartbeatMode:
+    def test_stall_synthesises_one_all_wildcard_punctuation(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=1, schema=SCHEMA)
+        watchdog.start()
+        finish_at(engine, source, 60.0)
+        engine.run(max_events=100)
+
+        assert watchdog.stalls_detected == 1
+        assert watchdog.heartbeats_emitted == 1
+        assert watchdog.degraded
+        assert len(operator.pushed) == 1
+        heartbeat, port = operator.pushed[0]
+        assert port == 1
+        assert isinstance(heartbeat, Punctuation)
+        assert all(p is WILDCARD for p in heartbeat.patterns)
+
+    def test_rearms_after_source_resumes(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+
+        def resume():
+            source.last_emit_time = engine.now
+
+        engine.schedule_at(30.0, resume)
+        finish_at(engine, source, 80.0)
+        engine.run(max_events=200)
+
+        # One heartbeat before the resume, one after it goes silent again.
+        assert watchdog.stalls_detected == 2
+        assert watchdog.heartbeats_emitted == 2
+
+    def test_active_source_never_triggers(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+
+        # Keep emitting every 4 ms — well inside the 10 ms tolerance.
+        def chatter():
+            source.last_emit_time = engine.now
+            if engine.now < 50.0:
+                engine.schedule(4.0, chatter)
+            else:
+                source.exhausted = True
+
+        engine.schedule(0.0, chatter)
+        engine.run(max_events=200)
+
+        assert watchdog.stalls_detected == 0
+        assert operator.pushed == []
+        assert not watchdog.degraded
+
+
+class TestFlagMode:
+    def test_only_marks_degraded(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="flag")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+        finish_at(engine, source, 60.0)
+        engine.run(max_events=100)
+
+        assert watchdog.degraded
+        assert watchdog.stalls_detected == 1
+        assert watchdog.heartbeats_emitted == 0
+        assert operator.pushed == []
+        assert watchdog.counters() == {
+            "stalls_detected": 1,
+            "heartbeats_emitted": 0,
+            "degraded": 1,
+        }
+
+
+class TestRaiseMode:
+    def test_raises_source_stall_error(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="raise")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+        with pytest.raises(SourceStallError, match="silent"):
+            engine.run(max_events=100)
+
+
+class TestValidation:
+    def test_rejects_bad_configuration(self, rig):
+        engine, source, operator = rig
+        with pytest.raises(ResilienceError):
+            StallWatchdog(engine, timeout_ms=0.0)
+        with pytest.raises(ResilienceError):
+            StallWatchdog(engine, timeout_ms=10.0, on_stall="panic")
+        with pytest.raises(ResilienceError):
+            StallWatchdog(engine, timeout_ms=10.0, check_interval_ms=-1.0)
+
+    def test_start_requires_watches(self, rig):
+        engine, _source, _operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0)
+        with pytest.raises(ResilienceError, match="nothing to watch"):
+            watchdog.start()
+
+    def test_double_start_rejected(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0)
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+        with pytest.raises(ResilienceError, match="already started"):
+            watchdog.start()

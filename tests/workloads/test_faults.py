@@ -43,10 +43,14 @@ def run_pjoin(schedule_a, schedule_b, workload, config):
 
 class TestInjectViolation:
     def test_produces_an_actually_invalid_stream(self, workload):
-        corrupted, value = inject_punctuation_violation(
+        corrupted, value, position = inject_punctuation_violation(
             workload.schedule_a, workload.schemas[0]
         )
         assert len(corrupted) == len(workload.schedule_a) + 1
+        # The reported position names the violating tuple itself.
+        _ts, injected = corrupted[position]
+        assert not isinstance(injected, Punctuation)
+        assert injected.values[0] == value
         # The injected tuple follows a punctuation covering its value.
         seen_punct = False
         for _ts, item in corrupted:
@@ -70,23 +74,23 @@ class TestInjectViolation:
         with pytest.raises(WorkloadError):
             inject_punctuation_violation(clean, workload.schemas[0])
 
-    def test_pjoin_raise_mode_detects_it(self, workload):
-        corrupted, _value = inject_punctuation_violation(
+    def test_pjoin_strict_policy_detects_it(self, workload):
+        corrupted, _value, _position = inject_punctuation_violation(
             workload.schedule_a, workload.schemas[0]
         )
         with pytest.raises(PunctuationError, match="after a punctuation"):
             run_pjoin(
                 corrupted, workload.schedule_b, workload,
-                PJoinConfig(validate_inputs="raise"),
+                PJoinConfig(fault_policy="strict"),
             )
 
-    def test_pjoin_count_mode_quarantines_it(self, workload):
-        corrupted, _value = inject_punctuation_violation(
+    def test_pjoin_quarantine_policy_quarantines_it(self, workload):
+        corrupted, _value, _position = inject_punctuation_violation(
             workload.schedule_a, workload.schemas[0]
         )
         join, sink = run_pjoin(
             corrupted, workload.schedule_b, workload,
-            PJoinConfig(validate_inputs="count"),
+            PJoinConfig(fault_policy="quarantine"),
         )
         assert join.punctuation_violations == 1
         # The clean part of the stream still joins exactly.
