@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0,
         help="workload scale factor (default 1.0 = paper scale)",
     )
+    figures_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run each experiment's sweep points across N worker "
+             "processes (results are identical to a serial run)",
+    )
     figures_cmd.set_defaults(func=cmd_figures)
 
     demo_cmd = sub.add_parser(
@@ -105,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_parser(sub)
     _add_metrics_parser(sub)
     _add_chaos_parser(sub)
+    _add_bench_parser(sub)
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -234,7 +240,30 @@ def _add_chaos_parser(sub) -> None:
         help="diff each summary against DIR/chaos_<name>.json and fail "
              "on any counter drift (the CI chaos-smoke gate)",
     )
+    chaos_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run scenarios across N worker processes (each scenario is "
+             "deterministic, so counters are identical to a serial run)",
+    )
     chaos_cmd.set_defaults(func=cmd_chaos)
+
+
+def _add_bench_parser(sub) -> None:
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="run the wall-clock benchmark-regression harness and write "
+             "a BENCH_<rev>.json report",
+        description="Runs pinned paper-scale workloads, measures wall "
+                    "seconds / events per second / peak RSS, writes a "
+                    "BENCH_<rev>.json report, and compares against the "
+                    "committed baseline (benchmarks/bench_baseline.json).",
+    )
+    # Lazy import keeps `repro --help` cheap; the parser args live with
+    # the harness so tools/bench.py shares them.
+    from repro.perf.bench import add_bench_args, cmd_bench
+
+    add_bench_args(bench_cmd)
+    bench_cmd.set_defaults(func=cmd_bench)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -247,11 +276,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"unknown chaos scenarios: {unknown}; presets: "
               f"{sorted(CHAOS_SCENARIOS)}", file=sys.stderr)
         return 2
-    runs = []
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        from repro.perf.parallel import ParallelSweepRunner
+
+        runs = ParallelSweepRunner(jobs).run_chaos_scenarios(
+            names, policy=args.policy, seed=args.seed
+        )
+    else:
+        runs = [
+            run_chaos(name, policy=args.policy, seed=args.seed) for name in names
+        ]
     drifted = []
-    for name in names:
-        run = run_chaos(name, policy=args.policy, seed=args.seed)
-        runs.append(run)
+    for name, run in zip(names, runs):
         print(f"{run.scenario.name}: {run.scenario.description}")
         rows = [[key, value] for key, value in run.summary.items()]
         print(render_table([f"counter ({run.manifest['label']})", "value"],
@@ -303,9 +340,18 @@ def cmd_figures(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {unknown}; try 'repro list'",
               file=sys.stderr)
         return 2
+    jobs = getattr(args, "jobs", 1)
+    runner = None
+    if jobs > 1:
+        from repro.perf.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(jobs)
     failures = []
     for name in names:
-        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        if runner is not None:
+            result = runner.run_experiment(name, scale=args.scale)
+        else:
+            result = ALL_EXPERIMENTS[name](scale=args.scale)
         print(result.render())
         print()
         if not result.all_passed:

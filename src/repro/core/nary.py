@@ -36,6 +36,7 @@ from repro.resilience.policy import STRICT
 from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
+from repro.storage.hash_table import stable_hash
 from repro.tuples.schema import Schema
 from repro.tuples.tuple import Tuple
 
@@ -128,13 +129,14 @@ class NaryPJoin(Operator):
         cost = self.cost_model.tuple_overhead
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: must not probe or enter the state
+        value_hash = stable_hash(value)
         # Probe every other state; a result needs a match from each.
         match_lists: List[List[Tuple]] = []
         complete = True
         for other in range(self.n_inputs):
             if other == side:
                 continue
-            occupancy, matches = self.sides[other].probe(value)
+            occupancy, matches = self.sides[other].probe(value, value_hash)
             cost += self.cost_model.probe_cost(occupancy, len(matches))
             if not matches:
                 complete = False
@@ -154,7 +156,7 @@ class NaryPJoin(Operator):
                 dropped = True
                 self.tuples_dropped_on_fly += 1
         if not dropped:
-            self.sides[side].insert(tup, value, self.engine.now)
+            self.sides[side].insert(tup, value, self.engine.now, value_hash)
             cost += self.cost_model.insert
         return cost
 

@@ -186,7 +186,11 @@ class PJoin(BinaryHashJoin):
         """Run the registry's listeners for *event*; return total cost."""
         name = event.event_name
         self.events_dispatched[name] = self.events_dispatched.get(name, 0) + 1
-        self._trace("event", type=name)
+        # Inline tracer guard: with tracing off (the default) this must
+        # not build the details dict a _trace(**kwargs) call would.
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None:
+            tracer.record(self.engine.now, self.name, "event", type=name)
         cost = 0.0
         for listener in self.registry.listeners_for(event):
             component = self._components.get(listener)
@@ -263,12 +267,12 @@ class PJoin(BinaryHashJoin):
         cost = self.cost_model.tuple_overhead
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: the tuple must not probe or insert
+        value_hash = stable_hash(value)
         # Memory join: probe the opposite state's memory portion.
-        occupancy, matches = self.sides[other].probe(value)
+        occupancy, matches = self.sides[other].probe(value, value_hash)
         self.probes += 1
         self.probe_matches += len(matches)
-        for entry in matches:
-            self.emit_join(tup, entry, side)
+        self.emit_joins(tup, matches, side)
         probe_cost = self.cost_model.probe_cost(occupancy, len(matches))
         self.probe_time_total += probe_cost
         cost += probe_cost
@@ -280,12 +284,14 @@ class PJoin(BinaryHashJoin):
         if self.config.on_the_fly_drop:
             cost += self.cost_model.drop_check
             if self.sides[other].covers(value):
-                opposite_partition = self.sides[other].table.partition_for(value)
+                opposite_partition = self.sides[other].table.partition_for(
+                    value, value_hash
+                )
                 if opposite_partition.disk_count == 0:
                     dropped = True
                     self.tuples_dropped_on_fly += 1
         if not dropped:
-            self.sides[side].insert(tup, value, self.engine.now)
+            self.sides[side].insert(tup, value, self.engine.now, value_hash)
             self.insertions += 1
             cost += self.cost_model.insert
             event = self.monitor.on_insert(self.memory_state_size())
@@ -383,6 +389,12 @@ class PJoin(BinaryHashJoin):
         """Is there any left-over join or purge-buffer work to finish?"""
         if self.sides[0].purge_buffer or self.sides[1].purge_buffer:
             return True
+        if self.spills == 0:
+            # Disk portions only ever appear through state relocation;
+            # without a spill the partition scan below cannot find work.
+            # on_idle runs after every queue drain, so this early exit
+            # is on the hot path.
+            return False
         for side in (0, 1):
             other = self.other(side)
             for partition in self.sides[side].table.partitions_with_disk():
@@ -489,7 +501,10 @@ class PJoin(BinaryHashJoin):
         n = self.sides[side].table.n_partitions
         grouped: Dict[int, List[StateEntry]] = {}
         for entry in self.sides[side].purge_buffer:
-            grouped.setdefault(stable_hash(entry.join_value) % n, []).append(entry)
+            h = entry.join_hash
+            if h is None:
+                h = stable_hash(entry.join_value)
+            grouped.setdefault(h % n, []).append(entry)
         return grouped
 
     def _disk_vs_memory(

@@ -69,7 +69,9 @@ def purge_side(
     discarded = 0
     buffered = 0
     for entry in removed:
-        opposite_partition = opposite.table.partition_for(entry.join_value)
+        opposite_partition = opposite.table.partition_for(
+            entry.join_value, entry.join_hash
+        )
         if opposite_partition.disk_count > 0:
             victim.buffer_entry(entry, now)
             buffered += 1

@@ -57,14 +57,22 @@ class JoinStateSide:
     # Tuples
     # ------------------------------------------------------------------
 
-    def insert(self, tup: Tuple, join_value: Any, now: float) -> StateEntry:
+    def insert(
+        self,
+        tup: Tuple,
+        join_value: Any,
+        now: float,
+        hash_value: Optional[int] = None,
+    ) -> StateEntry:
         """Add an arriving tuple to the hash table's memory portion."""
         self.tuples_inserted += 1
-        return self.table.insert(tup, join_value, now)
+        return self.table.insert(tup, join_value, now, hash_value)
 
-    def probe(self, join_value: Any) -> PyTuple[int, List[StateEntry]]:
+    def probe(
+        self, join_value: Any, hash_value: Optional[int] = None
+    ) -> PyTuple[int, List[StateEntry]]:
         """Probe the memory portion; see ``PartitionedHashTable.probe``."""
-        return self.table.probe(join_value)
+        return self.table.probe(join_value, hash_value)
 
     # ------------------------------------------------------------------
     # Punctuations
@@ -101,11 +109,7 @@ class JoinStateSide:
         re-counts them from scratch instead of inheriting stale counts.
         Returns the number of punctuations retracted.
         """
-        doomed = [
-            pid
-            for pid, punct in self.store.items()
-            if punct.patterns[self.store.join_index].matches(join_value)
-        ]
+        doomed = self.store.covering_pids(join_value)
         if not doomed:
             return 0
         for pid in doomed:

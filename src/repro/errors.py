@@ -95,3 +95,13 @@ class SourceStallError(ResilienceError):
     is configured with ``on_stall="raise"``; the default modes synthesise
     heartbeat punctuations or merely flag the run as degraded.
     """
+
+
+class PerfError(ReproError):
+    """A failure in the performance subsystem (:mod:`repro.perf`).
+
+    Raised when a parallel sweep cannot be planned or merged — e.g. an
+    experiment function makes a different number of
+    ``run_join_experiment`` calls than the planning pass observed, which
+    would make a deterministic merge impossible.
+    """

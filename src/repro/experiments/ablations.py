@@ -445,3 +445,21 @@ ALL_ABLATIONS = {
     "ablation_adaptive_purge": ablation_adaptive_purge,
     "ablation_reactive_disk_join": ablation_reactive_disk_join,
 }
+
+
+def run_all(scale: float = 1.0, jobs: int = 1) -> Dict[str, FigureResult]:
+    """Run every ablation preset.
+
+    ``jobs > 1`` fans each ablation's sweep points out over worker
+    processes via :class:`~repro.perf.parallel.ParallelSweepRunner`;
+    results are byte-identical to a serial run (up to the ``jobs``
+    manifest stamp).
+    """
+    if jobs > 1:
+        from repro.perf.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(jobs)
+        return {
+            name: runner.run_experiment(name, scale) for name in ALL_ABLATIONS
+        }
+    return {name: fn(scale=scale) for name, fn in ALL_ABLATIONS.items()}

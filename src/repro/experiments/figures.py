@@ -563,6 +563,17 @@ ALL_FIGURES: Dict[str, FigureFn] = {
 }
 
 
-def run_all(scale: float = 1.0) -> Dict[str, FigureResult]:
-    """Run every figure preset (used by the EXPERIMENTS.md generator)."""
+def run_all(scale: float = 1.0, jobs: int = 1) -> Dict[str, FigureResult]:
+    """Run every figure preset (used by the EXPERIMENTS.md generator).
+
+    ``jobs > 1`` fans each figure's sweep points out over worker
+    processes via :class:`~repro.perf.parallel.ParallelSweepRunner`;
+    results are byte-identical to a serial run (up to the ``jobs``
+    manifest stamp).
+    """
+    if jobs > 1:
+        from repro.perf.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(jobs)
+        return {name: runner.run_experiment(name, scale) for name in ALL_FIGURES}
     return {name: fn(scale=scale) for name, fn in ALL_FIGURES.items()}

@@ -33,6 +33,30 @@ JoinFactory = Callable[[QueryPlan, GeneratedWorkload], Operator]
 # run_join_experiment call inside the block attaches it to its engine.
 _ACTIVE_TRACER: Optional[Tracer] = None
 
+# Interceptor installed by intercepting_runs(); when set, every
+# run_join_experiment call is routed through it instead of executing.
+_RUN_INTERCEPTOR: Optional[Callable[..., Any]] = None
+
+
+@contextlib.contextmanager
+def intercepting_runs(interceptor: Callable[..., Any]) -> Iterator[None]:
+    """Route every ``run_join_experiment`` call to *interceptor*.
+
+    The parallel sweep runner (:mod:`repro.perf.parallel`) uses this to
+    re-drive an unmodified experiment function while substituting each
+    of its runs: the interceptor receives exactly the arguments of
+    :func:`run_join_experiment` and its return value is returned to the
+    experiment function.  Call :func:`execute_join_experiment` from
+    inside an interceptor to really execute a run.
+    """
+    global _RUN_INTERCEPTOR
+    previous = _RUN_INTERCEPTOR
+    _RUN_INTERCEPTOR = interceptor
+    try:
+        yield
+    finally:
+        _RUN_INTERCEPTOR = previous
+
 
 @contextlib.contextmanager
 def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
@@ -180,6 +204,40 @@ def run_join_experiment(
         :func:`tracing` context manager, if any; otherwise the run is
         untraced (the zero-cost-when-off path).
     """
+    if _RUN_INTERCEPTOR is not None:
+        return _RUN_INTERCEPTOR(
+            factory,
+            workload,
+            label=label,
+            sample_interval_ms=sample_interval_ms,
+            cost_model=cost_model,
+            keep_items=keep_items,
+            horizon_factor=horizon_factor,
+            tracer=tracer,
+        )
+    return execute_join_experiment(
+        factory,
+        workload,
+        label=label,
+        sample_interval_ms=sample_interval_ms,
+        cost_model=cost_model,
+        keep_items=keep_items,
+        horizon_factor=horizon_factor,
+        tracer=tracer,
+    )
+
+
+def execute_join_experiment(
+    factory: JoinFactory,
+    workload: GeneratedWorkload,
+    label: str = "",
+    sample_interval_ms: float = 200.0,
+    cost_model: Optional[CostModel] = None,
+    keep_items: bool = False,
+    horizon_factor: float = 4.0,
+    tracer: Optional[Tracer] = None,
+) -> ExperimentRun:
+    """The un-interceptable body of :func:`run_join_experiment`."""
     if tracer is None:
         tracer = _ACTIVE_TRACER
     plan = QueryPlan(cost_model=cost_model)

@@ -30,7 +30,7 @@ from repro.errors import OperatorError
 from repro.punctuations.punctuation import Punctuation
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
-from repro.tuples.item import END_OF_STREAM, is_end_of_stream
+from repro.tuples.item import END_OF_STREAM
 from repro.tuples.tuple import Tuple
 
 
@@ -96,9 +96,10 @@ class Operator:
             raise OperatorError(f"{self.name} already finished; late item {item!r}")
         if not 0 <= port < self.n_inputs:
             raise OperatorError(f"{self.name} has no input port {port}")
-        self._queue.append((item, port))
-        if len(self._queue) > self.max_queue_length:
-            self.max_queue_length = len(self._queue)
+        queue = self._queue
+        queue.append((item, port))
+        if len(queue) > self.max_queue_length:
+            self.max_queue_length = len(queue)
         if not self._busy:
             self._pump()
 
@@ -117,38 +118,46 @@ class Operator:
         bursts of thousands of emissions into a cheap operator cannot
         overflow the Python stack.
         """
-        while self._queue and not self._busy:
-            item, port = self._queue.popleft()
-            final = False
-            if is_end_of_stream(item):
+        queue = self._queue
+        while queue and not self._busy:
+            item, port = queue.popleft()
+            if item is END_OF_STREAM:
                 self._eos_seen[port] = True
                 if all(self._eos_seen):
                     cost = self.on_finish()
                     self._finished = True
-                    final = True
+                    self._complete_after(cost, True)
                 else:
-                    cost = 0.0
-            else:
-                if isinstance(item, Tuple):
-                    self.tuples_in += 1
-                elif isinstance(item, Punctuation):
-                    self.punctuations_in += 1
-                cost = self.handle(item, port)
-                self.items_processed += 1
-            self._complete_after(cost, final)
-        if not self._queue and not self._busy and not self._finished:
+                    self._complete_after(0.0, False)
+                continue
+            cls = item.__class__
+            if cls is Tuple or isinstance(item, Tuple):
+                self.tuples_in += 1
+            elif cls is Punctuation or isinstance(item, Punctuation):
+                self.punctuations_in += 1
+            cost = self.handle(item, port)
+            self.items_processed += 1
+            if cost == 0.0 and not self._outbox:
+                continue  # nothing to charge, nothing to deliver
+            self._complete_after(cost, False)
+        if not queue and not self._busy and not self._finished:
             self.on_idle()
 
     def _complete_after(self, cost: float, final: bool) -> None:
         """Deliver the outbox after *cost* virtual ms (now, if zero)."""
+        if cost == 0.0:
+            outbox = self._outbox
+            if outbox:
+                self._outbox = []
+                self._deliver(outbox)
+            if final and self._downstream is not None:
+                self._downstream.push(END_OF_STREAM, self._downstream_port)
+            return
         if cost < 0:
             raise OperatorError(f"{self.name} computed a negative cost {cost!r}")
         self.busy_time += cost
         outbox = self._outbox
         self._outbox = []
-        if cost == 0.0:
-            self._finish_item(outbox, final)
-            return
         self._busy = True
 
         def complete() -> None:
@@ -168,15 +177,23 @@ class Operator:
     def _deliver(self, outbox: List[Any]) -> None:
         """Hand emitted items downstream, stamped with the current time."""
         now = self.engine.now
+        downstream = self._downstream
+        port = self._downstream_port
+        tuples_out = 0
         for item in outbox:
-            if isinstance(item, Tuple):
-                self.tuples_out += 1
-                item = item.with_ts(now) if item.ts != now else item
-            elif isinstance(item, Punctuation):
+            cls = item.__class__
+            if cls is Tuple or isinstance(item, Tuple):
+                tuples_out += 1
+                if item.ts != now:
+                    item = item.with_ts(now)
+            elif cls is Punctuation or isinstance(item, Punctuation):
                 self.punctuations_out += 1
-                item = item.with_ts(now) if item.ts != now else item
-            if self._downstream is not None:
-                self._downstream.push(item, self._downstream_port)
+                if item.ts != now:
+                    item = item.with_ts(now)
+            if downstream is not None:
+                downstream.push(item, port)
+        if tuples_out:
+            self.tuples_out += tuples_out
 
     def run_background_task(self, cost: float, description: str = "") -> None:
         """Occupy the operator with non-item work for *cost* virtual ms.

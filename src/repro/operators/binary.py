@@ -89,13 +89,8 @@ class BinaryHashJoin(Operator):
             left, right = entry_a.tup, entry_b.tup
         else:
             left, right = entry_b.tup, entry_a.tup
-        self.emit(
-            Tuple(
-                self.out_schema,
-                left.values + right.values,
-                ts=self.engine.now,
-                validate=False,
-            )
+        self._outbox.append(
+            Tuple.fresh(self.out_schema, left.values + right.values, self.engine.now)
         )
         self.results_produced += 1
 
@@ -105,10 +100,28 @@ class BinaryHashJoin(Operator):
             values = new_tuple.values + entry.tup.values
         else:
             values = entry.tup.values + new_tuple.values
-        self.emit(
-            Tuple(self.out_schema, values, ts=self.engine.now, validate=False)
-        )
+        self._outbox.append(Tuple.fresh(self.out_schema, values, self.engine.now))
         self.results_produced += 1
+
+    def emit_joins(self, new_tuple: Tuple, entries: List[StateEntry], new_side: int) -> None:
+        """Emit the joins of an arriving tuple with many state entries.
+
+        The memory join's inner loop: one probe can match hundreds of
+        entries, so the per-result constant factor (attribute lookups,
+        method dispatch) is hoisted out of the loop here.
+        """
+        out_schema = self.out_schema
+        now = self.engine.now
+        outbox = self._outbox
+        fresh = Tuple.fresh
+        new_values = new_tuple.values
+        if new_side == LEFT:
+            for entry in entries:
+                outbox.append(fresh(out_schema, new_values + entry.tup.values, now))
+        else:
+            for entry in entries:
+                outbox.append(fresh(out_schema, entry.tup.values + new_values, now))
+        self.results_produced += len(entries)
 
     def counters(self) -> dict:
         out = super().counters()

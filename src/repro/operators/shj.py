@@ -22,6 +22,7 @@ from repro.resilience.policy import TRUST
 from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
+from repro.storage.hash_table import stable_hash
 from repro.tuples.schema import Schema
 from repro.tuples.tuple import Tuple
 
@@ -74,12 +75,12 @@ class SymmetricHashJoin(BinaryHashJoin):
         value = self.join_value(item, side)
         if not self.validator.admit(item, value, side):
             return self.cost_model.tuple_overhead
-        occupancy, matches = self.states[other].probe(value)
+        value_hash = stable_hash(value)
+        occupancy, matches = self.states[other].probe(value, value_hash)
         self.probes += 1
         self.probe_matches += len(matches)
-        for entry in matches:
-            self.emit_join(item, entry, side)
-        self.states[side].insert(item, value, self.engine.now)
+        self.emit_joins(item, matches, side)
+        self.states[side].insert(item, value, self.engine.now, value_hash)
         self.insertions += 1
         return (
             self.cost_model.tuple_overhead

@@ -27,6 +27,7 @@ from repro.errors import ConfigError
 from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import already_produced, stage1_covered
+from repro.storage.hash_table import stable_hash
 from repro.punctuations.punctuation import Punctuation
 from repro.resilience.policy import TRUST
 from repro.resilience.validator import ContractValidator
@@ -128,12 +129,12 @@ class XJoin(BinaryHashJoin):
         value = self.join_value(item, side)
         if not self.validator.admit(item, value, side):
             return self.cost_model.tuple_overhead
-        occupancy, matches = self.states[other].probe(value)
+        value_hash = stable_hash(value)
+        occupancy, matches = self.states[other].probe(value, value_hash)
         self.probes += 1
         self.probe_matches += len(matches)
-        for entry in matches:
-            self.emit_join(item, entry, side)
-        self.states[side].insert(item, value, self.engine.now)
+        self.emit_joins(item, matches, side)
+        self.states[side].insert(item, value, self.engine.now, value_hash)
         self.insertions += 1
         cost = (
             self.cost_model.tuple_overhead
@@ -182,6 +183,10 @@ class XJoin(BinaryHashJoin):
     def on_idle(self) -> None:
         """Arm the activation-threshold timer when disk work exists."""
         if self._idle_check_pending or self.finished:
+            return
+        if self.spills == 0:
+            # Disk portions only appear through relocation; skip the
+            # partition scan on the (hot) no-spill idle path.
             return
         if self._pick_stage2_target() is None:
             return

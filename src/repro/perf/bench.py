@@ -1,0 +1,449 @@
+"""The wall-clock benchmark-regression harness (``repro bench``).
+
+Runs a pinned suite of paper-scale workloads, measures wall-clock
+seconds, engine events per second and peak RSS, and writes a
+``BENCH_<rev>.json`` report with machine metadata.  When a committed
+baseline report exists the run is compared against it with a
+configurable slowdown tolerance, turning the suite into a CI gate.
+
+Two invariants make the numbers trustworthy:
+
+* every case is a fully seeded, deterministic simulation, so the
+  *virtual* results (result tuples, events executed) must match the
+  baseline exactly — a mismatch means the code changed behaviour, not
+  just speed, and is reported as such;
+* workload generation happens outside the timed window, so the clock
+  only covers simulation execution (the part the hot-path work targets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import PJoinConfig
+from repro.experiments.harness import (
+    pjoin_factory,
+    run_join_experiment,
+    xjoin_factory,
+)
+from repro.resilience.chaos import run_chaos
+from repro.workloads.generator import generate_workload
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+BENCH_FORMAT = 1
+DEFAULT_BASELINE = Path("benchmarks") / "bench_baseline.json"
+QUICK_BASELINE = Path("benchmarks") / "bench_baseline_quick.json"
+DEFAULT_SCALE = 1.0
+QUICK_SCALE = 0.25
+DEFAULT_MAX_SLOWDOWN = 2.0
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(1, round(n * scale))
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark workload.
+
+    ``prepare(scale)`` does all untimed setup (workload generation) and
+    returns a thunk; calling the thunk executes the simulation and
+    returns its deterministic outcome: ``events`` (engine events
+    executed), ``results`` (result tuples) and ``virtual_ms``.
+    """
+
+    name: str
+    description: str
+    prepare: Callable[[float], Callable[[], Dict[str, Any]]]
+
+
+def _experiment_outcome(run: Any) -> Dict[str, Any]:
+    engine = run.manifest["engine"]
+    return {
+        "events": engine["events_executed"],
+        "results": run.results,
+        "virtual_ms": engine["virtual_now_ms"],
+    }
+
+
+def _fig5_case(scale: float, factory: Any, label: str) -> Callable[[], Dict[str, Any]]:
+    workload = generate_workload(
+        n_tuples_per_stream=_scaled(10_000, scale),
+        punct_spacing_a=40,
+        punct_spacing_b=40,
+        seed=5,
+    )
+
+    def run() -> Dict[str, Any]:
+        return _experiment_outcome(
+            run_join_experiment(factory, workload, label=label)
+        )
+
+    return run
+
+
+def _prepare_fig5_pjoin(scale: float) -> Callable[[], Dict[str, Any]]:
+    return _fig5_case(
+        scale, pjoin_factory(PJoinConfig(purge_threshold=1)), "bench:fig5:PJoin-1"
+    )
+
+
+def _prepare_fig5_xjoin(scale: float) -> Callable[[], Dict[str, Any]]:
+    return _fig5_case(scale, xjoin_factory(), "bench:fig5:XJoin")
+
+
+def _prepare_fig8_lazy(scale: float) -> Callable[[], Dict[str, Any]]:
+    workload = generate_workload(
+        n_tuples_per_stream=_scaled(10_000, scale),
+        punct_spacing_a=10,
+        punct_spacing_b=10,
+        seed=9,
+    )
+    factory = pjoin_factory(PJoinConfig(purge_threshold=10))
+
+    def run() -> Dict[str, Any]:
+        return _experiment_outcome(
+            run_join_experiment(workload=workload, factory=factory,
+                                label="bench:fig8:PJoin-10")
+        )
+
+    return run
+
+
+def _prepare_chaos_disorder(scale: float) -> Callable[[], Dict[str, Any]]:
+    # Chaos scenarios are pinned at their preset size; scale is ignored
+    # so quick and full reports stay comparable on this case.
+    def run() -> Dict[str, Any]:
+        chaos = run_chaos("disorder")
+        engine = chaos.manifest["engine"]
+        return {
+            "events": engine["events_executed"],
+            "results": chaos.sink.tuple_count,
+            "virtual_ms": engine["virtual_now_ms"],
+        }
+
+    return run
+
+
+BENCH_CASES: Dict[str, BenchCase] = {
+    case.name: case
+    for case in (
+        BenchCase(
+            "fig5_pjoin",
+            "Figure 5 workload (40 t/p, seed 5), PJoin with eager purge",
+            _prepare_fig5_pjoin,
+        ),
+        BenchCase(
+            "fig5_xjoin",
+            "Figure 5 workload (40 t/p, seed 5), XJoin comparator",
+            _prepare_fig5_xjoin,
+        ),
+        BenchCase(
+            "fig8_pjoin_lazy",
+            "Figure 8 workload (10 t/p, seed 9), PJoin with lazy purge (10)",
+            _prepare_fig8_lazy,
+        ),
+        BenchCase(
+            "chaos_disorder",
+            "Chaos 'disorder' preset under quarantine (fixed size)",
+            _prepare_chaos_disorder,
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process-wide peak RSS in KiB (``None`` where unsupported)."""
+    if resource is None:  # pragma: no cover
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak //= 1024
+    return int(peak)
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"local"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        )
+        return proc.stdout.strip() or "local"
+    except Exception:
+        return "local"
+
+
+def run_case(case: BenchCase, scale: float, repeat: int = 1) -> Dict[str, Any]:
+    """Measure one case; with ``repeat > 1`` keep the fastest wall time."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeat)):
+        run = case.prepare(scale)
+        start = time.perf_counter()
+        outcome = run()
+        wall = time.perf_counter() - start
+        if best is None or wall < best["wall_s"]:
+            best = dict(outcome)
+            best["wall_s"] = wall
+    assert best is not None
+    best["events_per_s"] = best["events"] / best["wall_s"] if best["wall_s"] else 0.0
+    best["peak_rss_kb"] = _peak_rss_kb()
+    return best
+
+
+def run_bench(
+    scale: float = DEFAULT_SCALE,
+    cases: Optional[List[str]] = None,
+    repeat: int = 1,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the suite and return the report dict (see module docstring)."""
+    names = list(BENCH_CASES) if not cases else list(cases)
+    unknown = [n for n in names if n not in BENCH_CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown bench cases {unknown}; available: {sorted(BENCH_CASES)}"
+        )
+    workloads: Dict[str, Any] = {}
+    for name in names:
+        if progress is not None:
+            progress(f"running {name} (scale {scale:g}) ...")
+        workloads[name] = run_case(BENCH_CASES[name], scale, repeat=repeat)
+    return {
+        "bench_format": BENCH_FORMAT,
+        "rev": git_rev(),
+        "created_unix": int(time.time()),
+        "quick": quick,
+        "scale": scale,
+        "repeat": repeat,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": workloads,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> Dict[str, Any]:
+    """Diff *current* against *baseline*; ``ok`` is the regression gate.
+
+    A case fails the gate when its wall time exceeds ``max_slowdown``
+    times the baseline's.  Reports at different scales are not
+    comparable; that is flagged as a failure rather than guessed around.
+    """
+    result: Dict[str, Any] = {
+        "baseline_rev": baseline.get("rev"),
+        "max_slowdown": max_slowdown,
+        "workloads": {},
+        "ok": True,
+    }
+    if current.get("scale") != baseline.get("scale"):
+        result["ok"] = False
+        result["error"] = (
+            f"scale mismatch: current {current.get('scale')} vs "
+            f"baseline {baseline.get('scale')} — re-capture the baseline"
+        )
+        return result
+    for name, cur in current.get("workloads", {}).items():
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            result["workloads"][name] = {"ok": True, "note": "no baseline case"}
+            continue
+        entry: Dict[str, Any] = {
+            "wall_s_delta_pct": round(
+                (cur["wall_s"] - base["wall_s"]) / base["wall_s"] * 100.0, 2
+            ) if base["wall_s"] else None,
+            "events_per_s_ratio": round(
+                cur["events_per_s"] / base["events_per_s"], 4
+            ) if base["events_per_s"] else None,
+            "events_match": cur["events"] == base["events"],
+            "results_match": cur["results"] == base["results"],
+        }
+        entry["ok"] = bool(
+            base["wall_s"] == 0 or cur["wall_s"] <= max_slowdown * base["wall_s"]
+        )
+        if not entry["events_match"] or not entry["results_match"]:
+            entry["note"] = (
+                "deterministic outcome drifted vs baseline — behaviour "
+                "changed, not just speed"
+            )
+        result["workloads"][name] = entry
+        result["ok"] = result["ok"] and entry["ok"]
+    return result
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A human-readable table of the report (and comparison, if any)."""
+    lines = [
+        f"bench @ {report['rev']} | scale {report['scale']:g} | "
+        f"{report['machine']['platform']} | python {report['machine']['python']}",
+        "",
+        f"{'case':<18} {'wall s':>9} {'events':>9} {'events/s':>11} "
+        f"{'results':>9} {'peak RSS MB':>12}",
+    ]
+    for name, w in report["workloads"].items():
+        rss = w.get("peak_rss_kb")
+        rss_mb = f"{rss / 1024:.1f}" if rss else "-"
+        lines.append(
+            f"{name:<18} {w['wall_s']:>9.3f} {w['events']:>9} "
+            f"{w['events_per_s']:>11.0f} {w['results']:>9} {rss_mb:>12}"
+        )
+    comparison = report.get("comparison")
+    if comparison:
+        lines.append("")
+        if comparison.get("error"):
+            lines.append(f"comparison error: {comparison['error']}")
+        else:
+            lines.append(
+                f"vs baseline @ {comparison['baseline_rev']} "
+                f"(max slowdown {comparison['max_slowdown']:g}x):"
+            )
+            for name, entry in comparison["workloads"].items():
+                if "wall_s_delta_pct" not in entry:
+                    lines.append(f"  {name:<18} {entry.get('note', '')}")
+                    continue
+                status = "ok" if entry["ok"] else "REGRESSION"
+                drift = "" if entry["events_match"] else "  [outcome drifted]"
+                lines.append(
+                    f"  {name:<18} wall {entry['wall_s_delta_pct']:+7.1f}%  "
+                    f"events/s x{entry['events_per_s_ratio']:.2f}  "
+                    f"{status}{drift}"
+                )
+        lines.append(f"gate: {'PASS' if comparison['ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point (shared by ``repro bench`` and ``tools/bench.py``)
+# ---------------------------------------------------------------------------
+
+
+def add_bench_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small suite (scale {QUICK_SCALE}) for CI smoke runs",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="override the workload scale "
+             f"(default {DEFAULT_SCALE}, or {QUICK_SCALE} with --quick)",
+    )
+    parser.add_argument(
+        "--cases", nargs="*", default=None, metavar="NAME",
+        help=f"subset of cases to run ({', '.join(BENCH_CASES)})",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per case; the fastest wall time is kept",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="report path (default BENCH_<rev>.json in the current dir)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="baseline report to compare against (default "
+             f"{DEFAULT_BASELINE}, or {QUICK_BASELINE} with --quick)",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=DEFAULT_MAX_SLOWDOWN,
+        help="fail when a case's wall time exceeds this multiple of the "
+             "baseline's (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the baseline comparison (measurement only)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="also write this report to the baseline path",
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if scale is None:
+        scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    try:
+        report = run_bench(
+            scale=scale,
+            cases=args.cases,
+            repeat=args.repeat,
+            quick=args.quick,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = QUICK_BASELINE if args.quick else DEFAULT_BASELINE
+    gate_failed = False
+    if not args.no_compare and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        report["comparison"] = compare_reports(
+            report, baseline, max_slowdown=args.max_slowdown
+        )
+        report["comparison"]["baseline_path"] = str(baseline_path)
+        gate_failed = not report["comparison"]["ok"]
+    elif not args.no_compare:
+        print(f"no baseline at {baseline_path}; skipping comparison",
+              file=sys.stderr)
+
+    out = args.out
+    if out is None:
+        out = Path(f"BENCH_{report['rev']}.json")
+    out.write_text(json.dumps(report, indent=1) + "\n")
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote baseline: {baseline_path}", file=sys.stderr)
+
+    print(render_report(report))
+    print(f"\nwrote report: {out}")
+    return 1 if gate_failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench",
+        description="Run the pinned benchmark suite and write BENCH_<rev>.json",
+    )
+    add_bench_args(parser)
+    return cmd_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

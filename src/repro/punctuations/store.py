@@ -8,6 +8,11 @@ set with two efficiency properties the join relies on:
 * constant patterns on the join attribute (by far the common case —
   e.g. one punctuation per closed auction item) are indexed in a dict,
   so ``setMatch`` on a join value is O(1);
+* range patterns sit in a bisect-based interval index
+  (:class:`~repro.perf.interval.RangeIntervalIndex`, O(log n) point
+  queries), enumerations in a per-member dict, and wildcards in their
+  own list — only patterns none of those structures can hold (e.g.
+  ranges with non-numeric bounds) fall back to a linear scan;
 * every stored punctuation gets a stable, monotonically increasing id
   equal to its arrival position, so components (state purge, index
   building) can keep cheap cursors for "punctuations that arrived since
@@ -23,7 +28,14 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Tuple as PyTuple
 
 from repro.errors import PunctuationError
-from repro.punctuations.patterns import Constant, Pattern
+from repro.perf.interval import RangeIntervalIndex
+from repro.punctuations.patterns import (
+    Constant,
+    EnumerationList,
+    Pattern,
+    Range,
+    Wildcard,
+)
 from repro.punctuations.punctuation import Punctuation
 from repro.tuples.schema import Schema
 
@@ -77,7 +89,15 @@ class PunctuationStore:
         self._entries: List[Optional[Punctuation]] = []
         # join constant value -> ids of punctuations with that constant.
         self._constants: Dict[Any, List[int]] = {}
-        # ids of punctuations whose join pattern is not a constant.
+        # Numeric range patterns, bisect-indexed by low bound.
+        self._ranges = RangeIntervalIndex()
+        # enum member value -> ids of enumerations containing it, plus
+        # the exact patterns for duplicate detection.
+        self._enum_values: Dict[Any, List[int]] = {}
+        self._enum_patterns: Dict[EnumerationList, List[int]] = {}
+        # ids of punctuations whose join pattern is a wildcard.
+        self._wildcards: List[int] = []
+        # ids no structure above can hold (non-numeric ranges, EMPTY...).
         self._general: List[int] = []
         self._live_count = 0
         self.total_added = 0
@@ -99,6 +119,16 @@ class PunctuationStore:
         self._entries.append(punct)
         if isinstance(join_pattern, Constant):
             self._constants.setdefault(join_pattern.value, []).append(pid)
+        elif isinstance(join_pattern, Range):
+            if not self._ranges.add(join_pattern, pid):
+                self._general.append(pid)
+        elif isinstance(join_pattern, EnumerationList):
+            self._enum_patterns.setdefault(join_pattern, []).append(pid)
+            enum_values = self._enum_values
+            for member in join_pattern.values:
+                enum_values.setdefault(member, []).append(pid)
+        elif isinstance(join_pattern, Wildcard):
+            self._wildcards.append(pid)
         else:
             self._general.append(pid)
         self._live_count += 1
@@ -118,6 +148,23 @@ class PunctuationStore:
                 ids.remove(pid)
                 if not ids:
                     del self._constants[join_pattern.value]
+        elif isinstance(join_pattern, Range):
+            if not self._ranges.remove(join_pattern, pid):
+                self._general.remove(pid)
+        elif isinstance(join_pattern, EnumerationList):
+            ids = self._enum_patterns.get(join_pattern)
+            if ids is not None:
+                ids.remove(pid)
+                if not ids:
+                    del self._enum_patterns[join_pattern]
+            for member in join_pattern.values:
+                ids = self._enum_values.get(member)
+                if ids is not None:
+                    ids.remove(pid)
+                    if not ids:
+                        del self._enum_values[member]
+        elif isinstance(join_pattern, Wildcard):
+            self._wildcards.remove(pid)
         else:
             self._general.remove(pid)
         self._live_count -= 1
@@ -154,21 +201,71 @@ class PunctuationStore:
         """
         if isinstance(pattern, Constant):
             return pattern.value in self._constants
+        if isinstance(pattern, EnumerationList):
+            return pattern in self._enum_patterns
+        if isinstance(pattern, Wildcard):
+            return bool(self._wildcards)
+        if isinstance(pattern, Range) and self._ranges.has_pattern(pattern):
+            return True
+        # Non-indexable ranges and exotic patterns: linear fallback.
         for pid in self._general:
             punct = self._entries[pid]
             if punct is not None and punct.patterns[self.join_index] == pattern:
                 return True
         return False
 
+    def _range_pids(self, value: Any) -> List[int]:
+        """Pids of range punctuations covering *value*."""
+        pids = self._ranges.query(value)
+        if pids is not None:
+            return pids
+        # Index degraded (overlapping ranges seen): linear fallback.
+        out: List[int] = []
+        for pattern, ids in self._ranges.items():
+            if pattern.matches(value):
+                out.extend(ids)
+        return out
+
     def covers_value(self, value: Any) -> bool:
         """``setMatch`` on a join value: does any punctuation cover it?"""
         if value in self._constants:
+            return True
+        if self._wildcards:
+            return True
+        if self._enum_values and value in self._enum_values:
+            return True
+        if self._ranges and self._range_pids(value):
             return True
         for pid in self._general:
             punct = self._entries[pid]
             if punct is not None and punct.patterns[self.join_index].matches(value):
                 return True
         return False
+
+    def covering_pids(self, value: Any) -> List[int]:
+        """Ids of *all* live punctuations covering *value*, ascending.
+
+        The ``repair`` fault policy uses this to retract every promise a
+        violating tuple contradicts without scanning the whole store.
+        """
+        out: List[int] = []
+        ids = self._constants.get(value)
+        if ids:
+            out.extend(ids)
+        if self._wildcards:
+            out.extend(self._wildcards)
+        if self._enum_values:
+            ids = self._enum_values.get(value)
+            if ids:
+                out.extend(ids)
+        if self._ranges:
+            out.extend(self._range_pids(value))
+        for pid in self._general:
+            punct = self._entries[pid]
+            if punct is not None and punct.patterns[self.join_index].matches(value):
+                out.append(pid)
+        out.sort()
+        return out
 
     def first_covering(self, value: Any) -> Optional[PyTuple[int, Punctuation]]:
         """Return the earliest-arrived live punctuation covering *value*.
@@ -177,22 +274,12 @@ class PunctuationStore:
         tuple's ``pid`` to "the pid of the first arrived punctuation
         found to be matched".
         """
-        best_pid: Optional[int] = None
-        ids = self._constants.get(value)
-        if ids:
-            best_pid = ids[0]
-        for pid in self._general:
-            if best_pid is not None and pid >= best_pid:
-                break
-            punct = self._entries[pid]
-            if punct is not None and punct.patterns[self.join_index].matches(value):
-                best_pid = pid
-                break
-        if best_pid is None:
+        pids = self.covering_pids(value)
+        if not pids:
             return None
-        punct = self._entries[best_pid]
+        punct = self._entries[pids[0]]
         assert punct is not None
-        return best_pid, punct
+        return pids[0], punct
 
     def get(self, pid: int) -> Optional[Punctuation]:
         """Return the live punctuation with id *pid*, or ``None``."""

@@ -9,26 +9,42 @@ seeded experiment produces the identical event trace every run.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Iterator, List, Tuple as PyTuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
 
 from repro.errors import StorageError
 from repro.storage.partition import HybridPartition, StateEntry
 from repro.tuples.tuple import Tuple
+
+# repr+CRC results for non-int join values.  Join domains are small
+# (thousands of distinct keys) while tuple counts are large, so almost
+# every probe/insert is a cache hit; the cap bounds pathological
+# all-distinct workloads.  Process-local, so cross-process stability
+# (the property the tests pin down) is untouched.
+_HASH_CACHE: Dict[Any, int] = {}
+_HASH_CACHE_MAX = 1 << 16
 
 
 def stable_hash(value: Any) -> int:
     """A process-stable hash for join values.
 
     Integers hash to themselves; everything else hashes through CRC-32
-    of its ``repr``.  Python's builtin string hash is salted per process
-    (``PYTHONHASHSEED``), which would make bucket assignment — and hence
-    every virtual-time measurement — vary between runs.
+    of its ``repr`` (memoized).  Python's builtin string hash is salted
+    per process (``PYTHONHASHSEED``), which would make bucket assignment
+    — and hence every virtual-time measurement — vary between runs.
     """
     if isinstance(value, bool):
         return int(value)
     if isinstance(value, int):
         return value
-    return zlib.crc32(repr(value).encode("utf-8"))
+    try:
+        cached = _HASH_CACHE.get(value)
+    except TypeError:  # unhashable join value: compute uncached
+        return zlib.crc32(repr(value).encode("utf-8"))
+    if cached is None:
+        cached = zlib.crc32(repr(value).encode("utf-8"))
+        if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+            _HASH_CACHE[value] = cached
+    return cached
 
 
 class PartitionedHashTable:
@@ -54,14 +70,31 @@ class PartitionedHashTable:
     # Placement
     # ------------------------------------------------------------------
 
-    def partition_for(self, join_value: Any) -> HybridPartition:
-        """The bucket a join value hashes to."""
-        return self.partitions[stable_hash(join_value) % self.n_partitions]
+    def partition_for(
+        self, join_value: Any, hash_value: Optional[int] = None
+    ) -> HybridPartition:
+        """The bucket a join value hashes to.
 
-    def insert(self, tup: Tuple, join_value: Any, ats: float) -> StateEntry:
+        Callers that already know ``stable_hash(join_value)`` — e.g.
+        because the same tuple both probes and inserts — pass it as
+        *hash_value* to skip rehashing.
+        """
+        if hash_value is None:
+            hash_value = stable_hash(join_value)
+        return self.partitions[hash_value % self.n_partitions]
+
+    def insert(
+        self,
+        tup: Tuple,
+        join_value: Any,
+        ats: float,
+        hash_value: Optional[int] = None,
+    ) -> StateEntry:
         """Insert a tuple; returns its new :class:`StateEntry`."""
-        entry = StateEntry(tup, join_value, ats)
-        self.partition_for(join_value).insert(entry)
+        if hash_value is None:
+            hash_value = stable_hash(join_value)
+        entry = StateEntry(tup, join_value, ats, hash_value)
+        self.partitions[hash_value % self.n_partitions].insert(entry)
         self.memory_count += 1
         self.total_inserted += 1
         return entry
@@ -70,7 +103,9 @@ class PartitionedHashTable:
     # Probing
     # ------------------------------------------------------------------
 
-    def probe(self, join_value: Any) -> PyTuple[int, List[StateEntry]]:
+    def probe(
+        self, join_value: Any, hash_value: Optional[int] = None
+    ) -> PyTuple[int, List[StateEntry]]:
         """Probe the memory portion of the matching bucket.
 
         Returns ``(bucket_occupancy, matching_entries)``.  The occupancy
@@ -79,7 +114,7 @@ class PartitionedHashTable:
         chain, which is exactly the cost that grows when dead tuples are
         never purged.
         """
-        partition = self.partition_for(join_value)
+        partition = self.partition_for(join_value, hash_value)
         return partition.memory_count, partition.probe_memory(join_value)
 
     # ------------------------------------------------------------------

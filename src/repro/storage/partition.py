@@ -32,11 +32,20 @@ INFINITY = math.inf
 class StateEntry:
     """One tuple resident in a join state, with join metadata."""
 
-    __slots__ = ("tup", "join_value", "ats", "dts", "pid")
+    __slots__ = ("tup", "join_value", "join_hash", "ats", "dts", "pid")
 
-    def __init__(self, tup: Tuple, join_value: Any, ats: float) -> None:
+    def __init__(
+        self,
+        tup: Tuple,
+        join_value: Any,
+        ats: float,
+        join_hash: Optional[int] = None,
+    ) -> None:
         self.tup = tup
         self.join_value = join_value
+        # stable_hash(join_value), cached once at insert so later bucket
+        # lookups (purge cascades, disk-join grouping) never rehash.
+        self.join_hash = join_hash
         self.ats = ats
         self.dts: float = INFINITY
         self.pid: Optional[int] = None

@@ -122,8 +122,22 @@ class StreamSource:
     def _send_eos(self) -> None:
         assert self._target is not None
         if self.disorder_buffer is not None:
-            for ready in self.disorder_buffer.flush():
-                self._deliver(ready)
+            ready = self.disorder_buffer.flush()
+            if ready:
+                # Batch the whole backlog (plus the end-of-stream marker,
+                # after it) through schedule_many: one heap rebuild, and
+                # delivery order is identical to sequential scheduling.
+                now = self.engine.now
+                events = [
+                    (now, lambda item=item: self._deliver(item)) for item in ready
+                ]
+                events.append((now, self._push_eos))
+                self.engine.schedule_many(events)
+                return
+        self._push_eos()
+
+    def _push_eos(self) -> None:
+        assert self._target is not None
         self.exhausted = True
         self.last_emit_time = self.engine.now
         self._target.push(END_OF_STREAM, self._port)

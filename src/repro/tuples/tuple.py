@@ -62,9 +62,28 @@ class Tuple:
             return self.value_of(key)
         return self.values[key]
 
+    @classmethod
+    def fresh(cls, schema: Schema, values: PyTuple[Any, ...], ts: float) -> "Tuple":
+        """Build a tuple from an already-validated value *tuple*.
+
+        The hot-path constructor: joins emit hundreds of thousands of
+        result tuples per run, and each one here skips ``__init__``'s
+        ``tuple()`` copy and validation branch.  *values* must already
+        be a ``tuple`` in schema order.
+        """
+        tup = cls.__new__(cls)
+        tup.schema = schema
+        tup.values = values
+        tup.ts = ts
+        return tup
+
     def with_ts(self, ts: float) -> "Tuple":
         """Return a copy of this tuple stamped with a new timestamp."""
-        return Tuple(self.schema, self.values, ts=ts, validate=False)
+        tup = Tuple.__new__(Tuple)
+        tup.schema = self.schema
+        tup.values = self.values
+        tup.ts = ts
+        return tup
 
     def as_dict(self) -> dict:
         """Return ``{field_name: value}`` for all fields."""
@@ -110,4 +129,4 @@ def join_tuples(left: Tuple, right: Tuple, out_schema: Schema, ts: float) -> Tup
     The result timestamp is the (virtual) time the join produced it, not
     either input's arrival time.
     """
-    return Tuple(out_schema, left.values + right.values, ts=ts, validate=False)
+    return Tuple.fresh(out_schema, left.values + right.values, ts)

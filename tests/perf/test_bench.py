@@ -1,0 +1,152 @@
+"""The benchmark-regression harness: report schema, gate, CLI."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_CASES,
+    BENCH_FORMAT,
+    compare_reports,
+    main as bench_main,
+    run_bench,
+    run_case,
+)
+
+REPORT_KEYS = {
+    "bench_format", "rev", "created_unix", "quick", "scale", "repeat",
+    "machine", "workloads",
+}
+CASE_KEYS = {"events", "results", "virtual_ms", "wall_s", "events_per_s",
+             "peak_rss_kb"}
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # chaos_disorder ignores scale and finishes in a few hundredths of a
+    # second — ideal for schema tests.
+    return run_bench(scale=1.0, cases=["chaos_disorder"])
+
+
+class TestReportSchema:
+    def test_top_level_schema(self, tiny_report):
+        assert set(tiny_report) == REPORT_KEYS
+        assert tiny_report["bench_format"] == BENCH_FORMAT
+        machine = tiny_report["machine"]
+        assert {"platform", "python", "implementation", "machine",
+                "cpu_count"} <= set(machine)
+
+    def test_case_schema(self, tiny_report):
+        case = tiny_report["workloads"]["chaos_disorder"]
+        assert set(case) == CASE_KEYS
+        assert case["events"] > 0
+        assert case["results"] > 0
+        assert case["wall_s"] > 0
+        assert case["events_per_s"] == pytest.approx(
+            case["events"] / case["wall_s"]
+        )
+
+    def test_report_is_json_serialisable(self, tiny_report):
+        assert json.loads(json.dumps(tiny_report)) == tiny_report
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(cases=["nope"])
+
+    def test_repeat_keeps_one_measurement(self):
+        case = run_case(BENCH_CASES["chaos_disorder"], scale=1.0, repeat=2)
+        assert set(case) == CASE_KEYS
+
+
+def _case(wall_s, events=100, results=10):
+    return {
+        "wall_s": wall_s,
+        "events": events,
+        "results": results,
+        "events_per_s": events / wall_s,
+        "virtual_ms": 1.0,
+        "peak_rss_kb": 1000,
+    }
+
+
+def _report(wall_s, scale=1.0, **case_kwargs):
+    return {
+        "rev": "test",
+        "scale": scale,
+        "workloads": {"fig5_pjoin": _case(wall_s, **case_kwargs)},
+    }
+
+
+class TestComparisonGate:
+    def test_same_speed_passes(self):
+        cmp = compare_reports(_report(1.0), _report(1.0))
+        assert cmp["ok"]
+        entry = cmp["workloads"]["fig5_pjoin"]
+        assert entry["ok"]
+        assert entry["wall_s_delta_pct"] == 0.0
+        assert entry["events_match"] and entry["results_match"]
+
+    def test_slowdown_beyond_gate_fails(self):
+        cmp = compare_reports(_report(2.5), _report(1.0), max_slowdown=2.0)
+        assert not cmp["ok"]
+        assert not cmp["workloads"]["fig5_pjoin"]["ok"]
+
+    def test_slowdown_within_gate_passes(self):
+        cmp = compare_reports(_report(1.8), _report(1.0), max_slowdown=2.0)
+        assert cmp["ok"]
+
+    def test_scale_mismatch_is_an_error(self):
+        cmp = compare_reports(_report(1.0, scale=0.5), _report(1.0))
+        assert not cmp["ok"]
+        assert "scale mismatch" in cmp["error"]
+
+    def test_outcome_drift_is_flagged(self):
+        cmp = compare_reports(_report(1.0, events=99), _report(1.0))
+        entry = cmp["workloads"]["fig5_pjoin"]
+        assert not entry["events_match"]
+        assert "note" in entry
+
+    def test_missing_baseline_case_is_tolerated(self):
+        baseline = {"rev": "old", "scale": 1.0, "workloads": {}}
+        cmp = compare_reports(_report(1.0), baseline)
+        assert cmp["ok"]
+        assert cmp["workloads"]["fig5_pjoin"]["note"] == "no baseline case"
+
+
+class TestBenchCli:
+    def test_writes_report_and_compares(self, tmp_path):
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        rc = bench_main([
+            "--cases", "chaos_disorder", "--out", str(out),
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert set(report) - {"comparison"} == REPORT_KEYS
+        assert baseline.exists()
+        # Second run now compares against the captured baseline.
+        rc = bench_main([
+            "--cases", "chaos_disorder", "--out", str(out),
+            "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["comparison"]["ok"]
+        # Determinism cross-check: the rerun produced identical events.
+        assert report["comparison"]["workloads"]["chaos_disorder"][
+            "events_match"
+        ]
+
+    def test_committed_baseline_is_schema_valid(self):
+        from pathlib import Path
+
+        baseline_path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "bench_baseline.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["bench_format"] == BENCH_FORMAT
+        assert set(BENCH_CASES) == set(baseline["workloads"])
+        for case in baseline["workloads"].values():
+            assert CASE_KEYS <= set(case)

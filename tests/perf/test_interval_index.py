@@ -1,0 +1,182 @@
+"""RangeIntervalIndex and the structured PunctuationStore fast paths."""
+
+import pytest
+
+from repro.perf.interval import RangeIntervalIndex
+from repro.punctuations.patterns import (
+    Constant,
+    Range,
+    WILDCARD,
+    make_enumeration,
+)
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore
+from repro.tuples.schema import Field, Schema
+
+SCHEMA = Schema([Field("key", int)], name="S")
+
+
+def punct(pattern, ts=0.0):
+    return Punctuation(SCHEMA, [pattern], ts=ts)
+
+
+class TestRangeIntervalIndex:
+    def test_point_query_hits_covering_range(self):
+        index = RangeIntervalIndex()
+        assert index.add(Range(10, 19), 0)
+        assert index.add(Range(30, 39), 1)
+        assert index.query(15) == [0]
+        assert index.query(30) == [1]
+        assert index.query(25) == []
+        assert index.query(9) == []
+        assert index.query(40) == []
+
+    def test_exclusive_low_bound_falls_back_to_predecessor(self):
+        index = RangeIntervalIndex()
+        # [1, 5] and (5, 9]: the value 5 shares (5, 9]'s low bound but
+        # only [1, 5] covers it — the two-candidate rule in query().
+        index.add(Range(1, 5), 0)
+        index.add(Range(5, 9, low_inclusive=False), 1)
+        assert index.consistent
+        assert index.query(5) == [0]
+        assert index.query(6) == [1]
+
+    def test_unbounded_sides(self):
+        index = RangeIntervalIndex()
+        index.add(Range(None, 0), 0)
+        index.add(Range(100, None), 1)
+        assert index.query(-1_000_000) == [0]
+        assert index.query(1_000_000) == [1]
+        assert index.query(50) == []
+
+    def test_equal_patterns_share_one_interval(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 3)
+        index.add(Range(10, 19), 7)
+        assert index.consistent
+        assert index.query(12) == [3, 7]
+        assert len(index) == 2
+
+    def test_remove_restores_empty(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        index.add(Range(20, 29), 1)
+        assert index.remove(Range(10, 19), 0)
+        assert index.query(15) == []
+        assert index.query(25) == [1]
+        assert not index.remove(Range(50, 60), 9)
+
+    def test_overlap_degrades_to_linear_fallback(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        index.add(Range(15, 25), 1)  # prefix consistency violated
+        assert not index.consistent
+        assert index.query(17) is None  # caller must scan items()
+        covering = [
+            ids for pattern, ids in index.items() if pattern.matches(17)
+        ]
+        assert covering == [[0], [1]]
+
+    def test_non_numeric_bounds_are_refused(self):
+        index = RangeIntervalIndex()
+        assert not index.add(Range("a", "f"), 0)
+        assert len(index) == 0
+
+    def test_non_numeric_value_matches_nothing(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        assert index.query("15") == []
+
+    def test_bool_values_compare_as_ints(self):
+        index = RangeIntervalIndex()
+        index.add(Range(0, 1), 0)
+        assert index.query(True) == [0]
+        assert index.query(False) == [0]
+
+
+class TestStructuredStore:
+    def test_range_punctuations_cover_and_order(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid_a = store.add(punct(Range(10, 19)))
+        pid_b = store.add(punct(Range(30, 39)))
+        assert store.covers_value(12)
+        assert store.covers_value(39)
+        assert not store.covers_value(25)
+        assert store.first_covering(12) == (pid_a, store.get(pid_a))
+        assert store.first_covering(35) == (pid_b, store.get(pid_b))
+        assert store.first_covering(25) is None
+
+    def test_enumeration_punctuations(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pattern = make_enumeration({3, 5, 8})
+        pid = store.add(punct(pattern))
+        for value in (3, 5, 8):
+            assert store.covers_value(value)
+            assert store.covering_pids(value) == [pid]
+        assert not store.covers_value(4)
+        assert store.has_equal_join_pattern(make_enumeration({3, 5, 8}))
+        assert not store.has_equal_join_pattern(make_enumeration({3, 5}))
+        store.remove(pid)
+        assert not store.covers_value(3)
+        assert not store.has_equal_join_pattern(pattern)
+
+    def test_wildcard_punctuation_covers_everything(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid = store.add(punct(WILDCARD))
+        assert store.covers_value(0)
+        assert store.covers_value(10**9)
+        assert store.covering_pids(42) == [pid]
+        assert store.has_equal_join_pattern(WILDCARD)
+        store.remove(pid)
+        assert not store.covers_value(0)
+
+    def test_covering_pids_merges_all_structures_sorted(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid_range = store.add(punct(Range(10, 19)))
+        pid_const = store.add(punct(Constant(12)))
+        pid_wild = store.add(punct(WILDCARD))
+        pids = store.covering_pids(12)
+        assert pids == sorted([pid_range, pid_const, pid_wild])
+        # first_covering follows arrival order across structures.
+        assert store.first_covering(12)[0] == pid_range
+
+    def test_range_duplicate_detection(self):
+        store = PunctuationStore(SCHEMA, "key")
+        store.add(punct(Range(10, 19)))
+        assert store.has_equal_join_pattern(Range(10, 19))
+        assert not store.has_equal_join_pattern(Range(10, 20))
+
+    def test_removal_updates_range_index(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid = store.add(punct(Range(10, 19)))
+        store.remove(pid)
+        assert not store.covers_value(15)
+        assert store.covering_pids(15) == []
+        assert len(store) == 0
+
+    def test_overlapping_ranges_still_correct(self):
+        # Without the consistency checker the store accepts overlapping
+        # ranges; the index degrades but answers stay right.
+        store = PunctuationStore(SCHEMA, "key")
+        pid_a = store.add(punct(Range(10, 19)))
+        pid_b = store.add(punct(Range(15, 25)))
+        assert store.covers_value(17)
+        assert store.covering_pids(17) == [pid_a, pid_b]
+        assert store.covering_pids(22) == [pid_b]
+        assert store.first_covering(17)[0] == pid_a
+
+    def test_constant_fast_path_unchanged(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid = store.add(punct(Constant(7)))
+        assert store.covers_value(7)
+        assert not store.covers_value(8)
+        assert store.covering_pids(7) == [pid]
+        assert store.has_equal_join_pattern(Constant(7))
+
+    def test_prefix_consistency_checker_still_rejects(self):
+        store = PunctuationStore(SCHEMA, "key", check_prefix_consistency=True)
+        store.add(punct(Range(10, 19)))
+        from repro.errors import PunctuationError
+
+        with pytest.raises(PunctuationError):
+            store.add(punct(Range(15, 25)))

@@ -1,0 +1,86 @@
+"""ParallelSweepRunner: serial and parallel runs are byte-identical.
+
+The ISSUE contract: for any jobs count, the exported figure JSON — runs,
+samples, per-operator counters, checks — must equal the serial export
+byte for byte, with the ``jobs`` manifest stamp as the only difference.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import PerfError
+from repro.experiments.export import figure_to_dict
+from repro.experiments.figures import ALL_FIGURES
+from repro.perf.parallel import ParallelSweepRunner
+from repro.resilience.chaos import run_chaos
+from repro.resilience.policy import QUARANTINE
+
+SCALE = 0.05
+
+
+def _figure_bytes(result):
+    """Canonical figure JSON with the ``jobs`` stamp stripped."""
+    exported = figure_to_dict(result)
+    for run in exported["runs"]:
+        run["manifest"].pop("jobs", None)
+    return json.dumps(exported, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_figures():
+    return {
+        name: _figure_bytes(ALL_FIGURES[name](scale=SCALE))
+        for name in ("figure5", "figure8")
+    }
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("name", ["figure5", "figure8"])
+def test_parallel_figure_json_byte_identical(serial_figures, name, jobs):
+    runner = ParallelSweepRunner(jobs)
+    result = runner.run_experiment(name, scale=SCALE)
+    for run in result.runs:
+        assert run.manifest["jobs"] == jobs
+    # (_figure_bytes pops the stamp, so the byte comparison goes last.)
+    assert _figure_bytes(result) == serial_figures[name]
+
+
+def test_parallel_counters_identical(serial_figures):
+    # Per-operator counters, specifically: the deepest determinism probe.
+    serial = json.loads(serial_figures["figure5"])
+    parallel = figure_to_dict(
+        ParallelSweepRunner(2).run_experiment("figure5", scale=SCALE)
+    )
+    for s_run, p_run in zip(serial["runs"], parallel["runs"]):
+        assert s_run["manifest"]["counters"] == p_run["manifest"]["counters"]
+
+
+def _chaos_fingerprint(run):
+    manifest = dict(run.manifest)
+    manifest.pop("jobs", None)
+    return json.dumps(
+        {"summary": run.summary, "manifest": manifest}, sort_keys=True
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_parallel_chaos_matches_serial(jobs):
+    serial = [
+        _chaos_fingerprint(run_chaos(name, policy=QUARANTINE))
+        for name in ("gentle", "disorder")
+    ]
+    runner = ParallelSweepRunner(jobs)
+    runs = runner.run_chaos_scenarios(["gentle", "disorder"], policy=QUARANTINE)
+    assert [_chaos_fingerprint(run) for run in runs] == serial
+    assert [run.manifest["jobs"] for run in runs] == [jobs, jobs]
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(PerfError):
+        ParallelSweepRunner(0)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(PerfError):
+        ParallelSweepRunner(2).run_experiment("not_a_figure")

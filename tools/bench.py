@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark harness — standalone entry point.
+
+Thin wrapper around :mod:`repro.perf.bench` for environments where the
+``repro`` console script is not installed.  Equivalent invocations:
+
+    python tools/bench.py --quick
+    PYTHONPATH=src python -m repro bench --quick
+
+Writes ``BENCH_<rev>.json`` (or ``--out PATH``) and, when a baseline
+exists, prints the comparison table and exits 1 on a gate failure.
+See ``docs/performance.md`` for the baseline workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

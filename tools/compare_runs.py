@@ -10,6 +10,7 @@ Usage:
     python tools/compare_runs.py OLD_DIR NEW_DIR [--threshold 0.05]
     python tools/compare_runs.py OLD_DIR NEW_DIR --counters
     python tools/compare_runs.py old_manifest.json new_manifest.json
+    python tools/compare_runs.py BENCH_old.json BENCH_new.json --bench
 
 With ``--counters`` the diff descends into each run's manifest (format
 version 2 reports) and compares the per-operator counter registries —
@@ -17,6 +18,11 @@ probes, matches, purged tuples, disk I/O, punctuation flow — instead of
 only the headline summary metrics.  Two bare manifest JSON files (as
 written by ``repro trace ... --manifest``) can also be compared
 directly; their counters are always diffed.
+
+With ``--bench`` the two arguments are wall-clock benchmark reports as
+written by ``repro bench`` (``BENCH_<rev>.json``); the diff covers wall
+time, events/s, and deterministic-outcome drift, gated by
+``--max-slowdown`` instead of ``--threshold``.
 
 Exit status 1 when any metric moved more than the threshold (relative),
 so it can serve as a CI regression gate.
@@ -120,6 +126,20 @@ def compare_counters(old_dir: Path, new_dir: Path, threshold: float) -> int:
     return 1 if rows else 0
 
 
+def compare_bench(old_path: Path, new_path: Path, max_slowdown: float) -> int:
+    """Diff two ``repro bench`` reports (BENCH_<rev>.json files)."""
+    from repro.perf.bench import compare_reports, render_report
+
+    old_report = json.loads(old_path.read_text())
+    new_report = json.loads(new_path.read_text())
+    comparison = compare_reports(new_report, old_report,
+                                 max_slowdown=max_slowdown)
+    # render_report prints the current run's table plus the comparison
+    # block, which is exactly the diff view we want here.
+    print(render_report({**new_report, "comparison": comparison}))
+    return 0 if comparison["ok"] else 1
+
+
 def compare(old_dir: Path, new_dir: Path, threshold: float) -> int:
     old_figures = load_dir(old_dir)
     new_figures = load_dir(new_dir)
@@ -173,7 +193,15 @@ def main(argv=None) -> int:
     parser.add_argument("--counters", action="store_true",
                         help="diff per-operator manifest counters instead of "
                              "headline summary metrics")
+    parser.add_argument("--bench", action="store_true",
+                        help="treat the two arguments as repro bench reports "
+                             "(BENCH_<rev>.json) and diff wall-clock metrics")
+    parser.add_argument("--max-slowdown", type=float, default=1.25,
+                        help="with --bench: wall-time ratio beyond which a "
+                             "case fails the gate")
     args = parser.parse_args(argv)
+    if args.bench:
+        return compare_bench(args.old_dir, args.new_dir, args.max_slowdown)
     if args.old_dir.is_file() or args.new_dir.is_file():
         return compare_manifests(args.old_dir, args.new_dir, args.threshold)
     if args.counters:
