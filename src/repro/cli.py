@@ -34,6 +34,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -46,6 +47,7 @@ from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import (
     pjoin_factory,
     run_join_experiment,
+    sharding,
     tracing,
     xjoin_factory,
 )
@@ -91,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each experiment's sweep points across N worker "
              "processes (results are identical to a serial run)",
     )
+    figures_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="run every join in the presets as a K-shard stack "
+             "(K=1 replays the unsharded execution exactly)",
+    )
     figures_cmd.set_defaults(func=cmd_figures)
 
     demo_cmd = sub.add_parser(
@@ -105,8 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo_cmd.add_argument("--purge-threshold", type=int, default=10,
                           help="PJoin purge threshold (1 = eager)")
     demo_cmd.add_argument("--seed", type=int, default=42)
+    demo_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="run both joins as K-shard stacks",
+    )
     demo_cmd.set_defaults(func=cmd_demo)
 
+    _add_shard_parser(sub)
     _add_trace_parser(sub)
     _add_metrics_parser(sub)
     _add_chaos_parser(sub)
@@ -124,6 +136,122 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_parser(obs_sub)
 
     return parser
+
+
+def _add_shard_parser(sub) -> None:
+    shard_cmd = sub.add_parser(
+        "shard",
+        help="demo the sharded join stack and check backend equivalence",
+        description="Run one PJoin workload unsharded and as a K-shard "
+                    "stack (in-simulator and/or multiprocess backend), "
+                    "print per-variant results and verify the sharded "
+                    "runs reproduce the unsharded output exactly.",
+    )
+    shard_cmd.add_argument("--tuples", type=int, default=4000,
+                           help="tuples per stream")
+    shard_cmd.add_argument("--spacing-a", type=float, default=40.0,
+                           help="stream A punctuation spacing (tuples)")
+    shard_cmd.add_argument("--spacing-b", type=float, default=40.0,
+                           help="stream B punctuation spacing (tuples)")
+    shard_cmd.add_argument("--purge-threshold", type=int, default=10,
+                           help="PJoin purge threshold (1 = eager)")
+    shard_cmd.add_argument("--seed", type=int, default=42)
+    shard_cmd.add_argument(
+        "--shards", type=_int_list, default=[1, 2, 4], metavar="K[,K...]",
+        help="comma-separated shard counts to run (default 1,2,4)",
+    )
+    shard_cmd.add_argument(
+        "--backend", choices=["sim", "mp", "both"], default="sim",
+        help="in-simulator backend, multiprocess backend, or both",
+    )
+    shard_cmd.add_argument(
+        "--propagate", action="store_true",
+        help="enable punctuation propagation (merged output punctuations); "
+             "exact punctuation equivalence needs --purge-threshold 1, as "
+             "lazy purge batches land on different boundaries per shard",
+    )
+    shard_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every sharded run matches the "
+             "unsharded reference",
+    )
+    shard_cmd.set_defaults(func=cmd_shard)
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(f"shard counts must be >= 1: {text!r}")
+    return values
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    from repro.shard.backend import run_sharded_multiprocess
+
+    workload = generate_workload(
+        n_tuples_per_stream=args.tuples,
+        punct_spacing_a=args.spacing_a,
+        punct_spacing_b=args.spacing_b,
+        seed=args.seed,
+    )
+    config = PJoinConfig(
+        purge_threshold=args.purge_threshold,
+        propagation_mode="push_count" if args.propagate else "off",
+    )
+    base = run_join_experiment(
+        pjoin_factory(config), workload, label="unsharded", keep_items=True
+    )
+    base_results = base.sink.result_multiset()
+    base_puncts: dict = {}
+    for punct in base.sink.punctuations:
+        key = punct.patterns[0]
+        base_puncts[key] = base_puncts.get(key, 0) + 1
+
+    rows = [["unsharded", "sim", base.results, base.punctuations_out,
+             "-", round(base.duration_ms)]]
+    backends = ("sim", "mp") if args.backend == "both" else (args.backend,)
+    all_match = True
+    for k in args.shards:
+        for backend in backends:
+            if backend == "sim":
+                with sharding(k):
+                    run = run_join_experiment(
+                        pjoin_factory(config), workload,
+                        label=f"sharded-K{k}", keep_items=True,
+                    )
+                results, punct_count = run.results, run.punctuations_out
+                result_ms = run.sink.result_multiset()
+                punct_ms: dict = {}
+                for punct in run.sink.punctuations:
+                    key = punct.patterns[0]
+                    punct_ms[key] = punct_ms.get(key, 0) + 1
+                duration = round(run.duration_ms)
+            else:
+                outcome = run_sharded_multiprocess(workload, k, config=config)
+                results, punct_count = (
+                    outcome.result_count, len(outcome.punctuations)
+                )
+                result_ms = outcome.result_multiset()
+                punct_ms = outcome.punctuation_multiset()
+                duration = round(outcome.virtual_now)
+            match = result_ms == base_results and punct_ms == base_puncts
+            all_match = all_match and match
+            rows.append([f"K={k}", backend, results, punct_count,
+                         "ok" if match else "MISMATCH", duration])
+    print(render_table(
+        ["variant", "backend", "results", "puncts out", "equivalent",
+         "finished (ms)"],
+        rows,
+    ))
+    if args.check and not all_match:
+        print("sharded equivalence check FAILED", file=sys.stderr)
+        return 1
+    if args.check:
+        print("sharded equivalence check passed")
+    return 0
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -341,21 +469,28 @@ def cmd_figures(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     jobs = getattr(args, "jobs", 1)
+    shards = getattr(args, "shards", None)
+    if shards is not None and jobs > 1:
+        # Worker processes re-import the experiment module and would not
+        # see the parent's sharding context.
+        print("--shards cannot be combined with --jobs > 1", file=sys.stderr)
+        return 2
     runner = None
     if jobs > 1:
         from repro.perf.parallel import ParallelSweepRunner
 
         runner = ParallelSweepRunner(jobs)
     failures = []
-    for name in names:
-        if runner is not None:
-            result = runner.run_experiment(name, scale=args.scale)
-        else:
-            result = ALL_EXPERIMENTS[name](scale=args.scale)
-        print(result.render())
-        print()
-        if not result.all_passed:
-            failures.append(name)
+    with sharding(shards) if shards is not None else contextlib.nullcontext():
+        for name in names:
+            if runner is not None:
+                result = runner.run_experiment(name, scale=args.scale)
+            else:
+                result = ALL_EXPERIMENTS[name](scale=args.scale)
+            print(result.render())
+            print()
+            if not result.all_passed:
+                failures.append(name)
     if failures:
         print(f"shape-check failures: {failures}", file=sys.stderr)
         return 1
@@ -369,12 +504,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
         punct_spacing_b=args.spacing_b,
         seed=args.seed,
     )
-    pjoin = run_join_experiment(
-        pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
-        workload,
-        label=f"PJoin-{args.purge_threshold}",
-    )
-    xjoin = run_join_experiment(xjoin_factory(), workload, label="XJoin")
+    shards = getattr(args, "shards", None)
+    with sharding(shards) if shards is not None else contextlib.nullcontext():
+        pjoin = run_join_experiment(
+            pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
+            workload,
+            label=f"PJoin-{args.purge_threshold}",
+        )
+        xjoin = run_join_experiment(xjoin_factory(), workload, label="XJoin")
     rows = []
     for run in (pjoin, xjoin):
         summary = run.summary()

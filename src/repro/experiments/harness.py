@@ -37,6 +37,38 @@ _ACTIVE_TRACER: Optional[Tracer] = None
 # run_join_experiment call is routed through it instead of executing.
 _RUN_INTERCEPTOR: Optional[Callable[..., Any]] = None
 
+# Shard count installed by the sharding() context manager; when set, the
+# stock join factories build the sharded stack instead of a plain join.
+_ACTIVE_SHARDS: Optional[int] = None
+
+
+@contextlib.contextmanager
+def sharding(n_shards: Optional[int]) -> Iterator[None]:
+    """Build every stock-factory join as a K-shard stack in this block.
+
+    The CLI's ``--shards K`` uses this to re-run unmodified experiment
+    presets sharded: :func:`pjoin_factory`, :func:`xjoin_factory` and
+    :func:`shj_factory` consult the active shard count when they build.
+    ``sharding(1)`` still builds the sharded stack (router, one shard,
+    merger) — it replays the unsharded execution byte-for-byte, which is
+    the subsystem's equivalence anchor.  ``sharding(None)`` restores the
+    plain operators.
+    """
+    global _ACTIVE_SHARDS
+    if n_shards is not None and n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    previous = _ACTIVE_SHARDS
+    _ACTIVE_SHARDS = n_shards
+    try:
+        yield
+    finally:
+        _ACTIVE_SHARDS = previous
+
+
+def active_shards() -> Optional[int]:
+    """The shard count installed by :func:`sharding`, if any."""
+    return _ACTIVE_SHARDS
+
 
 @contextlib.contextmanager
 def intercepting_runs(interceptor: Callable[..., Any]) -> Iterator[None]:
@@ -261,6 +293,9 @@ def execute_join_experiment(
     }
     run_label = label or type(join).__name__
     duration = sink.eos_time if sink.eos_time >= 0 else plan.engine.now
+    # Composite joins (the sharded stack) expose their instrumented
+    # sub-operators for the manifest's counter registry.
+    sub_operators = getattr(join, "manifest_operators", None)
     manifest = build_manifest(
         run_label,
         join,
@@ -269,6 +304,7 @@ def execute_join_experiment(
         workload=workload,
         series=series,
         duration_ms=duration,
+        extra_operators=sub_operators() if sub_operators is not None else None,
     )
     return ExperimentRun(
         run_label,
@@ -302,9 +338,27 @@ def pjoin_factory(
     config: Optional[PJoinConfig] = None,
     registry: Optional[EventListenerRegistry] = None,
 ) -> JoinFactory:
-    """A factory producing a PJoin with the given configuration."""
+    """A factory producing a PJoin with the given configuration.
 
-    def build(plan: QueryPlan, workload: GeneratedWorkload) -> PJoin:
+    Under an active :func:`sharding` block the factory builds the
+    K-shard PJoin stack instead (each shard gets the same config).
+    """
+
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> Operator:
+        if _ACTIVE_SHARDS is not None:
+            from repro.shard.operator import sharded_pjoin
+
+            return sharded_pjoin(
+                plan.engine,
+                plan.cost_model,
+                workload.schemas[0],
+                workload.schemas[1],
+                workload.join_fields[0],
+                workload.join_fields[1],
+                _ACTIVE_SHARDS,
+                config=config,
+                registry=registry,
+            )
         return PJoin(
             plan.engine,
             plan.cost_model,
@@ -320,9 +374,22 @@ def pjoin_factory(
 
 
 def xjoin_factory(memory_threshold: Optional[int] = None) -> JoinFactory:
-    """A factory producing the XJoin comparator."""
+    """A factory producing the XJoin comparator (sharded when active)."""
 
-    def build(plan: QueryPlan, workload: GeneratedWorkload) -> XJoin:
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> Operator:
+        if _ACTIVE_SHARDS is not None:
+            from repro.shard.operator import sharded_xjoin
+
+            return sharded_xjoin(
+                plan.engine,
+                plan.cost_model,
+                workload.schemas[0],
+                workload.schemas[1],
+                workload.join_fields[0],
+                workload.join_fields[1],
+                _ACTIVE_SHARDS,
+                memory_threshold=memory_threshold,
+            )
         return XJoin(
             plan.engine,
             plan.cost_model,
@@ -337,9 +404,21 @@ def xjoin_factory(memory_threshold: Optional[int] = None) -> JoinFactory:
 
 
 def shj_factory() -> JoinFactory:
-    """A factory producing the plain symmetric hash join."""
+    """A factory producing the symmetric hash join (sharded when active)."""
 
-    def build(plan: QueryPlan, workload: GeneratedWorkload) -> SymmetricHashJoin:
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> Operator:
+        if _ACTIVE_SHARDS is not None:
+            from repro.shard.operator import sharded_shj
+
+            return sharded_shj(
+                plan.engine,
+                plan.cost_model,
+                workload.schemas[0],
+                workload.schemas[1],
+                workload.join_fields[0],
+                workload.join_fields[1],
+                _ACTIVE_SHARDS,
+            )
         return SymmetricHashJoin(
             plan.engine,
             plan.cost_model,

@@ -14,6 +14,7 @@ the counters of two archived manifests.
 from __future__ import annotations
 
 import dataclasses
+import re
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.counters import counters_of, merge_component
@@ -118,6 +119,46 @@ def build_manifest(
         },
     }
     return manifest
+
+
+_SHARD_SUFFIX = re.compile(r"^(?P<base>.+)\.shard\d+$")
+
+
+def aggregate_shard_counters(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold per-shard counter namespaces into their logical operator.
+
+    Sharded runs record ``pjoin.shard0`` … ``pjoin.shard3`` next to the
+    facade's aggregated ``pjoin`` registry (when present).  To diff a
+    sharded manifest against an unsharded one the per-shard namespaces
+    must collapse first: when the base name already exists its registry
+    wins (the facade aggregated with the correct max/sum semantics) and
+    the shard entries are dropped; otherwise numeric shard counters are
+    summed into a synthesised base registry.  Returns a new manifest
+    dict; the input is not modified.
+    """
+    counters = manifest.get("counters")
+    if not counters:
+        return manifest
+    folded: Dict[str, Dict[str, Any]] = {}
+    synthesised: Dict[str, Dict[str, float]] = {}
+    for op_name, registry in counters.items():
+        match = _SHARD_SUFFIX.match(op_name)
+        if match is None:
+            folded[op_name] = registry
+            continue
+        base = match.group("base")
+        if base in counters:
+            continue  # facade already aggregated this shard's numbers
+        target = synthesised.setdefault(base, {})
+        for key, value in registry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            target[key] = target.get(key, 0) + value
+    for base, registry in synthesised.items():
+        folded[base] = registry
+    out = dict(manifest)
+    out["counters"] = folded
+    return out
 
 
 def diff_counters(

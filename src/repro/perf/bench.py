@@ -123,6 +123,35 @@ def _prepare_fig8_lazy(scale: float) -> Callable[[], Dict[str, Any]]:
     return run
 
 
+def _prepare_fig5_sharded(scale: float) -> Callable[[], Dict[str, Any]]:
+    # The fig5_pjoin workload executed as 4 shard processes (the
+    # multiprocess backend).  Worker forking happens here, untimed, so
+    # the thunk measures simulation work only — the same window the
+    # unsharded case times.
+    from repro.shard.backend import ShardPlan, warm_pool
+
+    n_shards = 4
+    workload = generate_workload(
+        n_tuples_per_stream=_scaled(10_000, scale),
+        punct_spacing_a=40,
+        punct_spacing_b=40,
+        seed=5,
+    )
+    plan = ShardPlan(workload, n_shards)
+    config = PJoinConfig(purge_threshold=1)
+    pool = warm_pool(("fig5_pjoin_sharded", scale, n_shards), plan, config=config)
+
+    def run() -> Dict[str, Any]:
+        outcome = pool.run()
+        return {
+            "events": outcome.events,
+            "results": outcome.result_count,
+            "virtual_ms": outcome.virtual_now,
+        }
+
+    return run
+
+
 def _prepare_chaos_disorder(scale: float) -> Callable[[], Dict[str, Any]]:
     # Chaos scenarios are pinned at their preset size; scale is ignored
     # so quick and full reports stay comparable on this case.
@@ -150,6 +179,12 @@ BENCH_CASES: Dict[str, BenchCase] = {
             "fig5_xjoin",
             "Figure 5 workload (40 t/p, seed 5), XJoin comparator",
             _prepare_fig5_xjoin,
+        ),
+        BenchCase(
+            "fig5_pjoin_sharded",
+            "Figure 5 workload (40 t/p, seed 5), PJoin sharded K=4 "
+            "(multiprocess backend)",
+            _prepare_fig5_sharded,
         ),
         BenchCase(
             "fig8_pjoin_lazy",
@@ -251,6 +286,21 @@ def run_bench(
 # ---------------------------------------------------------------------------
 
 
+def baseline_payload(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The committable subset of a report.
+
+    Baselines are shared via version control, so host-specific metadata
+    (``machine``) and the run's own comparison result have no place in
+    them: they churn every capture and never feed the gate, which only
+    reads scale, wall times and the deterministic outcomes.
+    """
+    return {
+        key: value
+        for key, value in report.items()
+        if key not in ("machine", "comparison")
+    }
+
+
 def compare_reports(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -305,9 +355,13 @@ def compare_reports(
 
 def render_report(report: Dict[str, Any]) -> str:
     """A human-readable table of the report (and comparison, if any)."""
+    machine = report.get("machine", {})
+    host = (
+        f" | {machine['platform']} | python {machine['python']}"
+        if machine else ""
+    )
     lines = [
-        f"bench @ {report['rev']} | scale {report['scale']:g} | "
-        f"{report['machine']['platform']} | python {report['machine']['python']}",
+        f"bench @ {report['rev']} | scale {report['scale']:g}{host}",
         "",
         f"{'case':<18} {'wall s':>9} {'events':>9} {'events/s':>11} "
         f"{'results':>9} {'peak RSS MB':>12}",
@@ -428,7 +482,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     out.write_text(json.dumps(report, indent=1) + "\n")
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
-        baseline_path.write_text(json.dumps(report, indent=1) + "\n")
+        baseline_path.write_text(
+            json.dumps(baseline_payload(report), indent=1) + "\n"
+        )
         print(f"wrote baseline: {baseline_path}", file=sys.stderr)
 
     print(render_report(report))

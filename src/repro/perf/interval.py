@@ -133,9 +133,27 @@ class RangeIntervalIndex:
                 if self._ranges[pos] == pattern:
                     del self._low_keys[pos]
                     del self._ranges[pos]
+                    if not self.consistent:
+                        self._reprobe_consistency()
                     break
                 pos -= 1
         return True
+
+    def _reprobe_consistency(self) -> None:
+        """Re-check disjointness after a removal; re-enable if clean.
+
+        Once an overlapping insert flags the index inconsistent, every
+        query falls back to a linear scan — but a purge may remove the
+        offending range, making the survivors disjoint again.  Sorted by
+        low bound, any overlap among disjoint-or-overlapping intervals
+        implies an *adjacent* overlap (an interval reaching past its
+        successor's start), so one adjacent-pair sweep is sufficient.
+        """
+        ranges = self._ranges
+        for index in range(len(ranges) - 1):
+            if _overlaps(ranges[index], ranges[index + 1]):
+                return
+        self.consistent = True
 
     # ------------------------------------------------------------------
     # Queries

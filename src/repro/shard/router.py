@@ -1,0 +1,131 @@
+"""ShardRouter: hash-partition two input streams across K shard joins.
+
+The router sits where the logical join's two input ports used to be.
+It is deliberately *not* an :class:`~repro.operators.base.Operator`:
+the single-server base class owns one downstream and serialises items
+through a busy/queue cycle, while routing is free (zero virtual cost)
+and fans out to K downstreams.  Implementing the small push-protocol
+surface directly keeps the router off the virtual clock entirely — it
+adds no engine events and charges no time, which is what makes the
+K=1 sharded stack byte-identical to the unsharded operator.
+
+Routing rules (see :mod:`repro.shard.routing`):
+
+* tuples go to ``stable_hash(join_value) % K`` — exactly one shard;
+* punctuations go to every shard in their pattern's cover, each
+  narrowed to that shard's members (constants one shard, enumerations
+  split, ranges/wildcards broadcast);
+* end-of-stream broadcasts to the matching port of every shard.
+
+For every routed *join-exploitable* punctuation the router registers an
+alignment subscription in the shared
+:class:`~repro.shard.merger.AlignmentLedger`, so the merger knows how
+many narrowed pieces the original promise was split into.  Punctuations
+the join cannot exploit (non-wildcard patterns off the join attribute)
+are still delivered — shards count them, exactly like the unsharded
+operator — but propagate nowhere, so no subscription is registered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.errors import OperatorError
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import is_join_exploitable
+from repro.shard.merger import AlignmentLedger
+from repro.shard.routing import narrow_punctuation, shard_cover, shard_of
+from repro.tuples.item import END_OF_STREAM
+from repro.tuples.tuple import Tuple
+
+
+class ShardRouter:
+    """Routes the two logical input ports onto K shard operators."""
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        join_indices: Sequence[int],
+        join_fields: Sequence[str],
+        ledger: AlignmentLedger,
+        name: str = "shard_router",
+    ) -> None:
+        if not shards:
+            raise OperatorError("a shard router needs at least one shard")
+        self.shards = list(shards)
+        self.n_shards = len(self.shards)
+        self.n_inputs = 2
+        self.name = name
+        self.join_indices = list(join_indices)
+        self.join_fields = list(join_fields)
+        self.ledger = ledger
+        self._eos_seen = [False, False]
+        # --- counters -----------------------------------------------------
+        self.tuples_routed = 0
+        self.punctuations_routed = 0
+        self.punctuation_copies = 0
+        self.punctuations_dropped_empty = 0
+        self.per_shard_tuples = [0] * self.n_shards
+
+    # ------------------------------------------------------------------
+    # Push protocol (the surface StreamSource and tests rely on)
+    # ------------------------------------------------------------------
+
+    def push(self, item: Any, port: int = 0) -> None:
+        """Route *item* from logical input *port* synchronously."""
+        if not 0 <= port < self.n_inputs:
+            raise OperatorError(f"{self.name} has no input port {port}")
+        if item is END_OF_STREAM:
+            if self._eos_seen[port]:
+                raise OperatorError(
+                    f"{self.name} saw end-of-stream twice on port {port}"
+                )
+            self._eos_seen[port] = True
+            for shard in self.shards:
+                shard.push(END_OF_STREAM, port)
+            return
+        if isinstance(item, Tuple):
+            self.tuples_routed += 1
+            target = shard_of(item.values[self.join_indices[port]], self.n_shards)
+            self.per_shard_tuples[target] += 1
+            self.shards[target].push(item, port)
+            return
+        if isinstance(item, Punctuation):
+            self._route_punctuation(item, port)
+            return
+        # Anything else (control items from exotic upstreams): broadcast.
+        for shard in self.shards:
+            shard.push(item, port)
+
+    def _route_punctuation(self, punct: Punctuation, port: int) -> None:
+        self.punctuations_routed += 1
+        join_index = self.join_indices[port]
+        cover = shard_cover(punct.patterns[join_index], self.n_shards)
+        if not cover:
+            self.punctuations_dropped_empty += 1
+            return
+        if is_join_exploitable(punct, self.join_fields[port]):
+            self.ledger.register(punct.patterns[join_index], cover)
+        for shard, narrowed in cover:
+            self.punctuation_copies += 1
+            self.shards[shard].push(
+                narrow_punctuation(punct, join_index, shard, narrowed), port
+            )
+
+    @property
+    def finished(self) -> bool:
+        return all(self._eos_seen)
+
+    def counters(self) -> dict:
+        out = {
+            "tuples_routed": self.tuples_routed,
+            "punctuations_routed": self.punctuations_routed,
+            "punctuation_copies": self.punctuation_copies,
+            "punctuations_dropped_empty": self.punctuations_dropped_empty,
+        }
+        for shard, count in enumerate(self.per_shard_tuples):
+            out[f"tuples_to_shard{shard}"] = count
+        return out
+
+    def __repr__(self) -> str:
+        return f"ShardRouter(shards={self.n_shards}, tuples={self.tuples_routed})"

@@ -1,0 +1,95 @@
+"""Pattern→shard cover computation: who owns a key, who needs a promise.
+
+Sharding partitions the join-key space by ``stable_hash(key) % K``
+(the same process-stable hash the in-operator partitioned tables use),
+so every tuple has exactly one owning shard.  Punctuations are routed
+by their *join-attribute pattern*:
+
+* a :class:`~repro.punctuations.patterns.Constant` goes to the single
+  shard owning its value;
+* an :class:`~repro.punctuations.patterns.EnumerationList` is split —
+  each shard receives the pattern *narrowed* to the members it owns
+  (normalised, so a one-member slice becomes a ``Constant``);
+* :class:`~repro.punctuations.patterns.Range` and
+  :class:`~repro.punctuations.patterns.Wildcard` patterns broadcast to
+  every shard with the original pattern.  The narrowing is implicit:
+  shard *s* only ever stores tuples whose key hashes to *s*, so the
+  pattern acts on that key subspace.  (Enumerating a range's members
+  would require knowing the key domain is discrete; hashing cannot
+  narrow a dense interval.)
+* :data:`~repro.punctuations.patterns.EMPTY` covers no value and is
+  routed nowhere.
+
+Soundness invariant (the property tests pin it): a shard's narrowed
+pattern never matches a value the original does not
+(``narrowed ⊆ original``), and every value the original matches is
+matched by the narrowed pattern of its owning shard — so no shard can
+purge a tuple the unsharded operator would keep, and the union of the
+per-shard promises is exactly the original promise.
+
+``K == 1`` routes *everything* (even EMPTY and exotic patterns) to
+shard 0 unchanged, which is what makes the single-shard stack
+byte-identical to the unsharded operator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple as PyTuple
+
+from repro.punctuations.patterns import (
+    Constant,
+    EnumerationList,
+    Pattern,
+    Range,
+    Wildcard,
+    make_enumeration,
+)
+from repro.punctuations.punctuation import Punctuation
+from repro.storage.hash_table import stable_hash
+
+# A cover: ``[(shard, narrowed_pattern), ...]`` sorted by shard index.
+Cover = List[PyTuple[int, Pattern]]
+
+
+def shard_of(value: object, n_shards: int) -> int:
+    """The shard owning a join value."""
+    return stable_hash(value) % n_shards
+
+
+def shard_cover(pattern: Pattern, n_shards: int) -> Cover:
+    """Which shards must see *pattern*, and narrowed to what.
+
+    Returns ``[(shard, narrowed_pattern), ...]`` sorted by shard index;
+    an empty list means the pattern matches no value and needs no shard.
+    """
+    if n_shards == 1:
+        return [(0, pattern)]
+    if isinstance(pattern, Constant):
+        return [(shard_of(pattern.value, n_shards), pattern)]
+    if isinstance(pattern, EnumerationList):
+        per_shard: dict = {}
+        for member in pattern.values:
+            per_shard.setdefault(shard_of(member, n_shards), []).append(member)
+        return [
+            (shard, make_enumeration(members))
+            for shard, members in sorted(per_shard.items())
+        ]
+    if isinstance(pattern, (Range, Wildcard)):
+        return [(shard, pattern) for shard in range(n_shards)]
+    # EMPTY (and anything else matching no indexable value): no shard
+    # needs the promise — it covers nothing and purges nothing.
+    if pattern.is_empty:
+        return []
+    # Defensive default for unknown pattern kinds: broadcast unchanged.
+    return [(shard, pattern) for shard in range(n_shards)]
+
+
+def narrow_punctuation(
+    punct: Punctuation, join_index: int, shard: int, narrowed: Pattern
+) -> Punctuation:
+    """Rebuild *punct* with its join pattern narrowed for one shard."""
+    if narrowed is punct.patterns[join_index]:
+        return punct
+    patterns = list(punct.patterns)
+    patterns[join_index] = narrowed
+    return Punctuation(punct.schema, patterns, ts=punct.ts)

@@ -7,8 +7,10 @@ import pytest
 from repro.perf.bench import (
     BENCH_CASES,
     BENCH_FORMAT,
+    baseline_payload,
     compare_reports,
     main as bench_main,
+    render_report,
     run_bench,
     run_case,
 )
@@ -125,6 +127,10 @@ class TestBenchCli:
         report = json.loads(out.read_text())
         assert set(report) - {"comparison"} == REPORT_KEYS
         assert baseline.exists()
+        # Committed baselines carry no host-specific metadata.
+        baseline_report = json.loads(baseline.read_text())
+        assert "machine" not in baseline_report
+        assert "comparison" not in baseline_report
         # Second run now compares against the captured baseline.
         rc = bench_main([
             "--cases", "chaos_disorder", "--out", str(out),
@@ -148,5 +154,27 @@ class TestBenchCli:
         baseline = json.loads(baseline_path.read_text())
         assert baseline["bench_format"] == BENCH_FORMAT
         assert set(BENCH_CASES) == set(baseline["workloads"])
+        assert "machine" not in baseline
         for case in baseline["workloads"].values():
             assert CASE_KEYS <= set(case)
+
+
+class TestBaselinePayload:
+    def test_strips_machine_and_comparison(self, tiny_report):
+        report = dict(tiny_report)
+        report["comparison"] = {"ok": True}
+        payload = baseline_payload(report)
+        assert "machine" not in payload
+        assert "comparison" not in payload
+        assert payload["workloads"] == report["workloads"]
+        assert payload["scale"] == report["scale"]
+
+    def test_compare_ignores_machine(self, tiny_report):
+        # A machine-less baseline (as committed) compares cleanly
+        # against a full report from any host.
+        comparison = compare_reports(tiny_report, baseline_payload(tiny_report))
+        assert comparison["ok"]
+
+    def test_render_handles_machineless_reports(self, tiny_report):
+        rendered = render_report(baseline_payload(tiny_report))
+        assert "bench @" in rendered

@@ -77,6 +77,50 @@ class TestRangeIntervalIndex:
         ]
         assert covering == [[0], [1]]
 
+    def test_removal_of_offending_range_reenables_index(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        index.add(Range(15, 25), 1)  # overlap: degrade to linear scans
+        assert not index.consistent
+        assert index.query(12) is None
+        index.remove(Range(15, 25), 1)
+        # The survivors are disjoint again: fast path restored.
+        assert index.consistent
+        assert index.query(12) == [0]
+
+    def test_removal_keeps_linear_path_while_overlap_remains(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        index.add(Range(15, 25), 1)
+        index.add(Range(40, 49), 2)
+        index.remove(Range(40, 49), 2)  # unrelated removal
+        assert not index.consistent
+        assert index.query(17) is None
+        index.remove(Range(15, 25), 1)
+        assert index.consistent
+
+    def test_reprobe_only_on_last_pid_of_a_pattern(self):
+        index = RangeIntervalIndex()
+        index.add(Range(10, 19), 0)
+        index.add(Range(15, 25), 1)
+        index.add(Range(15, 25), 2)  # same pattern, second pid
+        index.remove(Range(15, 25), 1)
+        # The overlapping range is still live under pid 2.
+        assert not index.consistent
+        index.remove(Range(15, 25), 2)
+        assert index.consistent
+
+    def test_store_purge_restores_range_fast_path(self):
+        store = PunctuationStore(SCHEMA, "key")
+        pid_a = store.add(punct(Range(10, 19)))
+        pid_bad = store.add(punct(Range(15, 25)))
+        assert not store._ranges.consistent
+        # Linear fallback stays correct while degraded.
+        assert store.covering_pids(12) == [pid_a]
+        store.remove(pid_bad)
+        assert store._ranges.consistent
+        assert store.covering_pids(12) == [pid_a]
+
     def test_non_numeric_bounds_are_refused(self):
         index = RangeIntervalIndex()
         assert not index.add(Range("a", "f"), 0)

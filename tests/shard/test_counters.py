@@ -1,0 +1,86 @@
+"""Shard counter aggregation: facade registries and manifest folding."""
+
+from repro.obs.manifest import aggregate_shard_counters
+from repro.shard.operator import aggregate_counters
+
+
+class TestAggregateCounters:
+    def test_numeric_counters_sum(self):
+        out = aggregate_counters([
+            {"probes": 10, "results_produced": 3},
+            {"probes": 5, "results_produced": 7},
+        ])
+        assert out == {"probes": 15, "results_produced": 10}
+
+    def test_max_queue_length_takes_the_max(self):
+        out = aggregate_counters([
+            {"max_queue_length": 4},
+            {"max_queue_length": 9},
+            {"max_queue_length": 2},
+        ])
+        assert out["max_queue_length"] == 9
+
+    def test_non_numeric_and_bool_values_dropped(self):
+        out = aggregate_counters([
+            {"probes": 1, "label": "x", "enabled": True},
+        ])
+        assert out == {"probes": 1}
+
+
+class TestManifestShardFolding:
+    def test_shard_namespaces_fold_into_base(self):
+        manifest = {
+            "counters": {
+                "pjoin.shard0": {"probes": 10, "tuples_purged": 3},
+                "pjoin.shard1": {"probes": 20, "tuples_purged": 4},
+                "sink": {"tuples_in": 30},
+            }
+        }
+        folded = aggregate_shard_counters(manifest)
+        assert folded["counters"]["pjoin"] == {
+            "probes": 30, "tuples_purged": 7,
+        }
+        assert "pjoin.shard0" not in folded["counters"]
+        assert folded["counters"]["sink"] == {"tuples_in": 30}
+
+    def test_existing_base_registry_wins(self):
+        manifest = {
+            "counters": {
+                "pjoin": {"probes": 30, "max_queue_length": 5},
+                "pjoin.shard0": {"probes": 10, "max_queue_length": 5},
+                "pjoin.shard1": {"probes": 20, "max_queue_length": 2},
+            }
+        }
+        folded = aggregate_shard_counters(manifest)
+        # The facade already aggregated with max/sum semantics; summing
+        # the shard registries again would double count.
+        assert folded["counters"]["pjoin"] == {
+            "probes": 30, "max_queue_length": 5,
+        }
+        assert list(folded["counters"]) == ["pjoin"]
+
+    def test_unsharded_manifest_passes_through(self):
+        manifest = {"counters": {"pjoin": {"probes": 30}}}
+        folded = aggregate_shard_counters(manifest)
+        assert folded["counters"] == manifest["counters"]
+
+    def test_input_not_modified(self):
+        manifest = {"counters": {"pjoin.shard0": {"probes": 1}}}
+        aggregate_shard_counters(manifest)
+        assert "pjoin.shard0" in manifest["counters"]
+
+    def test_sharded_vs_unsharded_diff_is_clean(self):
+        from repro.obs.manifest import diff_counters
+
+        unsharded = {"counters": {"pjoin": {"probes": 30, "results": 100}}}
+        sharded = {
+            "counters": {
+                "pjoin.shard0": {"probes": 12, "results": 40},
+                "pjoin.shard1": {"probes": 18, "results": 60},
+            }
+        }
+        rows = diff_counters(
+            aggregate_shard_counters(unsharded),
+            aggregate_shard_counters(sharded),
+        )
+        assert rows == []

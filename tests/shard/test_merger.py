@@ -1,0 +1,103 @@
+"""AlignmentLedger and AlignedMerger unit behaviour."""
+
+from repro.punctuations.patterns import Constant, WILDCARD, make_enumeration
+from repro.punctuations.punctuation import Punctuation
+from repro.query.plan import QueryPlan
+from repro.shard.merger import AlignedMerger, AlignmentLedger
+from repro.shard.routing import shard_cover
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+
+class TestAlignmentLedger:
+    def test_single_piece_completes_immediately(self):
+        ledger = AlignmentLedger()
+        ledger.register(Constant(5), [(2, Constant(5))])
+        matched, original = ledger.settle(2, Constant(5))
+        assert matched
+        assert original == Constant(5)
+        assert ledger.subscriptions_completed == 1
+        assert ledger.subscriptions_open == 0
+
+    def test_multi_piece_waits_for_the_last_shard(self):
+        ledger = AlignmentLedger()
+        pattern = make_enumeration({1, 2, 3, 4})
+        cover = shard_cover(pattern, 3)
+        assert len(cover) > 1
+        ledger.register(pattern, cover)
+        for shard, piece in cover[:-1]:
+            matched, original = ledger.settle(shard, piece)
+            assert matched
+            assert original is None
+        shard, piece = cover[-1]
+        matched, original = ledger.settle(shard, piece)
+        assert matched
+        assert original == pattern
+
+    def test_unexpected_piece_is_unmatched(self):
+        ledger = AlignmentLedger()
+        matched, original = ledger.settle(0, Constant(9))
+        assert not matched
+        assert original is None
+
+    def test_duplicate_patterns_resolve_fifo(self):
+        # Both streams punctuate the same constant: two subscriptions,
+        # two completions — one per shard release.
+        ledger = AlignmentLedger()
+        ledger.register(Constant(7), [(1, Constant(7))])
+        ledger.register(Constant(7), [(1, Constant(7))])
+        assert ledger.settle(1, Constant(7)) == (True, Constant(7))
+        assert ledger.settle(1, Constant(7)) == (True, Constant(7))
+        assert ledger.settle(1, Constant(7)) == (False, None)
+        assert ledger.subscriptions_completed == 2
+
+
+LEFT = Schema([Field("key", int), Field("a", int)], name="L")
+RIGHT = Schema([Field("key", int), Field("b", int)], name="R")
+
+
+def make_merger(n_shards=2):
+    plan = QueryPlan()
+    ledger = AlignmentLedger()
+    out_schema = LEFT.concat(RIGHT, name="out")
+    from repro.operators.sink import Sink
+
+    merger = AlignedMerger(
+        plan.engine, plan.cost_model, n_shards, ledger, out_schema, 0
+    )
+    sink = Sink(plan.engine, plan.cost_model)
+    merger.connect(sink)
+    return plan, ledger, merger, sink, out_schema
+
+
+class TestAlignedMerger:
+    def test_tuples_pass_through(self):
+        plan, _ledger, merger, sink, out_schema = make_merger()
+        merger.push(Tuple(out_schema, (1, 2, 1, 3)), 0)
+        merger.push(Tuple(out_schema, (4, 5, 4, 6)), 1)
+        plan.engine.run()
+        assert sink.tuple_count == 2
+        assert merger.tuples_merged == 2
+
+    def test_punctuation_emitted_once_after_all_shards(self):
+        plan, ledger, merger, sink, out_schema = make_merger()
+        ledger.register(Constant(3), [(0, Constant(3)), (1, Constant(3))])
+        patterns = [Constant(3)] + [WILDCARD] * (out_schema.arity - 1)
+        merger.push(Punctuation(out_schema, patterns), 0)
+        plan.engine.run()
+        assert sink.punctuation_count == 0  # still waiting for shard 1
+        merger.push(Punctuation(out_schema, patterns), 1)
+        plan.engine.run()
+        assert sink.punctuation_count == 1
+        emitted = sink.punctuations[0]
+        assert emitted.patterns[0] == Constant(3)
+        assert all(p is WILDCARD for p in emitted.patterns[1:])
+        assert merger.punctuations_merged == 1
+
+    def test_unregistered_punctuation_is_held(self):
+        plan, _ledger, merger, sink, out_schema = make_merger()
+        patterns = [Constant(9)] + [WILDCARD] * (out_schema.arity - 1)
+        merger.push(Punctuation(out_schema, patterns), 0)
+        plan.engine.run()
+        assert sink.punctuation_count == 0
+        assert merger.punctuations_unaligned == 1

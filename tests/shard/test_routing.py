@@ -1,0 +1,151 @@
+"""Routing invariants: ownership, cover soundness, cover completeness.
+
+The three properties every sharded execution leans on:
+
+* every tuple routes to exactly one shard (hash ownership);
+* a shard's narrowed pattern never matches a value the original does
+  not (soundness — a shard can never purge a tuple the unsharded
+  operator would keep);
+* every value the original pattern matches is matched by the narrowed
+  pattern of the shard owning that value (completeness — the union of
+  the per-shard promises is the original promise).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.punctuations.patterns import (
+    Constant,
+    EMPTY,
+    Range,
+    WILDCARD,
+    make_enumeration,
+    make_range,
+)
+from repro.punctuations.punctuation import Punctuation
+from repro.shard.routing import narrow_punctuation, shard_cover, shard_of
+from repro.tuples.schema import Field, Schema
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+SCHEMA = Schema([Field("key", int), Field("seq", int)], name="S")
+
+shard_counts = st.integers(min_value=1, max_value=9)
+keys = st.integers(min_value=-(10**6), max_value=10**6)
+
+constants = st.builds(Constant, keys)
+enumerations = st.builds(
+    lambda values: make_enumeration(values),
+    st.sets(keys, min_size=1, max_size=12),
+)
+# make_range normalises degenerate intervals (to Constant or EMPTY),
+# exactly as the punctuation layer builds them.
+ranges = st.builds(
+    lambda low, width, li, hi: make_range(
+        low, low + width, low_inclusive=li, high_inclusive=hi
+    ),
+    keys,
+    st.integers(min_value=0, max_value=1000),
+    st.booleans(),
+    st.booleans(),
+)
+patterns = st.one_of(constants, enumerations, ranges, st.just(WILDCARD))
+
+
+class TestShardOwnership:
+    @SETTINGS
+    @given(keys, shard_counts)
+    def test_every_value_owned_by_exactly_one_shard(self, key, k):
+        owner = shard_of(key, k)
+        assert 0 <= owner < k
+        # Deterministic: the same value always hashes to the same shard.
+        assert shard_of(key, k) == owner
+
+    @SETTINGS
+    @given(keys)
+    def test_single_shard_owns_everything(self, key):
+        assert shard_of(key, 1) == 0
+
+
+class TestCoverSoundness:
+    @SETTINGS
+    @given(patterns, shard_counts, st.lists(keys, max_size=30))
+    def test_narrowed_is_subset_of_original(self, pattern, k, samples):
+        for shard, narrowed in shard_cover(pattern, k):
+            assert 0 <= shard < k
+            for value in samples:
+                if narrowed.matches(value):
+                    assert pattern.matches(value)
+
+    @SETTINGS
+    @given(enumerations, shard_counts)
+    def test_enumeration_members_go_only_to_their_owner(self, pattern, k):
+        if k == 1:
+            return
+        for shard, narrowed in shard_cover(pattern, k):
+            members = (
+                {narrowed.value}
+                if isinstance(narrowed, Constant)
+                else set(narrowed.values)
+            )
+            for member in members:
+                assert shard_of(member, k) == shard
+
+
+class TestCoverCompleteness:
+    @SETTINGS
+    @given(patterns, shard_counts, st.lists(keys, max_size=30))
+    def test_owner_shard_still_matches_every_original_value(
+        self, pattern, k, samples
+    ):
+        cover = dict(shard_cover(pattern, k))
+        for value in samples:
+            if not pattern.matches(value):
+                continue
+            owner = shard_of(value, k)
+            assert owner in cover
+            assert cover[owner].matches(value)
+
+    @SETTINGS
+    @given(patterns, shard_counts)
+    def test_cover_is_sorted_and_unique(self, pattern, k):
+        shards = [shard for shard, _ in shard_cover(pattern, k)]
+        assert shards == sorted(set(shards))
+
+
+class TestSpecialCases:
+    def test_single_shard_cover_is_identity(self):
+        for pattern in (Constant(7), WILDCARD, Range(1, 5), EMPTY):
+            assert shard_cover(pattern, 1) == [(0, pattern)]
+
+    def test_empty_pattern_covers_no_shard(self):
+        assert shard_cover(EMPTY, 4) == []
+
+    def test_constant_goes_to_its_owner_only(self):
+        cover = shard_cover(Constant(42), 8)
+        assert cover == [(shard_of(42, 8), Constant(42))]
+
+    def test_range_and_wildcard_broadcast_unchanged(self):
+        for pattern in (Range(10, 99), WILDCARD):
+            cover = shard_cover(pattern, 3)
+            assert cover == [(0, pattern), (1, pattern), (2, pattern)]
+
+    def test_singleton_enumeration_slice_normalises_to_constant(self):
+        pattern = make_enumeration({1, 2, 3, 4, 5, 6, 7, 8})
+        for _shard, narrowed in shard_cover(pattern, 7):
+            if isinstance(narrowed, Constant):
+                return  # at least one shard owns exactly one member
+        # With 8 members over 7 shards some shard owns exactly one;
+        # if not (hash collisions bunched them), the test is vacuous.
+
+
+class TestNarrowPunctuation:
+    def test_rebuilds_only_the_join_pattern(self):
+        punct = Punctuation(SCHEMA, [make_enumeration({1, 2, 3}), WILDCARD])
+        narrowed = narrow_punctuation(punct, 0, 0, Constant(2))
+        assert narrowed.patterns[0] == Constant(2)
+        assert narrowed.patterns[1] is WILDCARD
+        assert narrowed.ts == punct.ts
+
+    def test_identity_narrowing_returns_same_object(self):
+        punct = Punctuation(SCHEMA, [Constant(5), WILDCARD])
+        assert narrow_punctuation(punct, 0, 0, punct.patterns[0]) is punct

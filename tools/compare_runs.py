@@ -38,7 +38,7 @@ from typing import Dict, List
 
 from repro.experiments.export import load_figure_json
 from repro.metrics.report import render_table
-from repro.obs.manifest import diff_counters
+from repro.obs.manifest import aggregate_shard_counters, diff_counters
 
 METRICS = ("results", "mean_state", "max_state", "duration_ms",
            "punctuations_out")
@@ -70,10 +70,17 @@ def counter_rows(
     new_manifest: dict,
     threshold: float,
 ) -> List[List[object]]:
-    """Render-ready rows for every counter that moved past *threshold*."""
+    """Render-ready rows for every counter that moved past *threshold*.
+
+    Per-shard counter namespaces (``pjoin.shard0`` …) are folded into
+    their logical operator on both sides first, so a sharded manifest
+    diffs cleanly against an unsharded one.
+    """
     rows: List[List[object]] = []
     for op_name, counter, old_value, new_value, change in diff_counters(
-        old_manifest, new_manifest, threshold=threshold
+        aggregate_shard_counters(old_manifest),
+        aggregate_shard_counters(new_manifest),
+        threshold=threshold,
     ):
         rows.append(
             [
