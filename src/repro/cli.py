@@ -15,7 +15,14 @@ Commands:
   are aliases of the two commands above;
 * ``chaos`` — run deterministic fault-injection scenarios (contract
   violations, disorder, disk faults, source stalls) under a chosen
-  fault policy and print/check their resilience counter summaries.
+  fault policy and print/check their resilience counter summaries;
+* ``memory`` — the memory-governor smoke: one fig5-style workload at an
+  unlimited and a tight state budget, asserting result-multiset
+  equivalence and nonzero spill counters (the CI memory-smoke gate).
+
+``figures``, ``demo``, ``shard`` and ``bench`` accept
+``--memory-budget`` / ``--eviction-policy`` to attach the memory
+governor (budgeted join state with spill/fault-back) to every join.
 
 Examples
 --------
@@ -42,15 +49,19 @@ from typing import List, Optional
 
 import repro
 from repro.core.config import PJoinConfig
+from repro.errors import ConfigError
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import (
+    governed,
     pjoin_factory,
     run_join_experiment,
     sharding,
     tracing,
     xjoin_factory,
 )
+from repro.memory.budget import GovernorSpec, format_budget, parse_memory_budget
+from repro.memory.policies import POLICIES
 from repro.metrics.report import render_table
 from repro.obs.export import render_timeline, save_chrome_trace, save_jsonl
 from repro.obs.trace import Tracer
@@ -59,6 +70,36 @@ from repro.resilience.policy import FAULT_POLICIES, QUARANTINE
 from repro.workloads.generator import generate_workload
 
 ALL_EXPERIMENTS = {**ALL_FIGURES, **ALL_ABLATIONS}
+
+
+def _budget_type(text: str) -> float:
+    """argparse type for ``--memory-budget`` (tuples or byte suffixes)."""
+    try:
+        return parse_memory_budget(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_memory_args(parser: argparse.ArgumentParser) -> None:
+    """The memory-governor flags shared by figures/demo/shard/bench."""
+    parser.add_argument(
+        "--memory-budget", type=_budget_type, default=None, metavar="BUDGET",
+        help="warm join-state budget: a tuple count, bytes with a "
+             "b/kb/mb/gb suffix, or 'inf' (governor attached but never "
+             "spilling); omit to run ungoverned",
+    )
+    parser.add_argument(
+        "--eviction-policy", choices=sorted(POLICIES), default="lru",
+        help="governor eviction policy (default %(default)s)",
+    )
+
+
+def _governor_spec(args: argparse.Namespace) -> Optional[GovernorSpec]:
+    """The GovernorSpec requested on the command line, if any."""
+    budget = getattr(args, "memory_budget", None)
+    if budget is None:
+        return None
+    return GovernorSpec(budget_tuples=budget, policy=args.eviction_policy)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every join in the presets as a K-shard stack "
              "(K=1 replays the unsharded execution exactly)",
     )
+    _add_memory_args(figures_cmd)
     figures_cmd.set_defaults(func=cmd_figures)
 
     demo_cmd = sub.add_parser(
@@ -116,9 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="K",
         help="run both joins as K-shard stacks",
     )
+    _add_memory_args(demo_cmd)
     demo_cmd.set_defaults(func=cmd_demo)
 
     _add_shard_parser(sub)
+    _add_memory_parser(sub)
     _add_trace_parser(sub)
     _add_metrics_parser(sub)
     _add_chaos_parser(sub)
@@ -175,7 +219,105 @@ def _add_shard_parser(sub) -> None:
         help="exit non-zero unless every sharded run matches the "
              "unsharded reference",
     )
+    _add_memory_args(shard_cmd)
     shard_cmd.set_defaults(func=cmd_shard)
+
+
+def _add_memory_parser(sub) -> None:
+    memory_cmd = sub.add_parser(
+        "memory",
+        help="memory-governor smoke: unlimited vs tight budget on one "
+             "fig5-style workload, with equivalence and spill checks",
+        description="Runs PJoin and XJoin over one figure-5-style "
+                    "workload twice — with an unlimited and a tight "
+                    "memory budget — and verifies the governed runs "
+                    "reproduce the same result multiset while the tight "
+                    "budget actually spills (the CI memory-smoke gate).",
+    )
+    memory_cmd.add_argument("--tuples", type=int, default=2000,
+                            help="tuples per stream")
+    memory_cmd.add_argument("--spacing-a", type=float, default=40.0,
+                            help="stream A punctuation spacing (tuples)")
+    memory_cmd.add_argument("--spacing-b", type=float, default=40.0,
+                            help="stream B punctuation spacing (tuples)")
+    memory_cmd.add_argument("--seed", type=int, default=5)
+    memory_cmd.add_argument(
+        "--budget", type=_budget_type, default="100", metavar="BUDGET",
+        help="the tight warm-state budget (default %(default)s tuples)",
+    )
+    memory_cmd.add_argument(
+        "--eviction-policy", choices=sorted(POLICIES), default="lru",
+        help="governor eviction policy (default %(default)s)",
+    )
+    memory_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every governed run reproduces the "
+             "ungoverned result multiset and the tight budget spills",
+    )
+    memory_cmd.set_defaults(func=cmd_memory)
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    import math
+
+    workload = generate_workload(
+        n_tuples_per_stream=args.tuples,
+        punct_spacing_a=args.spacing_a,
+        punct_spacing_b=args.spacing_b,
+        seed=args.seed,
+    )
+    if math.isinf(args.budget):
+        print("--budget must be finite (the unlimited run is implicit)",
+              file=sys.stderr)
+        return 2
+    factories = [
+        ("PJoin-1", lambda: pjoin_factory(PJoinConfig(purge_threshold=1))),
+        ("XJoin", lambda: xjoin_factory()),
+    ]
+    budgets = [
+        ("inf", GovernorSpec(math.inf, policy=args.eviction_policy)),
+        (format_budget(args.budget),
+         GovernorSpec(args.budget, policy=args.eviction_policy)),
+    ]
+    rows = []
+    failures: List[str] = []
+    for algo, make_factory in factories:
+        reference = None  # the ungoverned result multiset
+        for tag, spec in [("none", None)] + budgets:
+            label = f"{algo} b={tag}"
+            with governed(spec) if spec is not None \
+                    else contextlib.nullcontext():
+                run = run_join_experiment(
+                    make_factory(), workload, label=label, keep_items=True
+                )
+            multiset = run.sink.result_multiset()
+            spills = run.join.counters().get("governor.spills", 0)
+            if reference is None:
+                reference = multiset
+                equivalent = "-"
+            else:
+                match = multiset == reference
+                equivalent = "ok" if match else "MISMATCH"
+                if not match:
+                    failures.append(f"{label}: result multiset drifted "
+                                    f"from the ungoverned run")
+            rows.append([label, run.results, spills, equivalent,
+                         round(run.duration_ms)])
+            if spec is not None and not spec.unlimited and spills == 0:
+                failures.append(f"{label}: tight budget never spilled")
+    print(render_table(
+        ["variant", "results", "spills", "equivalent", "finished (ms)"],
+        rows,
+    ))
+    if failures:
+        for failure in failures:
+            print(f"memory smoke: {failure}", file=sys.stderr)
+        if args.check:
+            print("memory governor smoke FAILED", file=sys.stderr)
+            return 1
+    elif args.check:
+        print("memory governor smoke passed")
+    return 0
 
 
 def _int_list(text: str) -> List[int]:
@@ -201,9 +343,11 @@ def cmd_shard(args: argparse.Namespace) -> int:
         purge_threshold=args.purge_threshold,
         propagation_mode="push_count" if args.propagate else "off",
     )
-    base = run_join_experiment(
-        pjoin_factory(config), workload, label="unsharded", keep_items=True
-    )
+    spec = _governor_spec(args)
+    with governed(spec) if spec is not None else contextlib.nullcontext():
+        base = run_join_experiment(
+            pjoin_factory(config), workload, label="unsharded", keep_items=True
+        )
     base_results = base.sink.result_multiset()
     base_puncts: dict = {}
     for punct in base.sink.punctuations:
@@ -217,7 +361,10 @@ def cmd_shard(args: argparse.Namespace) -> int:
     for k in args.shards:
         for backend in backends:
             if backend == "sim":
-                with sharding(k):
+                with contextlib.ExitStack() as stack:
+                    stack.enter_context(sharding(k))
+                    if spec is not None:
+                        stack.enter_context(governed(spec))
                     run = run_join_experiment(
                         pjoin_factory(config), workload,
                         label=f"sharded-K{k}", keep_items=True,
@@ -230,7 +377,9 @@ def cmd_shard(args: argparse.Namespace) -> int:
                     punct_ms[key] = punct_ms.get(key, 0) + 1
                 duration = round(run.duration_ms)
             else:
-                outcome = run_sharded_multiprocess(workload, k, config=config)
+                outcome = run_sharded_multiprocess(
+                    workload, k, config=config, governor=spec
+                )
                 results, punct_count = (
                     outcome.result_count, len(outcome.punctuations)
                 )
@@ -470,10 +619,17 @@ def cmd_figures(args: argparse.Namespace) -> int:
         return 2
     jobs = getattr(args, "jobs", 1)
     shards = getattr(args, "shards", None)
+    spec = _governor_spec(args)
     if shards is not None and jobs > 1:
         # Worker processes re-import the experiment module and would not
         # see the parent's sharding context.
         print("--shards cannot be combined with --jobs > 1", file=sys.stderr)
+        return 2
+    if spec is not None and jobs > 1:
+        # Same re-import problem: the governed() context would not reach
+        # the sweep workers.
+        print("--memory-budget cannot be combined with --jobs > 1",
+              file=sys.stderr)
         return 2
     runner = None
     if jobs > 1:
@@ -481,7 +637,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
         runner = ParallelSweepRunner(jobs)
     failures = []
-    with sharding(shards) if shards is not None else contextlib.nullcontext():
+    with contextlib.ExitStack() as stack:
+        if shards is not None:
+            stack.enter_context(sharding(shards))
+        if spec is not None:
+            stack.enter_context(governed(spec))
         for name in names:
             if runner is not None:
                 result = runner.run_experiment(name, scale=args.scale)
@@ -505,7 +665,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     shards = getattr(args, "shards", None)
-    with sharding(shards) if shards is not None else contextlib.nullcontext():
+    spec = _governor_spec(args)
+    with contextlib.ExitStack() as stack:
+        if shards is not None:
+            stack.enter_context(sharding(shards))
+        if spec is not None:
+            stack.enter_context(governed(spec))
         pjoin = run_join_experiment(
             pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
             workload,

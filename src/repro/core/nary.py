@@ -30,6 +30,7 @@ from repro.core.monitor import Monitor
 from repro.core.propagation import run_propagation
 from repro.core.state import JoinStateSide
 from repro.errors import ConfigError, OperatorError
+from repro.memory.budget import GovernorSpec
 from repro.operators.base import Operator
 from repro.punctuations.punctuation import Punctuation
 from repro.resilience.policy import STRICT
@@ -52,6 +53,7 @@ class NaryPJoin(Operator):
         join_fields: Sequence[str],
         config: Optional[PJoinConfig] = None,
         name: str = "nary-pjoin",
+        governor: Optional[GovernorSpec] = None,
     ) -> None:
         if len(schemas) < 2:
             raise OperatorError("NaryPJoin needs at least two input streams")
@@ -86,6 +88,17 @@ class NaryPJoin(Operator):
         )
         self.dead_letters = self.validator.dead_letters
         self.monitor = Monitor(self.config)
+        self.governor = None
+        if governor is not None:
+            # No relocation disk here; the governor builds a private one.
+            self.governor = governor.build(
+                cost_model, engine=engine, name=f"{name}.governor"
+            )
+            for side in range(self.n_inputs):
+                self.governor.register_side(
+                    side, self.sides[side].table,
+                    covered_by=self._covered_by_others(side),
+                )
         self._out_join_indices = self._compute_out_join_indices()
         self.results_produced = 0
         self.tuples_dropped_on_fly = 0
@@ -97,6 +110,22 @@ class NaryPJoin(Operator):
     def punctuation_violations(self) -> int:
         """Contract violations seen (counter-compatible alias)."""
         return self.validator.violations
+
+    def _covered_by_others(self, side: int):
+        """The n-ary purge probe: all *other* streams' punctuations cover.
+
+        Drives the punctuation-aware eviction policy with the same rule
+        :meth:`_purge_all` applies, so the policy prefers exactly the
+        tuples the next purge run would reclaim.
+        """
+        stores = [
+            self.sides[s].store for s in range(self.n_inputs) if s != side
+        ]
+
+        def covered(value: Any) -> bool:
+            return all(store.covers_value(value) for store in stores)
+
+        return covered
 
     def _build_out_schema(self) -> Schema:
         out = self.schemas[0]
@@ -130,12 +159,15 @@ class NaryPJoin(Operator):
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: must not probe or enter the state
         value_hash = stable_hash(value)
+        governor = self.governor
         # Probe every other state; a result needs a match from each.
         match_lists: List[List[Tuple]] = []
         complete = True
         for other in range(self.n_inputs):
             if other == side:
                 continue
+            if governor is not None:
+                cost += governor.fault_in(other, value, value_hash)
             occupancy, matches = self.sides[other].probe(value, value_hash)
             cost += self.cost_model.probe_cost(occupancy, len(matches))
             if not matches:
@@ -158,6 +190,8 @@ class NaryPJoin(Operator):
         if not dropped:
             self.sides[side].insert(tup, value, self.engine.now, value_hash)
             cost += self.cost_model.insert
+            if governor is not None:
+                cost += governor.after_insert(side, value, value_hash)
         return cost
 
     def _emit_combinations(
@@ -277,4 +311,7 @@ class NaryPJoin(Operator):
         if self.validator.policy != STRICT:
             for key, value in self.validator.counters().items():
                 out[f"resilience.{key}"] = value
+        if self.governor is not None:
+            for key, value in self.governor.counters().items():
+                out[f"governor.{key}"] = value
         return out

@@ -39,6 +39,7 @@ from repro.core.purge import PurgeResult, purge_side
 from repro.core.registry import EventListenerRegistry, default_registry_for
 from repro.core.state import JoinStateSide
 from repro.errors import OperatorError
+from repro.memory.budget import GovernorSpec
 from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import (
@@ -91,6 +92,11 @@ class PJoin(BinaryHashJoin):
     disk:
         Shared :class:`~repro.storage.disk.SimulatedDisk`; a private one
         is created when omitted.
+    governor:
+        Optional :class:`~repro.memory.budget.GovernorSpec`; when given,
+        a :class:`~repro.memory.governor.MemoryGovernor` polices this
+        operator's memory-resident state against the spec's budget,
+        charging spill/fault I/O through the operator's disk.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class PJoin(BinaryHashJoin):
         registry: Optional[EventListenerRegistry] = None,
         disk: Optional[SimulatedDisk] = None,
         name: str = "pjoin",
+        governor: Optional[GovernorSpec] = None,
     ) -> None:
         self.config = config if config is not None else PJoinConfig()
         super().__init__(
@@ -138,6 +145,22 @@ class PJoin(BinaryHashJoin):
             registry if registry is not None else default_registry_for(self.config)
         )
         self.disk = disk if disk is not None else SimulatedDisk(cost_model)
+        self.governor = None
+        if governor is not None:
+            self.governor = governor.build(
+                cost_model, disk=self.disk, engine=engine,
+                name=f"{name}.governor",
+            )
+            # A side's entries are purged by the *opposite* stream's
+            # punctuations — that store drives punctuation-aware eviction.
+            self.governor.register_side(
+                0, self.sides[0].table,
+                covered_by=self.sides[1].store.covers_value,
+            )
+            self.governor.register_side(
+                1, self.sides[1].table,
+                covered_by=self.sides[0].store.covers_value,
+            )
         self._components = {
             "state_purge": self._component_state_purge,
             "state_relocation": self._component_state_relocation,
@@ -268,6 +291,11 @@ class PJoin(BinaryHashJoin):
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: the tuple must not probe or insert
         value_hash = stable_hash(value)
+        governor = self.governor
+        if governor is not None:
+            # Fault any demoted entries of the target bucket back in
+            # before probing, so the probe sees the full warm state.
+            cost += governor.fault_in(other, value, value_hash)
         # Memory join: probe the opposite state's memory portion.
         occupancy, matches = self.sides[other].probe(value, value_hash)
         self.probes += 1
@@ -294,6 +322,8 @@ class PJoin(BinaryHashJoin):
             self.sides[side].insert(tup, value, self.engine.now, value_hash)
             self.insertions += 1
             cost += self.cost_model.insert
+            if governor is not None:
+                cost += governor.after_insert(side, value, value_hash)
             event = self.monitor.on_insert(self.memory_state_size())
             if event is not None:
                 cost += self.dispatch(event)
@@ -458,6 +488,10 @@ class PJoin(BinaryHashJoin):
                 other = self.other(side)
                 if part[side].disk_count == 0:
                     continue
+                if self.governor is not None:
+                    # The disk portion probes the opposite warm memory;
+                    # fault demoted entries back first.
+                    cost += self.governor.fault_in_partition(other, part[other])
                 emitted += self._disk_vs_memory(part[side], part[other], side)
                 emitted += self._disk_vs_buffer(
                     part[side], buffer_by_partition[other].get(index, []), side
@@ -739,6 +773,11 @@ class PJoin(BinaryHashJoin):
         if self.validator.policy != STRICT:
             for key, value in self.validator.counters().items():
                 out[f"resilience.{key}"] = value
+        # Governor counters only appear when one is attached, keeping
+        # ungoverned manifests unchanged.
+        if self.governor is not None:
+            for key, value in self.governor.counters().items():
+                out[f"governor.{key}"] = value
         return out
 
     def __repr__(self) -> str:

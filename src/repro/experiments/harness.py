@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 from repro.core.config import PJoinConfig
 from repro.core.pjoin import PJoin
 from repro.core.registry import EventListenerRegistry
+from repro.memory.budget import GovernorSpec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.series import TimeSeries
 from repro.obs.manifest import build_manifest
@@ -40,6 +41,35 @@ _RUN_INTERCEPTOR: Optional[Callable[..., Any]] = None
 # Shard count installed by the sharding() context manager; when set, the
 # stock join factories build the sharded stack instead of a plain join.
 _ACTIVE_SHARDS: Optional[int] = None
+
+# Governor spec installed by the governed() context manager; when set,
+# the stock join factories attach a memory governor to every join they
+# build (split across shards under an active sharding() block).
+_ACTIVE_GOVERNOR: Optional[GovernorSpec] = None
+
+
+@contextlib.contextmanager
+def governed(spec: Optional[GovernorSpec]) -> Iterator[None]:
+    """Attach a memory governor to every stock-factory join built here.
+
+    The CLI's ``--memory-budget``/``--eviction-policy`` use this to
+    re-run unmodified experiment presets under a state budget.  Under an
+    active :func:`sharding` block the spec is split so the per-shard
+    budgets sum to the global one.  ``governed(None)`` restores
+    ungoverned builds.
+    """
+    global _ACTIVE_GOVERNOR
+    previous = _ACTIVE_GOVERNOR
+    _ACTIVE_GOVERNOR = spec
+    try:
+        yield
+    finally:
+        _ACTIVE_GOVERNOR = previous
+
+
+def active_governor() -> Optional[GovernorSpec]:
+    """The governor spec installed by :func:`governed`, if any."""
+    return _ACTIVE_GOVERNOR
 
 
 @contextlib.contextmanager
@@ -358,6 +388,7 @@ def pjoin_factory(
                 _ACTIVE_SHARDS,
                 config=config,
                 registry=registry,
+                governor=_ACTIVE_GOVERNOR,
             )
         return PJoin(
             plan.engine,
@@ -368,6 +399,7 @@ def pjoin_factory(
             workload.join_fields[1],
             config=config,
             registry=registry,
+            governor=_ACTIVE_GOVERNOR,
         )
 
     return build
@@ -389,6 +421,7 @@ def xjoin_factory(memory_threshold: Optional[int] = None) -> JoinFactory:
                 workload.join_fields[1],
                 _ACTIVE_SHARDS,
                 memory_threshold=memory_threshold,
+                governor=_ACTIVE_GOVERNOR,
             )
         return XJoin(
             plan.engine,
@@ -398,6 +431,7 @@ def xjoin_factory(memory_threshold: Optional[int] = None) -> JoinFactory:
             workload.join_fields[0],
             workload.join_fields[1],
             memory_threshold=memory_threshold,
+            governor=_ACTIVE_GOVERNOR,
         )
 
     return build
@@ -418,6 +452,7 @@ def shj_factory() -> JoinFactory:
                 workload.join_fields[0],
                 workload.join_fields[1],
                 _ACTIVE_SHARDS,
+                governor=_ACTIVE_GOVERNOR,
             )
         return SymmetricHashJoin(
             plan.engine,
@@ -426,6 +461,7 @@ def shj_factory() -> JoinFactory:
             workload.schemas[1],
             workload.join_fields[0],
             workload.join_fields[1],
+            governor=_ACTIVE_GOVERNOR,
         )
 
     return build

@@ -1,0 +1,45 @@
+"""Budgeted join state: governor, budgets and eviction policies.
+
+See :mod:`repro.memory.governor` for the mechanism and
+``docs/memory.md`` for budget accounting, policy semantics and the
+equivalence guarantee.
+"""
+
+from repro.memory.budget import (
+    DEFAULT_BYTES_PER_TUPLE,
+    UNLIMITED,
+    GovernorSpec,
+    format_budget,
+    parse_memory_budget,
+)
+from repro.memory.governor import MemoryGovernor, SideRegistration
+from repro.memory.policies import (
+    LARGEST_FIRST,
+    LRU,
+    POLICIES,
+    PUNCTUATION_AWARE,
+    EvictionPolicy,
+    LargestPartitionFirstPolicy,
+    LRUPolicy,
+    PunctuationAwarePolicy,
+    make_policy,
+)
+
+__all__ = [
+    "DEFAULT_BYTES_PER_TUPLE",
+    "UNLIMITED",
+    "GovernorSpec",
+    "format_budget",
+    "parse_memory_budget",
+    "MemoryGovernor",
+    "SideRegistration",
+    "LRU",
+    "LARGEST_FIRST",
+    "PUNCTUATION_AWARE",
+    "POLICIES",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LargestPartitionFirstPolicy",
+    "PunctuationAwarePolicy",
+    "make_policy",
+]

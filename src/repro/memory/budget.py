@@ -1,0 +1,174 @@
+"""Memory budgets: parsing and the picklable governor specification.
+
+A budget is expressed in *tuples* internally (the unit every state
+gauge in the repository already uses); the CLI accepts either a plain
+tuple count or a byte size with a ``kb``/``mb``/``gb`` suffix, which is
+converted through the nominal serialised tuple size the simulated disk
+uses for its byte-volume counters.
+
+The :class:`GovernorSpec` is the value that travels: it is a frozen,
+picklable dataclass, so it crosses process boundaries (the sharded
+multiprocess backend, the parallel sweep runner) and is attached to
+operators at build time, where :meth:`GovernorSpec.build` turns it into
+a live :class:`~repro.memory.governor.MemoryGovernor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.governor import MemoryGovernor
+    from repro.sim.costs import CostModel
+    from repro.storage.disk import SimulatedDisk
+
+#: Nominal serialised tuple size; matches ``SimulatedDisk``'s default.
+DEFAULT_BYTES_PER_TUPLE = 64
+
+UNLIMITED = math.inf
+
+_BYTE_SUFFIXES = {"b": 1, "kb": 1 << 10, "mb": 1 << 20, "gb": 1 << 30}
+
+_BUDGET_RE = re.compile(r"^(?P<number>\d+(?:\.\d+)?)\s*(?P<suffix>[a-z]*)$")
+
+
+def parse_memory_budget(
+    text: str, bytes_per_tuple: int = DEFAULT_BYTES_PER_TUPLE
+) -> float:
+    """Parse a budget string into a tuple count (``inf`` = unlimited).
+
+    Accepts ``inf``/``none``/``unlimited``, a plain tuple count
+    (``5000``), or a byte size with suffix (``64kb``, ``2mb``) converted
+    at *bytes_per_tuple* per tuple.
+    """
+    cleaned = text.strip().lower().replace(",", "").replace("_", "")
+    if cleaned in ("inf", "infinity", "none", "unlimited"):
+        return UNLIMITED
+    match = _BUDGET_RE.match(cleaned)
+    if match is None:
+        raise ConfigError(
+            f"cannot parse memory budget {text!r}; expected 'inf', a tuple "
+            f"count like '5000', or a byte size like '64kb'"
+        )
+    number = float(match.group("number"))
+    suffix = match.group("suffix")
+    if suffix in ("", "t", "tuples"):
+        budget = number
+    elif suffix in _BYTE_SUFFIXES:
+        budget = (number * _BYTE_SUFFIXES[suffix]) / bytes_per_tuple
+    else:
+        raise ConfigError(
+            f"unknown memory budget suffix {suffix!r} in {text!r}; "
+            f"use a plain tuple count or one of {sorted(_BYTE_SUFFIXES)}"
+        )
+    budget = float(int(budget))
+    if budget < 1:
+        raise ConfigError(
+            f"memory budget {text!r} is below one tuple "
+            f"(at {bytes_per_tuple} bytes/tuple)"
+        )
+    return budget
+
+
+def format_budget(budget_tuples: float) -> str:
+    """Human-readable budget (``inf`` or the tuple count)."""
+    if math.isinf(budget_tuples):
+        return "inf"
+    return f"{int(budget_tuples)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class GovernorSpec:
+    """The serialisable description of one memory governor.
+
+    ``budget_tuples`` is this governor's own budget (for a sharded join
+    each shard gets a slice via :meth:`split`, so the per-shard budgets
+    sum to the global one).
+    """
+
+    budget_tuples: float
+    policy: str = "lru"
+    bytes_per_tuple: int = DEFAULT_BYTES_PER_TUPLE
+
+    def __post_init__(self) -> None:
+        from repro.memory.policies import POLICIES
+
+        if not math.isinf(self.budget_tuples) and self.budget_tuples < 1:
+            raise ConfigError(
+                f"memory budget must be at least one tuple, "
+                f"got {self.budget_tuples}"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown eviction policy {self.policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+        if self.bytes_per_tuple <= 0:
+            raise ConfigError(
+                f"bytes_per_tuple must be positive, got {self.bytes_per_tuple}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        return math.isinf(self.budget_tuples)
+
+    @property
+    def budget_bytes(self) -> float:
+        return self.budget_tuples * self.bytes_per_tuple
+
+    def split(self, n_shards: int) -> List["GovernorSpec"]:
+        """Per-shard specs whose budgets sum to this (global) budget.
+
+        The floor is distributed evenly and the remainder one tuple at
+        a time to the lowest shard indices, so ``sum(split(k)) ==
+        budget`` exactly; an unlimited budget splits into unlimited
+        shares.
+        """
+        if n_shards < 1:
+            raise ConfigError(f"need at least one shard, got {n_shards}")
+        if self.unlimited:
+            return [self] * n_shards
+        base = int(self.budget_tuples) // n_shards
+        remainder = int(self.budget_tuples) % n_shards
+        shares = []
+        for shard in range(n_shards):
+            share = base + (1 if shard < remainder else 0)
+            # A shard cannot run on a zero budget; tiny global budgets
+            # degrade to one tuple per shard (documented in docs/memory.md).
+            shares.append(
+                dataclasses.replace(self, budget_tuples=float(max(share, 1)))
+            )
+        return shares
+
+    def build(
+        self,
+        cost_model: "CostModel",
+        disk: Optional["SimulatedDisk"] = None,
+        engine: object = None,
+        name: str = "governor",
+    ) -> "MemoryGovernor":
+        """Instantiate the live governor this spec describes."""
+        from repro.memory.governor import MemoryGovernor
+        from repro.storage.disk import SimulatedDisk
+
+        if disk is None:
+            disk = SimulatedDisk(cost_model, bytes_per_tuple=self.bytes_per_tuple)
+        return MemoryGovernor(
+            budget_tuples=self.budget_tuples,
+            policy=self.policy,
+            disk=disk,
+            engine=engine,
+            name=name,
+            bytes_per_tuple=self.bytes_per_tuple,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GovernorSpec(budget={format_budget(self.budget_tuples)}, "
+            f"policy={self.policy!r})"
+        )

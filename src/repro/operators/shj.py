@@ -14,8 +14,9 @@ zero-overhead behaviour.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
+from repro.memory.budget import GovernorSpec
 from repro.operators.binary import BinaryHashJoin
 from repro.punctuations.punctuation import Punctuation
 from repro.resilience.policy import TRUST
@@ -41,6 +42,7 @@ class SymmetricHashJoin(BinaryHashJoin):
         n_partitions: int = 16,
         name: str = "",
         fault_policy: str = TRUST,
+        governor: Optional[GovernorSpec] = None,
     ) -> None:
         super().__init__(
             engine,
@@ -60,6 +62,14 @@ class SymmetricHashJoin(BinaryHashJoin):
             [left_field, right_field],
         )
         self.dead_letters = self.validator.dead_letters
+        self.governor = None
+        if governor is not None:
+            # SHJ owns no disk; the governor builds a private one.
+            self.governor = governor.build(
+                cost_model, engine=engine, name=f"{name or 'shj'}.governor"
+            )
+            self.governor.register_side(0, self.states[0])
+            self.governor.register_side(1, self.states[1])
         self.punctuations_absorbed = 0
 
     def handle(self, item: Any, port: int) -> float:
@@ -76,16 +86,23 @@ class SymmetricHashJoin(BinaryHashJoin):
         if not self.validator.admit(item, value, side):
             return self.cost_model.tuple_overhead
         value_hash = stable_hash(value)
+        governor = self.governor
+        governor_cost = 0.0
+        if governor is not None:
+            governor_cost += governor.fault_in(other, value, value_hash)
         occupancy, matches = self.states[other].probe(value, value_hash)
         self.probes += 1
         self.probe_matches += len(matches)
         self.emit_joins(item, matches, side)
         self.states[side].insert(item, value, self.engine.now, value_hash)
         self.insertions += 1
+        if governor is not None:
+            governor_cost += governor.after_insert(side, value, value_hash)
         return (
             self.cost_model.tuple_overhead
             + self.cost_model.probe_cost(occupancy, len(matches))
             + self.cost_model.insert
+            + governor_cost
         )
 
     def counters(self) -> Dict[str, float]:
@@ -95,4 +112,7 @@ class SymmetricHashJoin(BinaryHashJoin):
         if self.validator.policy != TRUST:
             for key, value in self.validator.counters().items():
                 out[f"resilience.{key}"] = value
+        if self.governor is not None:
+            for key, value in self.governor.counters().items():
+                out[f"governor.{key}"] = value
         return out

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple as PyTuple
 
 from repro.errors import ConfigError
+from repro.memory.budget import GovernorSpec
 from repro.obs.trace import get_tracer
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import already_produced, stage1_covered
@@ -77,6 +78,7 @@ class XJoin(BinaryHashJoin):
         disk: Optional[SimulatedDisk] = None,
         name: str = "xjoin",
         fault_policy: str = TRUST,
+        governor: Optional[GovernorSpec] = None,
     ) -> None:
         super().__init__(
             engine,
@@ -107,6 +109,16 @@ class XJoin(BinaryHashJoin):
             [left_field, right_field],
         )
         self.dead_letters = self.validator.dead_letters
+        self.governor = None
+        if governor is not None:
+            self.governor = governor.build(
+                cost_model, disk=self.disk, engine=engine,
+                name=f"{name}.governor",
+            )
+            # XJoin exploits no punctuations: no covered_by probe, so
+            # the punctuation-aware policy degrades to largest-first.
+            self.governor.register_side(0, self.states[0])
+            self.governor.register_side(1, self.states[1])
         self._idle_check_pending = False
         self.spills = 0
         self.stage2_runs = 0
@@ -130,16 +142,23 @@ class XJoin(BinaryHashJoin):
         if not self.validator.admit(item, value, side):
             return self.cost_model.tuple_overhead
         value_hash = stable_hash(value)
+        governor = self.governor
+        governor_cost = 0.0
+        if governor is not None:
+            governor_cost += governor.fault_in(other, value, value_hash)
         occupancy, matches = self.states[other].probe(value, value_hash)
         self.probes += 1
         self.probe_matches += len(matches)
         self.emit_joins(item, matches, side)
         self.states[side].insert(item, value, self.engine.now, value_hash)
         self.insertions += 1
+        if governor is not None:
+            governor_cost += governor.after_insert(side, value, value_hash)
         cost = (
             self.cost_model.tuple_overhead
             + self.cost_model.probe_cost(occupancy, len(matches))
             + self.cost_model.insert
+            + governor_cost
         )
         cost += self._maybe_relocate()
         return cost
@@ -244,6 +263,10 @@ class XJoin(BinaryHashJoin):
         side, partition = target
         other = self.other(side)
         opposite = self.states[other].partitions[partition.index]
+        governor_cost = 0.0
+        if self.governor is not None:
+            # The disk portion probes the opposite warm memory below.
+            governor_cost = self.governor.fault_in_partition(other, opposite)
         last_probe = (
             partition.probe_history[-1] if partition.probe_history else float("-inf")
         )
@@ -259,7 +282,8 @@ class XJoin(BinaryHashJoin):
         partition.record_probe(self.engine.now)
         self.stage2_runs += 1
         cost = (
-            self.disk.read(partition.disk_count)
+            governor_cost
+            + self.disk.read(partition.disk_count)
             + self.cost_model.probe_per_candidate
             * (partition.disk_count + opposite.memory_count)
             + self.cost_model.emit_result * matches
@@ -280,6 +304,10 @@ class XJoin(BinaryHashJoin):
     def on_finish(self) -> float:
         """Produce every pair not yet output because of relocation."""
         cost = 0.0
+        if self.governor is not None:
+            # The clean-up join scans every memory portion; fault all
+            # demoted buckets back in before pairing.
+            cost += self.governor.fault_in_all()
         tracer = get_tracer(self.engine)
         if tracer is not None:
             tracer.begin(self.engine.now, self.name, "cleanup_join")
@@ -312,6 +340,9 @@ class XJoin(BinaryHashJoin):
         if self.validator.policy != TRUST:
             for key, value in self.validator.counters().items():
                 out[f"resilience.{key}"] = value
+        if self.governor is not None:
+            for key, value in self.governor.counters().items():
+                out[f"governor.{key}"] = value
         return out
 
     def _cleanup_partition(

@@ -19,6 +19,7 @@ Two invariants make the numbers trustworthy:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -30,11 +31,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.config import PJoinConfig
+from repro.errors import ConfigError
 from repro.experiments.harness import (
+    active_governor,
+    governed,
     pjoin_factory,
     run_join_experiment,
     xjoin_factory,
 )
+from repro.memory.budget import GovernorSpec, parse_memory_budget
+from repro.memory.policies import POLICIES
 from repro.resilience.chaos import run_chaos
 from repro.workloads.generator import generate_workload
 
@@ -105,6 +111,31 @@ def _prepare_fig5_xjoin(scale: float) -> Callable[[], Dict[str, Any]]:
     return _fig5_case(scale, xjoin_factory(), "bench:fig5:XJoin")
 
 
+def _prepare_fig5_xjoin_tight(scale: float) -> Callable[[], Dict[str, Any]]:
+    # The governor hot path: XJoin's ever-growing state against a warm
+    # budget of 1/16th of one stream, so every probe risks a fault-in
+    # and every insert an eviction sweep.
+    workload = generate_workload(
+        n_tuples_per_stream=_scaled(10_000, scale),
+        punct_spacing_a=40,
+        punct_spacing_b=40,
+        seed=5,
+    )
+    spec = GovernorSpec(
+        budget_tuples=float(max(_scaled(10_000, scale) // 16, 64))
+    )
+
+    def run() -> Dict[str, Any]:
+        with governed(spec):
+            return _experiment_outcome(
+                run_join_experiment(
+                    xjoin_factory(), workload, label="bench:fig5:XJoin-tight"
+                )
+            )
+
+    return run
+
+
 def _prepare_fig8_lazy(scale: float) -> Callable[[], Dict[str, Any]]:
     workload = generate_workload(
         n_tuples_per_stream=_scaled(10_000, scale),
@@ -139,7 +170,13 @@ def _prepare_fig5_sharded(scale: float) -> Callable[[], Dict[str, Any]]:
     )
     plan = ShardPlan(workload, n_shards)
     config = PJoinConfig(purge_threshold=1)
-    pool = warm_pool(("fig5_pjoin_sharded", scale, n_shards), plan, config=config)
+    # The governed() context does not cross the fork boundary, so the
+    # active spec travels explicitly (and keys the pool cache).
+    spec = active_governor()
+    pool = warm_pool(
+        ("fig5_pjoin_sharded", scale, n_shards, spec),
+        plan, config=config, governor=spec,
+    )
 
     def run() -> Dict[str, Any]:
         outcome = pool.run()
@@ -185,6 +222,12 @@ BENCH_CASES: Dict[str, BenchCase] = {
             "Figure 5 workload (40 t/p, seed 5), PJoin sharded K=4 "
             "(multiprocess backend)",
             _prepare_fig5_sharded,
+        ),
+        BenchCase(
+            "fig5_xjoin_tight_memory",
+            "Figure 5 workload (40 t/p, seed 5), XJoin under a tight "
+            "memory budget (n/16 tuples, LRU governor)",
+            _prepare_fig5_xjoin_tight,
         ),
         BenchCase(
             "fig8_pjoin_lazy",
@@ -334,6 +377,9 @@ def compare_reports(
             "wall_s_delta_pct": round(
                 (cur["wall_s"] - base["wall_s"]) / base["wall_s"] * 100.0, 2
             ) if base["wall_s"] else None,
+            "wall_ratio": round(
+                cur["wall_s"] / base["wall_s"], 4
+            ) if base["wall_s"] else None,
             "events_per_s_ratio": round(
                 cur["events_per_s"] / base["events_per_s"], 4
             ) if base["events_per_s"] else None,
@@ -443,20 +489,44 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
         "--update-baseline", action="store_true",
         help="also write this report to the baseline path",
     )
+    parser.add_argument(
+        "--memory-budget", type=_budget_arg, default=None, metavar="BUDGET",
+        help="attach the memory governor to every in-process case "
+             "(tuple count, bytes with b/kb/mb/gb suffix, or 'inf'); "
+             "wall times will not be comparable to an ungoverned "
+             "baseline, so combine with --no-compare",
+    )
+    parser.add_argument(
+        "--eviction-policy", choices=sorted(POLICIES), default="lru",
+        help="governor eviction policy (default %(default)s)",
+    )
+
+
+def _budget_arg(text: str) -> float:
+    try:
+        return parse_memory_budget(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     scale = args.scale
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
-    try:
-        report = run_bench(
-            scale=scale,
-            cases=args.cases,
-            repeat=args.repeat,
-            quick=args.quick,
-            progress=lambda msg: print(msg, file=sys.stderr),
+    spec = None
+    if getattr(args, "memory_budget", None) is not None:
+        spec = GovernorSpec(
+            budget_tuples=args.memory_budget, policy=args.eviction_policy
         )
+    try:
+        with governed(spec) if spec is not None else contextlib.nullcontext():
+            report = run_bench(
+                scale=scale,
+                cases=args.cases,
+                repeat=args.repeat,
+                quick=args.quick,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -489,7 +559,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     print(render_report(report))
     print(f"\nwrote report: {out}")
-    return 1 if gate_failed else 0
+    if gate_failed:
+        # Name every offender: "gate: FAIL" alone is useless in a CI log.
+        comparison = report["comparison"]
+        if comparison.get("error"):
+            print(f"bench gate FAILED: {comparison['error']}",
+                  file=sys.stderr)
+        for name, entry in comparison["workloads"].items():
+            if entry.get("ok", True):
+                continue
+            ratio = entry.get("wall_ratio")
+            ratio_text = f"{ratio:.2f}x" if ratio is not None else "?"
+            print(
+                f"bench gate FAILED: {name} ran {ratio_text} the baseline "
+                f"wall time (limit {comparison['max_slowdown']:g}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

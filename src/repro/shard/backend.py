@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.core.config import PJoinConfig
 from repro.core.pjoin import PJoin
+from repro.memory.budget import GovernorSpec
 from repro.obs.manifest import operator_counters
 from repro.operators.sink import Sink
 from repro.punctuations.punctuation import Punctuation
@@ -107,8 +108,12 @@ def run_shard_simulation(
     config: Optional[PJoinConfig],
     keep_items: bool,
     name: str = "pjoin",
+    governor: Optional[GovernorSpec] = None,
 ) -> Dict[str, Any]:
-    """Run one shard's slice to completion; return its plain-dict outcome."""
+    """Run one shard's slice to completion; return its plain-dict outcome.
+
+    *governor* is this shard's own (already split) budget share.
+    """
     plan = QueryPlan()
     join = PJoin(
         plan.engine,
@@ -119,6 +124,7 @@ def run_shard_simulation(
         workload.join_fields[1],
         config=config,
         name=f"{name}.shard{shard_index}",
+        governor=governor,
     )
     sink = Sink(plan.engine, plan.cost_model, keep_items=keep_items)
     join.connect(sink)
@@ -205,7 +211,7 @@ class ShardedRunOutcome:
 
 
 def _shard_worker_main(conn, shard_index, schedule_a, schedule_b, workload,
-                       config, keep_items) -> None:
+                       config, keep_items, governor=None) -> None:
     """Worker loop: run the inherited slice once per ``"go"`` message."""
     try:
         while True:
@@ -214,7 +220,7 @@ def _shard_worker_main(conn, shard_index, schedule_a, schedule_b, workload,
                 break
             outcome = run_shard_simulation(
                 shard_index, schedule_a, schedule_b, workload, config,
-                keep_items,
+                keep_items, governor=governor,
             )
             conn.send(outcome)
     finally:
@@ -239,10 +245,16 @@ class ShardWorkerPool:
         plan: ShardPlan,
         config: Optional[PJoinConfig] = None,
         keep_items: bool = False,
+        governor: Optional[GovernorSpec] = None,
     ) -> None:
         self.plan = plan
         self.config = config
         self.keep_items = keep_items
+        self.governor = governor
+        shard_governors = (
+            governor.split(plan.n_shards) if governor is not None
+            else [None] * plan.n_shards
+        )
         ctx = multiprocessing.get_context("fork")
         self._conns = []
         self._procs = []
@@ -252,7 +264,8 @@ class ShardWorkerPool:
             proc = ctx.Process(
                 target=_shard_worker_main,
                 args=(child_conn, shard, schedule_a, schedule_b,
-                      plan.workload, config, keep_items),
+                      plan.workload, config, keep_items,
+                      shard_governors[shard]),
                 daemon=True,
             )
             proc.start()
@@ -292,11 +305,14 @@ def warm_pool(
     plan: ShardPlan,
     config: Optional[PJoinConfig] = None,
     keep_items: bool = False,
+    governor: Optional[GovernorSpec] = None,
 ) -> ShardWorkerPool:
     """Get (or fork) the cached worker pool for *key*."""
     pool = _POOL_CACHE.get(key)
     if pool is None:
-        pool = ShardWorkerPool(plan, config=config, keep_items=keep_items)
+        pool = ShardWorkerPool(
+            plan, config=config, keep_items=keep_items, governor=governor
+        )
         _POOL_CACHE[key] = pool
     return pool
 
@@ -313,23 +329,33 @@ def run_sharded_multiprocess(
     n_shards: int,
     config: Optional[PJoinConfig] = None,
     keep_items: bool = True,
+    governor: Optional[GovernorSpec] = None,
 ) -> ShardedRunOutcome:
     """Plan, fork, run and merge one sharded PJoin over *workload*.
 
-    Falls back to sequential in-process shard simulations where
-    ``fork`` is unavailable — identical outcome, no parallelism.
+    *governor* is the **global** budget; each shard receives its split
+    share, so the per-shard budgets sum to the global one.  Falls back
+    to sequential in-process shard simulations where ``fork`` is
+    unavailable — identical outcome, no parallelism.
     """
     plan = ShardPlan(workload, n_shards)
     if not fork_available():  # pragma: no cover - non-POSIX fallback
+        shard_governors = (
+            governor.split(n_shards) if governor is not None
+            else [None] * n_shards
+        )
         outcomes = [
             run_shard_simulation(
                 shard, plan.schedules[shard][0], plan.schedules[shard][1],
                 workload, config, keep_items,
+                governor=shard_governors[shard],
             )
             for shard in range(n_shards)
         ]
         return ShardedRunOutcome(plan, outcomes)
-    pool = ShardWorkerPool(plan, config=config, keep_items=keep_items)
+    pool = ShardWorkerPool(
+        plan, config=config, keep_items=keep_items, governor=governor
+    )
     try:
         return pool.run()
     finally:

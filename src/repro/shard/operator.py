@@ -32,6 +32,7 @@ from repro.core.config import PJoinConfig
 from repro.core.pjoin import PJoin
 from repro.core.registry import EventListenerRegistry
 from repro.errors import OperatorError
+from repro.memory.budget import GovernorSpec
 from repro.operators.shj import SymmetricHashJoin
 from repro.operators.xjoin import XJoin
 from repro.shard.merger import AlignedMerger, AlignmentLedger
@@ -197,6 +198,15 @@ class ShardedJoin:
 # ---------------------------------------------------------------------------
 
 
+def _shard_governors(
+    governor: Optional[GovernorSpec], n_shards: int
+) -> List[Optional[GovernorSpec]]:
+    """Per-shard governor specs (budgets summing to the global)."""
+    if governor is None:
+        return [None] * n_shards
+    return list(governor.split(n_shards))
+
+
 def sharded_pjoin(
     engine: SimulationEngine,
     cost_model: CostModel,
@@ -208,13 +218,16 @@ def sharded_pjoin(
     config: Optional[PJoinConfig] = None,
     registry: Optional[EventListenerRegistry] = None,
     name: str = "pjoin",
+    governor: Optional[GovernorSpec] = None,
 ) -> ShardedJoin:
     """A sharded PJoin: each shard runs the full six-component operator."""
+    shard_specs = iter(_shard_governors(governor, n_shards))
 
     def build(eng: SimulationEngine, costs: CostModel, shard_name: str) -> PJoin:
         return PJoin(
             eng, costs, left_schema, right_schema, left_field, right_field,
             config=config, registry=registry, name=shard_name,
+            governor=next(shard_specs),
         )
 
     return ShardedJoin(
@@ -233,13 +246,16 @@ def sharded_xjoin(
     n_shards: int,
     memory_threshold: Optional[int] = None,
     name: str = "xjoin",
+    governor: Optional[GovernorSpec] = None,
 ) -> ShardedJoin:
     """A sharded XJoin comparator."""
+    shard_specs = iter(_shard_governors(governor, n_shards))
 
     def build(eng: SimulationEngine, costs: CostModel, shard_name: str) -> XJoin:
         return XJoin(
             eng, costs, left_schema, right_schema, left_field, right_field,
             memory_threshold=memory_threshold, name=shard_name,
+            governor=next(shard_specs),
         )
 
     return ShardedJoin(
@@ -257,15 +273,17 @@ def sharded_shj(
     right_field: str,
     n_shards: int,
     name: str = "shj",
+    governor: Optional[GovernorSpec] = None,
 ) -> ShardedJoin:
     """A sharded symmetric hash join."""
+    shard_specs = iter(_shard_governors(governor, n_shards))
 
     def build(
         eng: SimulationEngine, costs: CostModel, shard_name: str
     ) -> SymmetricHashJoin:
         return SymmetricHashJoin(
             eng, costs, left_schema, right_schema, left_field, right_field,
-            name=shard_name,
+            name=shard_name, governor=next(shard_specs),
         )
 
     return ShardedJoin(

@@ -130,11 +130,19 @@ class PartitionedHashTable:
     def remove_where(
         self, predicate: Callable[[StateEntry], bool]
     ) -> List[StateEntry]:
-        """Drop and return memory entries satisfying *predicate*."""
+        """Drop and return memory entries satisfying *predicate*.
+
+        Governor-demoted cold entries are swept too: they are logically
+        memory-resident, so a purge that covers them reclaims them
+        without ever faulting them back in.
+        """
         removed: List[StateEntry] = []
         for partition in self.partitions:
-            removed.extend(partition.remove_memory_where(predicate))
-        self.memory_count -= len(removed)
+            from_memory = partition.remove_memory_where(predicate)
+            self.memory_count -= len(from_memory)
+            removed.extend(from_memory)
+            if partition.cold:
+                removed.extend(partition.remove_cold_where(predicate))
         return removed
 
     # ------------------------------------------------------------------
@@ -146,9 +154,31 @@ class PartitionedHashTable:
         return max(self.partitions, key=lambda p: p.memory_count)
 
     def spill_partition(self, partition: HybridPartition, now: float) -> int:
-        """Flush one bucket's memory portion to disk; returns tuples moved."""
+        """Flush one bucket's memory portion to disk; returns tuples moved.
+
+        Sweeps governor-demoted cold entries along with the warm ones
+        (they are logically memory-resident), so the return value may
+        exceed the bucket's warm ``memory_count``.
+        """
+        warm = partition.memory_count
         moved = partition.spill(now)
+        self.memory_count -= warm
+        return moved
+
+    # ------------------------------------------------------------------
+    # Governor paging (cold tier; ``dts`` untouched)
+    # ------------------------------------------------------------------
+
+    def demote_partition(self, partition: HybridPartition) -> int:
+        """Page one bucket's memory portion out to its cold list."""
+        moved = partition.demote()
         self.memory_count -= moved
+        return moved
+
+    def promote_partition(self, partition: HybridPartition) -> int:
+        """Fault one bucket's cold list back into its memory portion."""
+        moved = partition.promote()
+        self.memory_count += moved
         return moved
 
     # ------------------------------------------------------------------
@@ -160,12 +190,20 @@ class PartitionedHashTable:
         return sum(p.disk_count for p in self.partitions)
 
     @property
+    def cold_count(self) -> int:
+        return sum(p.cold_count for p in self.partitions)
+
+    @property
     def total_count(self) -> int:
-        return self.memory_count + self.disk_count
+        return self.memory_count + self.cold_count + self.disk_count
 
     def iter_memory(self) -> Iterator[StateEntry]:
         for partition in self.partitions:
             yield from partition.iter_memory()
+
+    def iter_cold(self) -> Iterator[StateEntry]:
+        for partition in self.partitions:
+            yield from partition.iter_cold()
 
     def iter_disk(self) -> Iterator[StateEntry]:
         for partition in self.partitions:
@@ -173,11 +211,16 @@ class PartitionedHashTable:
 
     def iter_all(self) -> Iterator[StateEntry]:
         yield from self.iter_memory()
+        yield from self.iter_cold()
         yield from self.iter_disk()
 
     def partitions_with_disk(self) -> List[HybridPartition]:
         """Buckets that currently have a non-empty disk portion."""
         return [p for p in self.partitions if p.disk_count > 0]
+
+    def partitions_with_cold(self) -> List[HybridPartition]:
+        """Buckets with governor-demoted (cold) entries."""
+        return [p for p in self.partitions if p.cold_count > 0]
 
     def __len__(self) -> int:
         return self.total_count

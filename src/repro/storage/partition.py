@@ -17,6 +17,13 @@ a disk portion.  The memory portion is organised as a ``join value →
 entries`` dict: real match lookup is O(matches), while the *virtual*
 probe cost charged by the cost model is proportional to the bucket's
 total occupancy, modelling a bucket-chain scan.
+
+A third, *cold* portion backs the memory governor
+(:mod:`repro.memory`): a governor eviction demotes the whole memory
+portion into the cold list without stamping ``dts`` — the entries stay
+memory-resident as far as the join algorithms' duplicate-prevention
+intervals are concerned, they are merely paged out and faulted back
+(in original order) before the next probe touches the bucket.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ class HybridPartition:
         "index",
         "memory",
         "memory_count",
+        "cold",
         "disk",
         "probe_history",
         "last_insert_ts",
@@ -82,6 +90,9 @@ class HybridPartition:
         self.index = index
         self.memory: Dict[Any, List[StateEntry]] = {}
         self.memory_count = 0
+        # Governor-demoted entries: logically memory-resident
+        # (``dts`` untouched) but paged out until the next fault-in.
+        self.cold: List[StateEntry] = []
         self.disk: List[StateEntry] = []
         # Times at which stage 2 probed this disk portion against the
         # opposite memory portion, in increasing order.
@@ -139,14 +150,69 @@ class HybridPartition:
         return removed
 
     # ------------------------------------------------------------------
+    # Cold portion (governor paging; ``dts`` never touched here)
+    # ------------------------------------------------------------------
+
+    def demote(self) -> int:
+        """Page the whole memory portion out to the cold list.
+
+        Entries keep ``dts = inf`` (they remain memory-resident for the
+        algorithms' duplicate-prevention intervals) and their insertion
+        order, so a later :meth:`promote` restores the memory dict
+        exactly.  Returns the number of tuples demoted (the governor
+        charges disk-write cost for them).
+        """
+        moved = 0
+        for entries in self.memory.values():
+            self.cold.extend(entries)
+            moved += len(entries)
+        self.memory.clear()
+        self.memory_count = 0
+        return moved
+
+    def promote(self) -> int:
+        """Fault every cold entry back into the memory portion.
+
+        Re-inserts in demotion order, which is insertion order, so the
+        per-value entry lists come back byte-identical to the
+        pre-demotion structure.  Returns the number of tuples promoted
+        (the governor charges disk-read cost for them).
+        """
+        moved = len(self.cold)
+        for entry in self.cold:
+            self.memory.setdefault(entry.join_value, []).append(entry)
+        self.memory_count += moved
+        self.cold.clear()
+        return moved
+
+    @property
+    def cold_count(self) -> int:
+        return len(self.cold)
+
+    def iter_cold(self) -> Iterator[StateEntry]:
+        return iter(self.cold)
+
+    def remove_cold_where(
+        self, predicate: Callable[[StateEntry], bool]
+    ) -> List[StateEntry]:
+        """Drop and return cold entries satisfying *predicate*."""
+        removed = [e for e in self.cold if predicate(e)]
+        if removed:
+            self.cold = [e for e in self.cold if not predicate(e)]
+        return removed
+
+    # ------------------------------------------------------------------
     # Disk portion
     # ------------------------------------------------------------------
 
     def spill(self, now: float) -> int:
         """Move the whole memory portion to the disk portion.
 
-        Every moved entry gets ``dts = now``.  Returns the number of
-        tuples moved (the caller charges disk-write cost for them).
+        Every moved entry gets ``dts = now``.  Cold entries are swept
+        along: they are logically memory-resident, so an algorithmic
+        flush of this bucket closes their residency interval too.
+        Returns the number of tuples moved (the caller charges
+        disk-write cost for them).
         """
         moved = 0
         for entries in self.memory.values():
@@ -156,6 +222,11 @@ class HybridPartition:
                 moved += 1
         self.memory.clear()
         self.memory_count = 0
+        for entry in self.cold:
+            entry.dts = now
+            self.disk.append(entry)
+            moved += 1
+        self.cold.clear()
         if moved:
             self.last_spill_ts = now
         return moved
@@ -182,10 +253,10 @@ class HybridPartition:
 
     @property
     def total_count(self) -> int:
-        return self.memory_count + len(self.disk)
+        return self.memory_count + len(self.cold) + len(self.disk)
 
     def __repr__(self) -> str:
         return (
             f"HybridPartition(#{self.index}, mem={self.memory_count}, "
-            f"disk={len(self.disk)})"
+            f"cold={len(self.cold)}, disk={len(self.disk)})"
         )

@@ -14,8 +14,10 @@ from repro.experiments.figures import ALL_FIGURES, Check, FigureResult
 
 
 class TestRegistry:
-    def test_all_ten_figures_registered(self):
-        assert set(ALL_FIGURES) == {f"figure{i}" for i in range(5, 15)}
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == (
+            {f"figure{i}" for i in range(5, 15)} | {"fig_memory_sweep"}
+        )
 
     def test_all_seven_ablations_registered(self):
         assert len(ALL_ABLATIONS) == 7

@@ -1,0 +1,110 @@
+"""Budget parsing and the picklable GovernorSpec."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.budget import (
+    DEFAULT_BYTES_PER_TUPLE,
+    GovernorSpec,
+    format_budget,
+    parse_memory_budget,
+)
+from repro.memory.governor import MemoryGovernor
+from repro.sim.costs import CostModel
+
+
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize(
+        "text", ["inf", "INF", "infinity", "none", "unlimited", " inf "]
+    )
+    def test_unlimited_spellings(self, text):
+        assert math.isinf(parse_memory_budget(text))
+
+    def test_plain_tuple_count(self):
+        assert parse_memory_budget("5000") == 5000.0
+
+    def test_tuple_suffixes(self):
+        assert parse_memory_budget("500t") == 500.0
+        assert parse_memory_budget("500 tuples") == 500.0
+
+    def test_separators_stripped(self):
+        assert parse_memory_budget("10,000") == 10_000.0
+        assert parse_memory_budget("10_000") == 10_000.0
+
+    def test_byte_suffixes_convert_at_nominal_tuple_size(self):
+        assert parse_memory_budget("64kb") == (64 * 1024) / DEFAULT_BYTES_PER_TUPLE
+        assert parse_memory_budget("1mb") == (1 << 20) / DEFAULT_BYTES_PER_TUPLE
+
+    def test_custom_bytes_per_tuple(self):
+        assert parse_memory_budget("1kb", bytes_per_tuple=128) == 8.0
+
+    @pytest.mark.parametrize("text", ["garbage", "-5", "5xb", "", "kb"])
+    def test_rejects_junk(self, text):
+        with pytest.raises(ConfigError):
+            parse_memory_budget(text)
+
+    def test_rejects_sub_tuple_budgets(self):
+        with pytest.raises(ConfigError):
+            parse_memory_budget("0")
+        with pytest.raises(ConfigError):
+            parse_memory_budget("1b")  # under one 64-byte tuple
+
+    def test_format_round_trip(self):
+        assert format_budget(parse_memory_budget("inf")) == "inf"
+        assert format_budget(parse_memory_budget("123")) == "123"
+
+
+class TestGovernorSpec:
+    def test_validates_policy(self):
+        with pytest.raises(ConfigError):
+            GovernorSpec(100.0, policy="nope")
+
+    def test_validates_budget(self):
+        with pytest.raises(ConfigError):
+            GovernorSpec(0.5)
+
+    def test_unlimited_flag(self):
+        assert GovernorSpec(math.inf).unlimited
+        assert not GovernorSpec(10.0).unlimited
+
+    def test_budget_bytes(self):
+        assert GovernorSpec(10.0).budget_bytes == 10 * DEFAULT_BYTES_PER_TUPLE
+
+    def test_is_picklable(self):
+        spec = GovernorSpec(128.0, policy="largest-partition-first")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_split_sums_to_global(self):
+        spec = GovernorSpec(10.0)
+        shares = spec.split(4)
+        assert [s.budget_tuples for s in shares] == [3.0, 3.0, 2.0, 2.0]
+        assert sum(s.budget_tuples for s in shares) == 10.0
+        assert all(s.policy == spec.policy for s in shares)
+
+    def test_split_degrades_to_one_tuple_per_shard(self):
+        shares = GovernorSpec(3.0).split(5)
+        assert [s.budget_tuples for s in shares] == [1.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_split_unlimited(self):
+        shares = GovernorSpec(math.inf).split(3)
+        assert len(shares) == 3
+        assert all(s.unlimited for s in shares)
+
+    def test_split_rejects_bad_counts(self):
+        with pytest.raises(ConfigError):
+            GovernorSpec(10.0).split(0)
+
+    def test_build_creates_private_disk(self):
+        governor = GovernorSpec(10.0).build(CostModel())
+        assert isinstance(governor, MemoryGovernor)
+        assert governor.disk is not None
+
+    def test_build_uses_shared_disk(self):
+        from repro.storage.disk import SimulatedDisk
+
+        disk = SimulatedDisk(CostModel())
+        governor = GovernorSpec(10.0).build(CostModel(), disk=disk)
+        assert governor.disk is disk
