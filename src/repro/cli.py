@@ -64,12 +64,15 @@ from repro.memory.budget import GovernorSpec, format_budget, parse_memory_budget
 from repro.memory.policies import POLICIES
 from repro.metrics.report import render_table
 from repro.obs.export import render_timeline, save_chrome_trace, save_jsonl
+from repro.obs.logging import LOG_LEVELS, get_logger, setup_logging
 from repro.obs.trace import Tracer
 from repro.resilience.chaos import CHAOS_SCENARIOS, run_chaos
 from repro.resilience.policy import FAULT_POLICIES, QUARANTINE
 from repro.workloads.generator import generate_workload
 
 ALL_EXPERIMENTS = {**ALL_FIGURES, **ALL_ABLATIONS}
+
+log = get_logger(__name__)
 
 
 def _budget_type(text: str) -> float:
@@ -109,6 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    parser.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="diagnostic verbosity on stderr (default %(default)s); "
+             "report output on stdout is unaffected",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress diagnostics below error level (overrides --log-level)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines (machine-readable logs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -167,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_parser(sub)
     _add_chaos_parser(sub)
     _add_bench_parser(sub)
+    _add_profile_parser(sub)
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -267,8 +284,7 @@ def cmd_memory(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     if math.isinf(args.budget):
-        print("--budget must be finite (the unlimited run is implicit)",
-              file=sys.stderr)
+        log.error("--budget must be finite (the unlimited run is implicit)")
         return 2
     factories = [
         ("PJoin-1", lambda: pjoin_factory(PJoinConfig(purge_threshold=1))),
@@ -311,9 +327,9 @@ def cmd_memory(args: argparse.Namespace) -> int:
     ))
     if failures:
         for failure in failures:
-            print(f"memory smoke: {failure}", file=sys.stderr)
+            log.error("memory smoke: %s", failure)
         if args.check:
-            print("memory governor smoke FAILED", file=sys.stderr)
+            log.error("memory governor smoke FAILED")
             return 1
     elif args.check:
         print("memory governor smoke passed")
@@ -396,7 +412,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
         rows,
     ))
     if args.check and not all_match:
-        print("sharded equivalence check FAILED", file=sys.stderr)
+        log.error("sharded equivalence check FAILED")
         return 1
     if args.check:
         print("sharded equivalence check passed")
@@ -543,15 +559,37 @@ def _add_bench_parser(sub) -> None:
     bench_cmd.set_defaults(func=cmd_bench)
 
 
+def _add_profile_parser(sub) -> None:
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="attribute hot-path wall time to feature layers (core vs "
+             "obs vs resilience vs governor vs shard) with latency "
+             "histograms and flame-graph exports",
+        description="Runs a pinned profiling preset with scoped timers "
+                    "shadowing the hot-path callables, prints the "
+                    "per-layer overhead table and virtual-time latency "
+                    "histograms (result latency, purge lag, probe "
+                    "cost), and optionally the unprofiled on/off "
+                    "feature grid (--grid), collapsed-stack/speedscope "
+                    "exports, or the CI profiling contract (--check).",
+    )
+    # Lazy import keeps `repro --help` cheap; the parser args live with
+    # the runner so `python -m repro.profiling.runner` shares them.
+    from repro.profiling.runner import add_profile_args, cmd_profile
+
+    add_profile_args(profile_cmd)
+    profile_cmd.set_defaults(func=cmd_profile)
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     names: List[str] = list(CHAOS_SCENARIOS) if args.all else args.names
     if not names:
-        print("nothing to run: name scenarios or pass --all", file=sys.stderr)
+        log.error("nothing to run: name scenarios or pass --all")
         return 2
     unknown = [n for n in names if n not in CHAOS_SCENARIOS]
     if unknown:
-        print(f"unknown chaos scenarios: {unknown}; presets: "
-              f"{sorted(CHAOS_SCENARIOS)}", file=sys.stderr)
+        log.error("unknown chaos scenarios: %s; presets: %s",
+                  unknown, sorted(CHAOS_SCENARIOS))
         return 2
     jobs = getattr(args, "jobs", 1)
     if jobs > 1:
@@ -577,7 +615,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if args.check is not None:
             golden_path = args.check / f"chaos_{name}.json"
             if not golden_path.exists():
-                print(f"missing golden: {golden_path}", file=sys.stderr)
+                log.error("missing golden: %s", golden_path)
                 drifted.append(name)
                 continue
             golden = json.loads(golden_path.read_text())
@@ -587,13 +625,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 for key in keys:
                     expected, got = golden.get(key), run.summary.get(key)
                     if expected != got:
-                        print(f"  drift in {name}.{key}: "
-                              f"golden={expected!r} run={got!r}",
-                              file=sys.stderr)
+                        log.error("  drift in %s.%s: golden=%r run=%r",
+                                  name, key, expected, got)
     if args.manifest is not None:
         _write_manifests(runs, args.manifest)
     if drifted:
-        print(f"chaos counter drift: {drifted}", file=sys.stderr)
+        log.error("chaos counter drift: %s", drifted)
         return 1
     return 0
 
@@ -610,12 +647,11 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     names: List[str] = list(ALL_EXPERIMENTS) if args.all else args.names
     if not names:
-        print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        log.error("nothing to run: name experiments or pass --all")
         return 2
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {unknown}; try 'repro list'",
-              file=sys.stderr)
+        log.error("unknown experiments: %s; try 'repro list'", unknown)
         return 2
     jobs = getattr(args, "jobs", 1)
     shards = getattr(args, "shards", None)
@@ -623,13 +659,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
     if shards is not None and jobs > 1:
         # Worker processes re-import the experiment module and would not
         # see the parent's sharding context.
-        print("--shards cannot be combined with --jobs > 1", file=sys.stderr)
+        log.error("--shards cannot be combined with --jobs > 1")
         return 2
     if spec is not None and jobs > 1:
         # Same re-import problem: the governed() context would not reach
         # the sweep workers.
-        print("--memory-budget cannot be combined with --jobs > 1",
-              file=sys.stderr)
+        log.error("--memory-budget cannot be combined with --jobs > 1")
         return 2
     runner = None
     if jobs > 1:
@@ -652,7 +687,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
             if not result.all_passed:
                 failures.append(name)
     if failures:
-        print(f"shape-check failures: {failures}", file=sys.stderr)
+        log.error("shape-check failures: %s", failures)
         return 1
     return 0
 
@@ -708,8 +743,7 @@ def _traced_runs(args: argparse.Namespace, tracer: Tracer):
     """
     if args.target is not None:
         if args.target not in ALL_EXPERIMENTS:
-            print(f"unknown experiment: {args.target!r}; try 'repro list'",
-                  file=sys.stderr)
+            log.error("unknown experiment: %r; try 'repro list'", args.target)
             return None
         with tracing(tracer):
             result = ALL_EXPERIMENTS[args.target](scale=args.scale)
@@ -799,6 +833,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(
+        level=args.log_level, json_lines=args.log_json, quiet=args.quiet
+    )
     return args.func(args)
 
 

@@ -18,6 +18,7 @@ from repro.memory.budget import GovernorSpec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.series import TimeSeries
 from repro.obs.manifest import build_manifest
+from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
 from repro.operators.base import Operator
 from repro.operators.shj import SymmetricHashJoin
@@ -46,6 +47,13 @@ _ACTIVE_SHARDS: Optional[int] = None
 # the stock join factories attach a memory governor to every join they
 # build (split across shards under an active sharding() block).
 _ACTIVE_GOVERNOR: Optional[GovernorSpec] = None
+
+# Profiler installed by the profiling() context manager; when set,
+# every run is instrumented (hot-path callables shadowed) just before
+# execution and restored right after, and the run carries the
+# profiler's snapshot.  When unset, nothing is shadowed: the unprofiled
+# path is byte-for-byte today's code.
+_ACTIVE_PROFILER: Optional[Profiler] = None
 
 
 @contextlib.contextmanager
@@ -101,6 +109,33 @@ def active_shards() -> Optional[int]:
 
 
 @contextlib.contextmanager
+def profiling(profiler: Optional[Profiler] = None) -> Iterator[Profiler]:
+    """Profile every experiment run inside the ``with`` block.
+
+    The CLI's ``repro profile`` uses this to measure unmodified
+    experiment presets: :func:`execute_join_experiment` instruments the
+    built plan with the active profiler before running it and restores
+    the instrumentation afterwards, so shared objects (cost models,
+    tracers) never leak timing shadows into later runs.  Yields the
+    profiler so callers can read its snapshot and histograms.
+    """
+    global _ACTIVE_PROFILER
+    if profiler is None:
+        profiler = Profiler()
+    previous = _ACTIVE_PROFILER
+    _ACTIVE_PROFILER = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE_PROFILER = previous
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The profiler installed by :func:`profiling`, if any."""
+    return _ACTIVE_PROFILER
+
+
+@contextlib.contextmanager
 def intercepting_runs(interceptor: Callable[..., Any]) -> Iterator[None]:
     """Route every ``run_join_experiment`` call to *interceptor*.
 
@@ -153,6 +188,7 @@ class ExperimentRun:
         duration_ms: float,
         manifest: Optional[Dict[str, Any]] = None,
         tracer: Optional[Tracer] = None,
+        profile: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.label = label
         self.join = join
@@ -161,6 +197,9 @@ class ExperimentRun:
         self.duration_ms = duration_ms
         self.manifest = manifest or {}
         self.tracer = tracer
+        # Profiler snapshot (repro profile); kept OFF the manifest so
+        # profiled runs stay byte-identical to unprofiled ones.
+        self.profile = profile
 
     # -- metric accessors ----------------------------------------------------
 
@@ -317,7 +356,16 @@ def execute_join_experiment(
     collector.register_gauge("output", lambda: sink.tuple_count)
     collector.register_gauge("punct_output", lambda: sink.punctuation_count)
     collector.start(horizon_ms=workload.end_time * horizon_factor + 1000.0)
-    plan.run()
+    profiler = _ACTIVE_PROFILER
+    if profiler is not None:
+        profiler.instrument_run(join, sink, plan.engine, plan.cost_model)
+    try:
+        plan.run()
+    finally:
+        if profiler is not None:
+            # Shared objects (the cost model, a tracer reused across
+            # runs) must not carry timing shadows into later runs.
+            profiler.restore()
     series = {
         name: _trim(ts, sink.eos_time) for name, ts in collector.series.items()
     }
@@ -344,6 +392,7 @@ def execute_join_experiment(
         duration_ms=duration,
         manifest=manifest,
         tracer=tracer,
+        profile=profiler.snapshot() if profiler is not None else None,
     )
 
 

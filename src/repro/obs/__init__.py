@@ -13,7 +13,14 @@ here:
   JSON (open in Perfetto) and a human-readable indented timeline;
 * :mod:`~repro.obs.manifest` — the run manifest: config + seed +
   counters + final series of one experiment run, written next to the
-  figure data and diffable with ``tools/compare_runs.py``.
+  figure data and diffable with ``tools/compare_runs.py``;
+* :mod:`~repro.obs.profile` — the hot-path profiler: scoped timers
+  shadowed onto live operators (zero cost when off) that attribute
+  exclusive wall time to feature layers and feed fixed-bucket latency
+  histograms (:mod:`~repro.obs.histogram`);
+* :mod:`~repro.obs.logging` — the shared stderr diagnostic logger
+  behind the CLI's ``--log-level`` / ``--quiet`` / ``--log-json``
+  flags (silent by default when used as a library).
 
 The periodic gauge sampler (:class:`~repro.metrics.collector.
 MetricsCollector`) is re-exported here; its implementation stays in
@@ -22,6 +29,8 @@ MetricsCollector`) is re-exported here; its implementation stays in
 
 from repro.metrics.collector import MetricsCollector
 from repro.obs.counters import counters_of, merge_component, namespaced
+from repro.obs.histogram import FixedBucketHistogram
+from repro.obs.logging import get_logger, setup_logging
 from repro.obs.export import (
     render_timeline,
     save_chrome_trace,
@@ -37,6 +46,7 @@ from repro.obs.manifest import (
     iter_plan_operators,
     operator_counters,
 )
+from repro.obs.profile import LAYERS, Profiler
 from repro.obs.trace import Span, TraceEvent, Tracer, get_tracer, trace_hook
 
 __all__ = [
@@ -63,6 +73,13 @@ __all__ = [
     "diff_counters",
     "iter_plan_operators",
     "operator_counters",
+    # profiling
+    "Profiler",
+    "LAYERS",
+    "FixedBucketHistogram",
+    # logging
+    "get_logger",
+    "setup_logging",
     # sampling
     "MetricsCollector",
 ]

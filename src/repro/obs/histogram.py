@@ -1,0 +1,228 @@
+"""Fixed-bucket (HDR-style) latency histograms.
+
+The profiling layer records three latency distributions per run — the
+virtual time from a tuple's arrival to each result it produces, the lag
+between a punctuation's arrival and the purge run that exploits it, and
+the virtual cost of each probe.  A plain list of samples would be exact
+but unbounded; a :class:`FixedBucketHistogram` keeps memory constant
+while bounding the *relative* quantization error, exactly like an HDR
+histogram:
+
+* values are quantized to integer units of ``resolution_ms``;
+* the first ``2^(sub_bucket_bits + 1)`` units get one bucket each
+  (exact);
+* beyond that, bucket width doubles every octave while each octave
+  keeps ``2^sub_bucket_bits`` linear sub-buckets, so the relative error
+  of any bucket is at most ``2^-sub_bucket_bits``.
+
+All bucket math is exact integer arithmetic (bit lengths and shifts,
+no logarithms), so bucket boundaries are deterministic across
+platforms — percentiles computed from a recorded run never flake.
+
+Histograms with identical parameters merge losslessly, which is what
+lets sharded or repeated runs fold their distributions into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigError
+
+DEFAULT_RESOLUTION_MS = 0.001
+DEFAULT_SUB_BUCKET_BITS = 5
+
+#: Percentiles reported by :meth:`FixedBucketHistogram.summary`.
+SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class FixedBucketHistogram:
+    """A log-linear bucketed histogram over non-negative millisecond values.
+
+    Parameters
+    ----------
+    resolution_ms:
+        Size of one quantization unit.  Values below one unit land in
+        bucket 0; the histogram is exact up to
+        ``2^(sub_bucket_bits + 1)`` units.
+    sub_bucket_bits:
+        Linear sub-buckets per octave (as a power of two).  Higher means
+        finer relative resolution and more buckets.
+    """
+
+    def __init__(
+        self,
+        resolution_ms: float = DEFAULT_RESOLUTION_MS,
+        sub_bucket_bits: int = DEFAULT_SUB_BUCKET_BITS,
+    ) -> None:
+        if resolution_ms <= 0:
+            raise ConfigError(
+                f"histogram resolution must be positive, got {resolution_ms!r}"
+            )
+        if not 0 < sub_bucket_bits < 20:
+            raise ConfigError(
+                f"sub_bucket_bits must be in (0, 20), got {sub_bucket_bits!r}"
+            )
+        self.resolution_ms = resolution_ms
+        self.sub_bucket_bits = sub_bucket_bits
+        # Buckets 0 .. sub_count-1 are exact (one unit each); every
+        # later octave halves into sub_half linear sub-buckets.
+        self._sub_count = 1 << (sub_bucket_bits + 1)
+        self._sub_half = 1 << sub_bucket_bits
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms: Optional[float] = None
+        self.max_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Bucket math (exact integers)
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, value_ms: float) -> int:
+        """The bucket holding *value_ms* (negative values clamp to 0)."""
+        units = int(value_ms / self.resolution_ms) if value_ms > 0 else 0
+        if units < self._sub_count:
+            return units
+        # Shift the value down until it fits the linear range; each
+        # shift is one octave of sub_half buckets past the exact range.
+        octave = units.bit_length() - (self.sub_bucket_bits + 1)
+        return (
+            self._sub_count
+            + (octave - 1) * self._sub_half
+            + ((units >> octave) - self._sub_half)
+        )
+
+    def bucket_lower_bound(self, index: int) -> float:
+        """The smallest value (ms) that maps into bucket *index*."""
+        if index < 0:
+            raise ConfigError(f"bucket index must be non-negative, got {index}")
+        if index < self._sub_count:
+            return index * self.resolution_ms
+        past = index - self._sub_count
+        octave = past // self._sub_half + 1
+        offset = past % self._sub_half
+        return float((self._sub_half + offset) << octave) * self.resolution_ms
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+
+    def record(self, value_ms: float, count: int = 1) -> None:
+        """Add *count* observations of *value_ms*."""
+        if count <= 0:
+            return
+        index = self.bucket_index(value_ms)
+        self.counts[index] = self.counts.get(index, 0) + count
+        self.count += count
+        value = max(value_ms, 0.0)
+        self.sum_ms += value * count
+        if self.min_ms is None or value < self.min_ms:
+            self.min_ms = value
+        if self.max_ms is None or value > self.max_ms:
+            self.max_ms = value
+
+    def record_many(self, values_ms: Iterable[float]) -> None:
+        for value in values_ms:
+            self.record(value)
+
+    def merge(self, other: "FixedBucketHistogram") -> None:
+        """Fold *other* into this histogram (parameters must match)."""
+        if (other.resolution_ms != self.resolution_ms
+                or other.sub_bucket_bits != self.sub_bucket_bits):
+            raise ConfigError(
+                "cannot merge histograms with different bucket parameters: "
+                f"({self.resolution_ms}, {self.sub_bucket_bits}) vs "
+                f"({other.resolution_ms}, {other.sub_bucket_bits})"
+            )
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.count += other.count
+        self.sum_ms += other.sum_ms
+        if other.min_ms is not None:
+            self.min_ms = (other.min_ms if self.min_ms is None
+                           else min(self.min_ms, other.min_ms))
+        if other.max_ms is not None:
+            self.max_ms = (other.max_ms if self.max_ms is None
+                           else max(self.max_ms, other.max_ms))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def mean(self) -> float:
+        return self.sum_ms / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """The lower bound (ms) of the bucket holding the *pct* percentile.
+
+        Quantized downward to the bucket boundary, so the true
+        percentile lies within one bucket width above the returned
+        value.  Returns 0.0 on an empty histogram.
+        """
+        if not 0 <= pct <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {pct!r}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the target observation, 1-based, at least 1.
+        target = max(1, int(pct / 100.0 * self.count + 0.5))
+        cumulative = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative >= target:
+                return self.bucket_lower_bound(index)
+        return self.bucket_lower_bound(max(self.counts))
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline stats for manifests: count, min/mean/max, p50/p95/p99."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "min_ms": round(self.min_ms, 6) if self.min_ms is not None else None,
+            "mean_ms": round(self.mean(), 6),
+            "max_ms": round(self.max_ms, 6) if self.max_ms is not None else None,
+        }
+        for pct in SUMMARY_PERCENTILES:
+            out[f"p{pct:g}_ms"] = round(self.percentile(pct), 6)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "resolution_ms": self.resolution_ms,
+            "sub_bucket_bits": self.sub_bucket_bits,
+            "count": self.count,
+            "sum_ms": self.sum_ms,
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+            # JSON object keys are strings; parse them back in from_dict.
+            "counts": {str(index): count
+                       for index, count in sorted(self.counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FixedBucketHistogram":
+        hist = cls(
+            resolution_ms=payload["resolution_ms"],
+            sub_bucket_bits=payload["sub_bucket_bits"],
+        )
+        hist.count = int(payload.get("count", 0))
+        hist.sum_ms = float(payload.get("sum_ms", 0.0))
+        hist.min_ms = payload.get("min_ms")
+        hist.max_ms = payload.get("max_ms")
+        hist.counts = {
+            int(index): int(count)
+            for index, count in payload.get("counts", {}).items()
+        }
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedBucketHistogram(count={self.count}, "
+            f"mean={self.mean():.3f}ms, max={self.max_ms})"
+        )

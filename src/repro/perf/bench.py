@@ -41,6 +41,7 @@ from repro.experiments.harness import (
 )
 from repro.memory.budget import GovernorSpec, parse_memory_budget
 from repro.memory.policies import POLICIES
+from repro.obs.logging import get_logger, setup_logging
 from repro.resilience.chaos import run_chaos
 from repro.workloads.generator import generate_workload
 
@@ -49,7 +50,12 @@ try:  # pragma: no cover - resource is POSIX-only
 except ImportError:  # pragma: no cover
     resource = None  # type: ignore[assignment]
 
-BENCH_FORMAT = 1
+log = get_logger(__name__)
+
+# Format 2 adds the optional ``layer_matrix`` section (per-layer
+# feature-toggle overhead from ``--layer-matrix``); format-1 reports
+# remain readable and comparable — the section is simply absent.
+BENCH_FORMAT = 2
 DEFAULT_BASELINE = Path("benchmarks") / "bench_baseline.json"
 QUICK_BASELINE = Path("benchmarks") / "bench_baseline_quick.json"
 DEFAULT_SCALE = 1.0
@@ -249,10 +255,21 @@ BENCH_CASES: Dict[str, BenchCase] = {
 
 
 def _peak_rss_kb() -> Optional[int]:
-    """Process-wide peak RSS in KiB (``None`` where unsupported)."""
-    if resource is None:  # pragma: no cover
+    """Process-wide peak RSS in KiB, or ``None`` where unsupported.
+
+    ``resource`` is POSIX-only and even there some platforms (or
+    sandboxed runtimes) omit ``ru_maxrss`` or refuse ``getrusage``;
+    the bench must degrade to a ``None`` column, never crash.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platform
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    try:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        peak = getattr(usage, "ru_maxrss", 0)
+    except (ValueError, OSError):  # pragma: no cover - exotic runtimes
+        return None
+    if not peak:  # pragma: no cover - platform reports nothing useful
+        return None
     if sys.platform == "darwin":  # pragma: no cover - reported in bytes
         peak //= 1024
     return int(peak)
@@ -340,7 +357,7 @@ def baseline_payload(report: Dict[str, Any]) -> Dict[str, Any]:
     return {
         key: value
         for key, value in report.items()
-        if key not in ("machine", "comparison")
+        if key not in ("machine", "comparison", "layer_matrix")
     }
 
 
@@ -396,7 +413,44 @@ def compare_reports(
             )
         result["workloads"][name] = entry
         result["ok"] = result["ok"] and entry["ok"]
+    layer_diff = _diff_layer_matrices(current, baseline)
+    if layer_diff is not None:
+        result["layer_matrix"] = layer_diff
     return result
+
+
+def _diff_layer_matrices(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Per-variant overhead drift, when BOTH reports carry the matrix.
+
+    Old (format-1) reports have no ``layer_matrix``; the diff simply
+    stays absent — never a crash.  The diff is informational (overhead
+    percentages move with host noise), so it does not gate ``ok``.
+    """
+    old = baseline.get("layer_matrix")
+    new = current.get("layer_matrix")
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        return None
+    if old.get("preset") != new.get("preset"):
+        return None
+    diff: Dict[str, Any] = {}
+    for name, entry in new.get("variants", {}).items():
+        base_entry = old.get("variants", {}).get(name)
+        if base_entry is None:
+            continue
+        overhead = entry.get("overhead_pct")
+        base_overhead = base_entry.get("overhead_pct")
+        diff[name] = {
+            "overhead_pct": overhead,
+            "baseline_overhead_pct": base_overhead,
+            "delta_pct": (
+                round(overhead - base_overhead, 2)
+                if overhead is not None and base_overhead is not None
+                else None
+            ),
+        }
+    return diff or None
 
 
 def render_report(report: Dict[str, Any]) -> str:
@@ -418,6 +472,15 @@ def render_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"{name:<18} {w['wall_s']:>9.3f} {w['events']:>9} "
             f"{w['events_per_s']:>11.0f} {w['results']:>9} {rss_mb:>12}"
+        )
+    matrix = report.get("layer_matrix")
+    if matrix:
+        from repro.profiling.runner import render_layer_matrix
+
+        comparison = report.get("comparison") or {}
+        lines.append("")
+        lines.append(
+            render_layer_matrix(matrix, diff=comparison.get("layer_matrix"))
         )
     comparison = report.get("comparison")
     if comparison:
@@ -500,6 +563,12 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
         "--eviction-policy", choices=sorted(POLICIES), default="lru",
         help="governor eviction policy (default %(default)s)",
     )
+    parser.add_argument(
+        "--layer-matrix", action="store_true",
+        help="also run the feature-toggle grid (obs/resilience/governor/"
+             "shard on and off) on the fig5_pjoin preset and record the "
+             "per-layer overhead matrix in the report",
+    )
 
 
 def _budget_arg(text: str) -> float:
@@ -525,11 +594,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 cases=args.cases,
                 repeat=args.repeat,
                 quick=args.quick,
-                progress=lambda msg: print(msg, file=sys.stderr),
+                progress=log.info,
             )
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
+
+    if getattr(args, "layer_matrix", False):
+        from repro.profiling.runner import layer_cost_matrix
+
+        log.info("running layer-cost matrix (fig5_pjoin, scale %g) ...", scale)
+        report["layer_matrix"] = layer_cost_matrix(
+            "fig5_pjoin", scale=scale, repeat=args.repeat
+        )
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -543,8 +620,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         report["comparison"]["baseline_path"] = str(baseline_path)
         gate_failed = not report["comparison"]["ok"]
     elif not args.no_compare:
-        print(f"no baseline at {baseline_path}; skipping comparison",
-              file=sys.stderr)
+        log.warning("no baseline at %s; skipping comparison", baseline_path)
 
     out = args.out
     if out is None:
@@ -555,7 +631,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline_path.write_text(
             json.dumps(baseline_payload(report), indent=1) + "\n"
         )
-        print(f"wrote baseline: {baseline_path}", file=sys.stderr)
+        log.info("wrote baseline: %s", baseline_path)
 
     print(render_report(report))
     print(f"\nwrote report: {out}")
@@ -563,17 +639,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # Name every offender: "gate: FAIL" alone is useless in a CI log.
         comparison = report["comparison"]
         if comparison.get("error"):
-            print(f"bench gate FAILED: {comparison['error']}",
-                  file=sys.stderr)
+            log.error("bench gate FAILED: %s", comparison["error"])
         for name, entry in comparison["workloads"].items():
             if entry.get("ok", True):
                 continue
             ratio = entry.get("wall_ratio")
             ratio_text = f"{ratio:.2f}x" if ratio is not None else "?"
-            print(
-                f"bench gate FAILED: {name} ran {ratio_text} the baseline "
-                f"wall time (limit {comparison['max_slowdown']:g}x)",
-                file=sys.stderr,
+            log.error(
+                "bench gate FAILED: %s ran %s the baseline wall time "
+                "(limit %gx)",
+                name, ratio_text, comparison["max_slowdown"],
             )
         return 1
     return 0
@@ -585,6 +660,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run the pinned benchmark suite and write BENCH_<rev>.json",
     )
     add_bench_args(parser)
+    setup_logging()
     return cmd_bench(parser.parse_args(argv))
 
 

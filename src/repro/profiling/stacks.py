@@ -1,0 +1,98 @@
+"""Flame-graph exports of the profiler's per-site self times.
+
+Two interchange formats, both fed from the profiler's
+``(source, layer) -> exclusive nanoseconds`` map:
+
+* **collapsed stacks** — one ``frame;frame value`` line per site, the
+  input format of Brendan Gregg's ``flamegraph.pl`` and of speedscope's
+  importer.  The stack is ``preset-root;<source>;<layer>`` so the
+  flame graph groups by operator first, layer second;
+* **speedscope JSON** — a ``sampled`` profile (one weighted sample per
+  site) conforming to the speedscope file-format schema; open it
+  directly at https://speedscope.app.
+
+Self times are exclusive by construction, so the exported weights sum
+to the profiled total span — the flame graph's root width is the whole
+measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.profile import Profiler
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+ROOT_FRAME = "repro"
+
+
+def _sites(profiler: Profiler) -> List[Tuple[str, str, int]]:
+    """(source, layer, self_ns) rows, hottest first, zero rows dropped."""
+    rows = [
+        (source, layer, ns)
+        for (source, layer), ns in profiler.self_ns.items()
+        if ns > 0
+    ]
+    rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+    return rows
+
+
+def collapsed_stacks(profiler: Profiler) -> str:
+    """Collapsed-stack lines (``root;source;layer nanoseconds``)."""
+    lines = [
+        f"{ROOT_FRAME};{source};{layer} {ns}"
+        for source, layer, ns in _sites(profiler)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_collapsed(profiler: Profiler, path: Path) -> None:
+    Path(path).write_text(collapsed_stacks(profiler))
+
+
+def to_speedscope(profiler: Profiler, name: str = "repro profile") -> Dict[str, Any]:
+    """A speedscope ``sampled`` profile of the per-site self times."""
+    frames: List[Dict[str, Any]] = [{"name": ROOT_FRAME}]
+    frame_index: Dict[str, int] = {ROOT_FRAME: 0}
+
+    def frame_of(label: str) -> int:
+        index = frame_index.get(label)
+        if index is None:
+            index = len(frames)
+            frames.append({"name": label})
+            frame_index[label] = index
+        return index
+
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for source, layer, ns in _sites(profiler):
+        samples.append([0, frame_of(source), frame_of(f"[{layer}]")])
+        weights.append(ns)
+    total = sum(weights)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro profile",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "nanoseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def save_speedscope(
+    profiler: Profiler, path: Path, name: str = "repro profile"
+) -> None:
+    Path(path).write_text(json.dumps(to_speedscope(profiler, name=name)) + "\n")

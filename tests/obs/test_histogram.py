@@ -1,0 +1,194 @@
+"""Fixed-bucket histogram: exact bucket math, merge, percentiles."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.obs.histogram import FixedBucketHistogram
+
+
+def unit_hist(**kwargs):
+    # resolution 1.0 makes units == value, so bucket indices are easy
+    # to compute by hand (sub_bucket_bits=5: 64 exact buckets, then
+    # 32 sub-buckets per octave).
+    kwargs.setdefault("resolution_ms", 1.0)
+    kwargs.setdefault("sub_bucket_bits", 5)
+    return FixedBucketHistogram(**kwargs)
+
+
+class TestBucketBoundaries:
+    """Hand-computed indices around the linear/log boundary."""
+
+    @pytest.mark.parametrize("value, index", [
+        (0, 0),
+        (0.5, 0),       # below one unit
+        (1, 1),
+        (63, 63),       # last exact bucket
+        (63.99, 63),
+        (64, 64),       # first log bucket (octave 1, offset 0)
+        (65, 64),       # same bucket: width 2 in octave 1
+        (66, 65),
+        (126, 95),      # last sub-bucket of octave 1
+        (127, 95),
+        (128, 96),      # first sub-bucket of octave 2 (width 4)
+        (131, 96),
+        (132, 97),
+    ])
+    def test_index(self, value, index):
+        assert unit_hist().bucket_index(value) == index
+
+    def test_negative_values_clamp_to_bucket_zero(self):
+        assert unit_hist().bucket_index(-5.0) == 0
+
+    @pytest.mark.parametrize("index, bound", [
+        (0, 0.0), (1, 1.0), (63, 63.0),
+        (64, 64.0), (65, 66.0), (95, 126.0), (96, 128.0), (97, 132.0),
+    ])
+    def test_lower_bound(self, index, bound):
+        assert unit_hist().bucket_lower_bound(index) == bound
+
+    def test_lower_bound_rejects_negative_index(self):
+        with pytest.raises(ConfigError):
+            unit_hist().bucket_lower_bound(-1)
+
+    @given(st.floats(min_value=0.0, max_value=1e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_bound_brackets_value(self, value):
+        """lower_bound(index(v)) <= v < lower_bound(index(v) + 1)."""
+        hist = unit_hist()
+        index = hist.bucket_index(value)
+        assert hist.bucket_lower_bound(index) <= value
+        assert value < hist.bucket_lower_bound(index + 1)
+
+    @given(st.floats(min_value=64.0, max_value=1e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_relative_error_bound(self, value):
+        """Past the exact range, bucket width stays within 2^-bits of
+        the value (the HDR relative-error bound); below it buckets are
+        one unit wide, i.e. exact."""
+        hist = unit_hist()
+        index = hist.bucket_index(value)
+        width = hist.bucket_lower_bound(index + 1) - hist.bucket_lower_bound(index)
+        assert width <= value / (1 << hist.sub_bucket_bits) + 1e-9
+
+
+class TestRecording:
+    def test_stats(self):
+        hist = unit_hist()
+        hist.record_many([1.0, 2.0, 3.0])
+        assert hist.count == len(hist) == 3
+        assert hist.min_ms == 1.0
+        assert hist.max_ms == 3.0
+        assert hist.mean() == pytest.approx(2.0)
+
+    def test_weighted_record(self):
+        hist = unit_hist()
+        hist.record(5.0, count=4)
+        assert hist.count == 4
+        assert hist.sum_ms == pytest.approx(20.0)
+
+    def test_non_positive_count_ignored(self):
+        hist = unit_hist()
+        hist.record(5.0, count=0)
+        hist.record(5.0, count=-2)
+        assert hist.count == 0
+
+    def test_empty_histogram(self):
+        hist = unit_hist()
+        assert hist.mean() == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.min_ms is None and hist.max_ms is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            FixedBucketHistogram(resolution_ms=0)
+        with pytest.raises(ConfigError):
+            FixedBucketHistogram(sub_bucket_bits=0)
+        with pytest.raises(ConfigError):
+            FixedBucketHistogram(sub_bucket_bits=25)
+
+
+class TestPercentiles:
+    def test_exact_range_percentiles(self):
+        hist = unit_hist()
+        hist.record_many(float(v) for v in range(1, 11))  # 1..10, exact buckets
+        assert hist.percentile(50) == 5.0
+        assert hist.percentile(100) == 10.0
+        assert hist.percentile(0) == 1.0
+
+    def test_percentile_is_bucket_lower_bound(self):
+        hist = unit_hist()
+        hist.record(127.0)  # bucket 95, lower bound 126
+        assert hist.percentile(50) == 126.0
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ConfigError):
+            unit_hist().percentile(101)
+
+    def test_summary_schema(self):
+        hist = unit_hist()
+        hist.record_many([1.0, 2.0, 100.0])
+        summary = hist.summary()
+        assert set(summary) == {
+            "count", "min_ms", "mean_ms", "max_ms",
+            "p50_ms", "p95_ms", "p99_ms",
+        }
+        assert summary["count"] == 3
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_percentiles_monotone(self, values):
+        hist = unit_hist()
+        hist.record_many(values)
+        p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+        assert p50 <= p95 <= p99 <= max(values)
+
+
+class TestMerge:
+    def test_merge_equals_recording_everything(self):
+        left, right, both = unit_hist(), unit_hist(), unit_hist()
+        left.record_many([1.0, 2.0, 200.0])
+        right.record_many([3.0, 150.0])
+        both.record_many([1.0, 2.0, 200.0, 3.0, 150.0])
+        left.merge(right)
+        assert left.counts == both.counts
+        assert left.count == both.count
+        assert left.sum_ms == pytest.approx(both.sum_ms)
+        assert left.min_ms == both.min_ms
+        assert left.max_ms == both.max_ms
+        for pct in (50, 95, 99):
+            assert left.percentile(pct) == both.percentile(pct)
+
+    def test_merge_with_empty(self):
+        left, right = unit_hist(), unit_hist()
+        left.record(5.0)
+        left.merge(right)
+        assert left.count == 1
+        right.merge(left)
+        assert right.count == 1 and right.min_ms == 5.0
+
+    def test_parameter_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            unit_hist().merge(unit_hist(resolution_ms=2.0))
+        with pytest.raises(ConfigError):
+            unit_hist().merge(unit_hist(sub_bucket_bits=6))
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        hist = unit_hist()
+        hist.record_many([0.0, 1.5, 64.0, 500.0])
+        payload = json.loads(json.dumps(hist.to_dict()))
+        back = FixedBucketHistogram.from_dict(payload)
+        assert back.to_dict() == hist.to_dict()
+        assert back.percentile(95) == hist.percentile(95)
+
+    def test_counts_keys_are_strings_in_json(self):
+        hist = unit_hist()
+        hist.record(64.0)
+        assert list(hist.to_dict()["counts"]) == ["64"]

@@ -1,0 +1,213 @@
+"""The hot-path profiler: attribution math, harness integration, identity.
+
+The headline contracts under test:
+
+* exclusive (self-time) attribution telescopes — the per-layer self
+  times sum to exactly the total profiled span, for any call tree;
+* profiling is applied by shadowing instances and fully reversed by
+  ``restore()``, so an unprofiled run carries *no* hooks and shared
+  objects (the cost model) do not leak instrumentation across runs;
+* a profiled run is deterministically identical to an unprofiled one:
+  same manifest, byte-identical figure JSON.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import PJoinConfig
+from repro.experiments.export import save_figure_json
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import (
+    active_profiler,
+    pjoin_factory,
+    profiling,
+    run_join_experiment,
+    sharding,
+    shj_factory,
+    tracing,
+    xjoin_factory,
+)
+from repro.obs.profile import LAYERS, PROFILE_VERSION, Profiler
+from repro.obs.trace import Tracer
+from repro.workloads.generator import generate_workload
+
+
+class FakeClock:
+    """Deterministic ns clock: each reading advances by a fixed step."""
+
+    def __init__(self, step: int = 10):
+        self.t = 0
+        self.step = step
+
+    def __call__(self) -> int:
+        self.t += self.step
+        return self.t
+
+
+def small_workload(n=300, spacing=10.0, seed=7):
+    return generate_workload(
+        n_tuples_per_stream=n,
+        punct_spacing_a=spacing,
+        punct_spacing_b=spacing,
+        seed=seed,
+    )
+
+
+class TestAttribution:
+    def test_single_frame(self):
+        prof = Profiler(clock=FakeClock(step=10))
+        fn = prof.wrap(lambda: None, "site", "core")
+        fn()
+        # Two clock readings 10ns apart: 10ns of exclusive time.
+        assert prof.self_ns[("site", "core")] == 10
+        assert prof.calls[("site", "core")] == 1
+        assert prof.total_ns == 10
+
+    def test_nested_frames_are_exclusive(self):
+        prof = Profiler(clock=FakeClock(step=10))
+        inner = prof.wrap(lambda: None, "inner", "core")
+        outer = prof.wrap(inner, "outer", "shard")
+        outer()
+        # The outer frame is charged only its own time; inner time is
+        # subtracted, and outer + inner == total exactly.
+        inner_ns = prof.self_ns[("inner", "core")]
+        outer_ns = prof.self_ns[("outer", "shard")]
+        assert inner_ns > 0 and outer_ns > 0
+        assert inner_ns + outer_ns == prof.total_ns
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler().wrap(lambda: None, "site", "nope")
+
+    def test_wrapped_exception_still_attributed(self):
+        prof = Profiler(clock=FakeClock())
+
+        def boom():
+            raise RuntimeError("x")
+
+        fn = prof.wrap(boom, "site", "core")
+        with pytest.raises(RuntimeError):
+            fn()
+        assert prof.calls[("site", "core")] == 1
+        assert prof.total_ns > 0
+
+    @given(st.recursive(st.just([]),
+                        lambda children: st.lists(children, max_size=3),
+                        max_leaves=12))
+    def test_self_times_sum_to_total_for_any_call_tree(self, tree):
+        """Property: attribution telescopes exactly, whatever the shape."""
+        prof = Profiler(clock=FakeClock(step=3))
+
+        def execute(node, depth):
+            layer = LAYERS[depth % len(LAYERS)]
+            fn = prof.wrap(
+                lambda: [execute(child, depth + 1) for child in node],
+                f"site{depth}", layer,
+            )
+            fn()
+
+        for top in [tree] if not isinstance(tree, list) else (tree or [[]]):
+            execute(top, 0)
+        assert sum(prof.self_ns.values()) == prof.total_ns
+
+    def test_snapshot_schema(self):
+        # A millisecond-scale step, so the rounded snapshot is non-zero.
+        prof = Profiler(clock=FakeClock(step=10_000_000))
+        prof.wrap(lambda: None, "site", "core")()
+        snap = prof.snapshot()
+        assert snap["profile_version"] == PROFILE_VERSION
+        assert set(snap["layers"]) == set(LAYERS)
+        assert snap["sites"][0]["source"] == "site"
+        assert snap["total_ms"] > 0
+
+
+class TestInstrumentAndRestore:
+    def run_once(self, factory, workload, **features):
+        import contextlib
+
+        with contextlib.ExitStack() as stack:
+            if features.get("obs"):
+                stack.enter_context(tracing(Tracer()))
+            if features.get("shard"):
+                stack.enter_context(sharding(1))
+            profiler = stack.enter_context(profiling())
+            run = run_join_experiment(factory, workload, label="profiled")
+        return run, profiler
+
+    def test_layers_attributed_on_pjoin(self):
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        run, profiler = self.run_once(factory, small_workload(), obs=True)
+        layers = profiler.snapshot()["layers"]
+        assert layers["core"]["self_ms"] > 0
+        assert layers["core"]["calls"] > 0
+        assert layers["obs"]["calls"] > 0
+        # Histograms recorded in virtual time.
+        assert profiler.histograms["result_latency_ms"].count > 0
+        assert profiler.histograms["probe_cost_ms"].count > 0
+
+    def test_purge_lag_recorded_for_pjoin(self):
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        _, profiler = self.run_once(factory, small_workload())
+        assert profiler.histograms["purge_lag_ms"].count > 0
+
+    def test_shard_layer_attributed_under_sharding(self):
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        _, profiler = self.run_once(factory, small_workload(), shard=True)
+        layers = profiler.snapshot()["layers"]
+        assert layers["shard"]["calls"] > 0
+        assert layers["core"]["calls"] > 0
+
+    @pytest.mark.parametrize("factory", [xjoin_factory(), shj_factory()],
+                             ids=["xjoin", "shj"])
+    def test_other_join_algorithms_profile_too(self, factory):
+        run, profiler = self.run_once(factory, small_workload())
+        assert profiler.snapshot()["layers"]["core"]["calls"] > 0
+        assert profiler.histograms["result_latency_ms"].count > 0
+
+    def test_restore_removes_every_shadow(self):
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        run, _ = self.run_once(factory, small_workload(), obs=True)
+        join = run.join
+        # The harness restores after the run: no instance shadows left.
+        for attr in ("handle", "on_finish", "emit_joins", "_handle_punctuation"):
+            assert attr not in vars(join), f"leaked shadow: {attr}"
+
+    def test_no_profiler_active_outside_context(self):
+        assert active_profiler() is None
+        with profiling() as prof:
+            assert active_profiler() is prof
+        assert active_profiler() is None
+
+
+class TestProfiledEqualsUnprofiled:
+    def test_manifest_identical(self):
+        workload = small_workload()
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        plain = run_join_experiment(factory, workload, label="run")
+        with profiling():
+            profiled = run_join_experiment(factory, workload, label="run")
+        assert plain.profile is None
+        assert profiled.profile is not None
+        # The profile rides on the run object, never inside the manifest.
+        assert profiled.manifest == plain.manifest
+
+    def test_figure_json_byte_identical(self, tmp_path):
+        """The acceptance bar: profiled figure JSON is byte-identical."""
+        plain_path = tmp_path / "plain.json"
+        profiled_path = tmp_path / "profiled.json"
+        save_figure_json(ALL_FIGURES["figure5"](scale=0.06), plain_path)
+        with profiling():
+            save_figure_json(ALL_FIGURES["figure5"](scale=0.06), profiled_path)
+        assert profiled_path.read_bytes() == plain_path.read_bytes()
+
+    def test_cost_model_shared_across_runs_stays_clean(self):
+        # The second (unprofiled) run must not see the first run's
+        # probe-cost interceptor: same virtual outcome either way.
+        workload = small_workload(n=150)
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        with profiling():
+            run_join_experiment(factory, workload, label="first")
+        after = run_join_experiment(factory, workload, label="second")
+        before = run_join_experiment(factory, workload, label="second")
+        assert after.manifest == before.manifest

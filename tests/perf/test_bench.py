@@ -7,6 +7,7 @@ import pytest
 from repro.perf.bench import (
     BENCH_CASES,
     BENCH_FORMAT,
+    _peak_rss_kb,
     baseline_payload,
     compare_reports,
     main as bench_main,
@@ -178,3 +179,133 @@ class TestBaselinePayload:
     def test_render_handles_machineless_reports(self, tiny_report):
         rendered = render_report(baseline_payload(tiny_report))
         assert "bench @" in rendered
+
+    def test_strips_layer_matrix(self, tiny_report):
+        # Matrix numbers are host wall times — they would churn every
+        # committed baseline for no gating value.
+        report = dict(tiny_report)
+        report["layer_matrix"] = {"preset": "fig5_pjoin", "variants": {}}
+        assert "layer_matrix" not in baseline_payload(report)
+
+
+class TestPeakRss:
+    def test_current_platform_value(self):
+        peak = _peak_rss_kb()
+        # POSIX CI and dev machines report a positive KiB count; the
+        # contract elsewhere is "int or None", never garbage.
+        assert peak is None or (isinstance(peak, int) and peak > 0)
+
+    def test_missing_resource_module_degrades_to_none(self, monkeypatch):
+        import repro.perf.bench as bench
+
+        monkeypatch.setattr(bench, "resource", None)
+        assert _peak_rss_kb() is None
+
+    def test_getrusage_failure_degrades_to_none(self, monkeypatch):
+        import repro.perf.bench as bench
+
+        class Broken:
+            RUSAGE_SELF = 0
+
+            @staticmethod
+            def getrusage(_who):
+                raise OSError("unsupported")
+
+        monkeypatch.setattr(bench, "resource", Broken)
+        assert _peak_rss_kb() is None
+
+    def test_zero_ru_maxrss_degrades_to_none(self, monkeypatch):
+        import repro.perf.bench as bench
+
+        class Zero:
+            RUSAGE_SELF = 0
+
+            class _Usage:
+                ru_maxrss = 0
+
+            @staticmethod
+            def getrusage(_who):
+                return Zero._Usage()
+
+        monkeypatch.setattr(bench, "resource", Zero)
+        assert _peak_rss_kb() is None
+
+    def test_report_serialises_none_rss(self, tiny_report, monkeypatch):
+        import repro.perf.bench as bench
+
+        monkeypatch.setattr(bench, "resource", None)
+        case = run_case(BENCH_CASES["chaos_disorder"], scale=1.0)
+        assert case["peak_rss_kb"] is None
+        assert json.loads(json.dumps(case))["peak_rss_kb"] is None
+        # render_report shows "-" instead of crashing on None.
+        report = dict(tiny_report)
+        report["workloads"] = {"chaos_disorder": case}
+        assert "-" in render_report(report)
+
+
+def _matrix(overheads, preset="fig5_pjoin"):
+    return {
+        "preset": preset,
+        "scale": 1.0,
+        "repeat": 1,
+        "variants": {
+            name: {
+                "features": [] if name == "none" else [name],
+                "wall_s": 1.0,
+                "events_per_s": 100.0,
+                "events": 100,
+                "results": 10,
+                "virtual_ms": 1.0,
+                "overhead_pct": pct,
+            }
+            for name, pct in overheads.items()
+        },
+    }
+
+
+class TestLayerMatrixDiff:
+    def test_diff_present_when_both_reports_carry_matrix(self):
+        current = _report(1.0)
+        current["layer_matrix"] = _matrix({"none": 0.0, "obs": 5.0})
+        baseline = _report(1.0)
+        baseline["layer_matrix"] = _matrix({"none": 0.0, "obs": 2.0})
+        cmp = compare_reports(current, baseline)
+        assert cmp["ok"]  # informational, never gates
+        assert cmp["layer_matrix"]["obs"]["delta_pct"] == 3.0
+        assert cmp["layer_matrix"]["obs"]["baseline_overhead_pct"] == 2.0
+
+    def test_old_format_baseline_without_matrix_is_graceful(self):
+        current = _report(1.0)
+        current["layer_matrix"] = _matrix({"none": 0.0, "obs": 5.0})
+        cmp = compare_reports(current, _report(1.0))
+        assert cmp["ok"]
+        assert "layer_matrix" not in cmp
+
+    def test_preset_mismatch_skips_diff(self):
+        current = _report(1.0)
+        current["layer_matrix"] = _matrix({"obs": 5.0})
+        baseline = _report(1.0)
+        baseline["layer_matrix"] = _matrix({"obs": 2.0}, preset="fig8_pjoin_lazy")
+        assert "layer_matrix" not in compare_reports(current, baseline)
+
+    def test_render_report_includes_matrix_and_diff_column(self):
+        report = _report(1.0)
+        report["layer_matrix"] = _matrix({"none": 0.0, "obs": 5.0})
+        report["comparison"] = {
+            "baseline_rev": "old", "max_slowdown": 2.0, "ok": True,
+            "workloads": {},
+            "layer_matrix": {
+                "obs": {"overhead_pct": 5.0, "baseline_overhead_pct": 2.0,
+                        "delta_pct": 3.0},
+            },
+        }
+        rendered = render_report(report)
+        assert "layer-cost matrix" in rendered
+        assert "vs baseline" in rendered
+        assert "+3.0pp" in rendered
+
+    def test_render_report_matrix_without_comparison(self):
+        report = _report(1.0)
+        report["layer_matrix"] = _matrix({"none": 0.0})
+        rendered = render_report(report)
+        assert "layer-cost matrix" in rendered

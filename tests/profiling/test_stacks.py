@@ -1,0 +1,82 @@
+"""Flame-graph exports: collapsed stacks and speedscope JSON."""
+
+import json
+
+from repro.obs.profile import Profiler
+from repro.profiling.stacks import (
+    ROOT_FRAME,
+    SPEEDSCOPE_SCHEMA,
+    collapsed_stacks,
+    save_collapsed,
+    save_speedscope,
+    to_speedscope,
+)
+
+
+class StepClock:
+    def __init__(self, step=10):
+        self.t = 0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+def profiled_sample():
+    prof = Profiler(clock=StepClock())
+    prof.wrap(lambda: None, "join", "core")()
+    prof.wrap(lambda: None, "join.router", "shard")()
+    prof.wrap(lambda: None, "join", "core")()
+    return prof
+
+
+class TestCollapsedStacks:
+    def test_line_format_and_weights(self):
+        prof = profiled_sample()
+        lines = collapsed_stacks(prof).strip().splitlines()
+        assert len(lines) == 2  # two distinct sites
+        total = 0
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            frames = stack.split(";")
+            assert frames[0] == ROOT_FRAME
+            assert len(frames) == 3
+            total += int(value)
+        assert total == prof.total_ns
+
+    def test_hottest_site_first(self):
+        prof = profiled_sample()
+        first = collapsed_stacks(prof).splitlines()[0]
+        assert ";join;core " in first  # called twice, so hottest
+
+    def test_empty_profiler(self):
+        assert collapsed_stacks(Profiler(clock=StepClock())) == ""
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "stacks.txt"
+        save_collapsed(profiled_sample(), path)
+        assert path.read_text().endswith("\n")
+
+
+class TestSpeedscope:
+    def test_schema(self):
+        prof = profiled_sample()
+        doc = to_speedscope(prof, name="test")
+        assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+        profile = doc["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "nanoseconds"
+        assert len(profile["samples"]) == len(profile["weights"]) == 2
+        assert profile["endValue"] == sum(profile["weights"]) == prof.total_ns
+        # Every sample's frame indices are valid.
+        n_frames = len(doc["shared"]["frames"])
+        for sample in profile["samples"]:
+            assert all(0 <= index < n_frames for index in sample)
+            assert sample[0] == 0  # rooted at the shared root frame
+
+    def test_json_serializable(self, tmp_path):
+        path = tmp_path / "profile.speedscope.json"
+        save_speedscope(profiled_sample(), path)
+        doc = json.loads(path.read_text())
+        assert doc["profiles"][0]["weights"]

@@ -22,7 +22,10 @@ directly; their counters are always diffed.
 With ``--bench`` the two arguments are wall-clock benchmark reports as
 written by ``repro bench`` (``BENCH_<rev>.json``); the diff covers wall
 time, events/s, and deterministic-outcome drift, gated by
-``--max-slowdown`` instead of ``--threshold``.
+``--max-slowdown`` instead of ``--threshold``.  When both reports carry
+the per-layer overhead matrix (``repro bench --layer-matrix``, format 2)
+the table gains a "vs baseline" column showing how each feature layer's
+overhead moved; format-1 reports without the matrix compare as before.
 
 Exit status 1 when any metric moved more than the threshold (relative),
 so it can serve as a CI regression gate.
