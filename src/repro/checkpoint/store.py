@@ -1,0 +1,127 @@
+"""Checkpoint persistence through the simulated disk.
+
+A checkpoint payload (the operator snapshot plus the runner's replay
+positions and accumulated outputs) is pickled to measure its nominal
+size, then charged to a :class:`~repro.storage.disk.SimulatedDisk` as
+``ceil(bytes / bytes_per_tuple)`` tuple writes — checkpoint I/O rides
+the same cost model and, when the disk carries a fault profile, the
+same seeded fault injector as every other disk operation.  A
+checkpoint save can therefore hit a transient outage and pay backoff,
+or raise :class:`~repro.errors.RetryExhaustedError` under a capped
+retry budget, exactly like a state-relocation flush.
+
+Only the latest checkpoint per shard is retained: punctuation-aligned
+cuts strictly supersede each other (each cut's state already reflects
+every earlier cover), so older checkpoints can never be preferred.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from typing import Any, Dict, Optional, Tuple as PyTuple
+
+from repro.storage.disk import SimulatedDisk
+
+
+class Checkpoint:
+    """One persisted cut: operator state plus replay positions.
+
+    ``positions`` is ``(consumed_a, consumed_b)`` — how many schedule
+    items of each input the checkpoint covers, relative to the schedule
+    the runner was given.  ``state`` is the full runner payload (the
+    operator snapshot under ``"operator"``, accumulated outputs under
+    ``"outputs"``).
+    """
+
+    __slots__ = ("shard", "seq", "cut_ts", "positions", "state", "payload_bytes")
+
+    def __init__(
+        self,
+        shard: int,
+        seq: int,
+        cut_ts: float,
+        positions: PyTuple[int, int],
+        state: Dict[str, Any],
+        payload_bytes: int,
+    ) -> None:
+        self.shard = shard
+        self.seq = seq
+        self.cut_ts = cut_ts
+        self.positions = positions
+        self.state = state
+        self.payload_bytes = payload_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint(shard={self.shard}, seq={self.seq}, "
+            f"cut_ts={self.cut_ts:g}, positions={self.positions}, "
+            f"bytes={self.payload_bytes})"
+        )
+
+
+class CheckpointStore:
+    """Latest-checkpoint-per-shard storage, charged through one disk."""
+
+    def __init__(self, disk: SimulatedDisk) -> None:
+        self.disk = disk
+        self._latest: Dict[int, Checkpoint] = {}
+        self.checkpoints_saved = 0
+        self.checkpoints_loaded = 0
+        self.checkpoint_bytes = 0
+        self.checkpoint_tuples = 0
+        self.save_time_ms = 0.0
+        self.restore_time_ms = 0.0
+
+    def _charge_tuples(self, payload_bytes: int) -> int:
+        return max(1, math.ceil(payload_bytes / self.disk.bytes_per_tuple))
+
+    def save(
+        self,
+        shard: int,
+        seq: int,
+        cut_ts: float,
+        positions: PyTuple[int, int],
+        state: Dict[str, Any],
+    ) -> PyTuple[Checkpoint, float]:
+        """Persist a cut; return ``(checkpoint, virtual write cost)``.
+
+        Raises whatever the disk's fault injector raises — a checkpoint
+        that cannot be persisted is a failed checkpoint, and the caller
+        keeps running from the previous one.
+        """
+        payload_bytes = len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+        tuples = self._charge_tuples(payload_bytes)
+        cost = self.disk.write(tuples)
+        checkpoint = Checkpoint(shard, seq, cut_ts, positions, state, payload_bytes)
+        self._latest[shard] = checkpoint
+        self.checkpoints_saved += 1
+        self.checkpoint_bytes += payload_bytes
+        self.checkpoint_tuples += tuples
+        self.save_time_ms += cost
+        return checkpoint, cost
+
+    def load(self, shard: int) -> PyTuple[Optional[Checkpoint], float]:
+        """Fetch the latest checkpoint for *shard* (charging read I/O)."""
+        checkpoint = self._latest.get(shard)
+        if checkpoint is None:
+            return None, 0.0
+        cost = self.disk.read(self._charge_tuples(checkpoint.payload_bytes))
+        self.checkpoints_loaded += 1
+        self.restore_time_ms += cost
+        return checkpoint, cost
+
+    def latest(self, shard: int) -> Optional[Checkpoint]:
+        """Peek at the latest checkpoint without charging I/O."""
+        return self._latest.get(shard)
+
+    def counters(self) -> Dict[str, Any]:
+        """Uniform counter snapshot (see :mod:`repro.obs.counters`)."""
+        return {
+            "checkpoints_saved": self.checkpoints_saved,
+            "checkpoints_loaded": self.checkpoints_loaded,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_tuples": self.checkpoint_tuples,
+            "save_time_ms": self.save_time_ms,
+            "restore_time_ms": self.restore_time_ms,
+        }

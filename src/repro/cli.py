@@ -49,7 +49,7 @@ from typing import List, Optional
 
 import repro
 from repro.core.config import PJoinConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RecoveryError
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import (
@@ -232,6 +232,24 @@ def _add_shard_parser(sub) -> None:
              "lazy purge batches land on different boundaries per shard",
     )
     shard_cmd.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="N",
+        help="checkpoint every Nth punctuation-cover boundary in the "
+             "--crash and --rescale variants (default 8)",
+    )
+    shard_cmd.add_argument(
+        "--crash", default=None, metavar="SHARD@N",
+        help="add a supervised-recovery row per shard count: kill shard "
+             "SHARD's worker before its Nth delivery, restore the latest "
+             "checkpoint and replay the in-flight suffix",
+    )
+    shard_cmd.add_argument(
+        "--rescale", default=None, metavar="K1:K2@T",
+        help="add a live-rescaling row: run K1 shards, quiesce at the "
+             "first punctuation-cover boundary at/after virtual time T "
+             "(T=mid for half the workload), migrate the checkpointed "
+             "state across K2 shards and resume",
+    )
+    shard_cmd.add_argument(
         "--check", action="store_true",
         help="exit non-zero unless every sharded run matches the "
              "unsharded reference",
@@ -406,6 +424,52 @@ def cmd_shard(args: argparse.Namespace) -> int:
             all_match = all_match and match
             rows.append([f"K={k}", backend, results, punct_count,
                          "ok" if match else "MISMATCH", duration])
+    if args.crash is not None:
+        from repro.checkpoint.recovery import CrashSpec, run_sharded_resilient
+
+        try:
+            shard_str, after_str = args.crash.split("@", 1)
+            crash = CrashSpec(int(shard_str), int(after_str))
+        except (ValueError, RecoveryError) as exc:
+            log.error("malformed --crash spec %r (expected SHARD@N): %s",
+                      args.crash, exc)
+            return 2
+        for k in args.shards:
+            if not 0 <= crash.shard < k:
+                continue  # this shard count cannot host the crashed worker
+            outcome = run_sharded_resilient(
+                workload, k, config=config, keep_items=True, governor=spec,
+                checkpoint_every=args.checkpoint_every, crash=crash,
+            )
+            match = (outcome.result_multiset() == base_results
+                     and outcome.punctuation_multiset() == base_puncts)
+            all_match = all_match and match
+            rows.append([f"K={k}", "mp+crash", outcome.result_count,
+                         len(outcome.punctuations),
+                         "ok" if match else "MISMATCH",
+                         round(outcome.virtual_now)])
+    if args.rescale is not None:
+        from repro.checkpoint.rescale import RescalePlan, run_sharded_rescale
+
+        spec_str = args.rescale
+        if spec_str.endswith("@mid"):
+            spec_str = spec_str[: -len("mid")] + str(workload.end_time / 2)
+        try:
+            rescale = RescalePlan.parse(spec_str)
+        except RecoveryError as exc:
+            log.error("bad --rescale spec %r: %s", args.rescale, exc)
+            return 2
+        outcome = run_sharded_rescale(
+            workload, rescale, config=config, keep_items=True, governor=spec,
+            checkpoint_every=args.checkpoint_every,
+        )
+        match = (outcome.result_multiset() == base_results
+                 and outcome.punctuation_multiset() == base_puncts)
+        all_match = all_match and match
+        rows.append([f"K={rescale.n_before}->{rescale.n_after}", "rescale",
+                     outcome.result_count, len(outcome.punctuations),
+                     "ok" if match else "MISMATCH",
+                     round(outcome.virtual_now)])
     print(render_table(
         ["variant", "backend", "results", "puncts out", "equivalent",
          "finished (ms)"],

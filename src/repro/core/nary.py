@@ -287,6 +287,42 @@ class NaryPJoin(Operator):
         return 0.0
 
     # ------------------------------------------------------------------
+    # Checkpointing (repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    _NARY_COUNTERS = (
+        "results_produced",
+        "tuples_dropped_on_fly",
+        "tuples_purged",
+        "purge_runs",
+        "punctuations_propagated",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Recoverable state: every side plus the flat counters."""
+        from repro.checkpoint import snapshot as snaplib
+
+        return {
+            "version": snaplib.SNAPSHOT_VERSION,
+            "kind": "nary-pjoin",
+            "sides": [snaplib.snapshot_side(side) for side in self.sides],
+            "monitor": snaplib.snapshot_attrs(self.monitor, snaplib.MONITOR_FIELDS),
+            "validator": snaplib.snapshot_validator(self.validator),
+            "counters": snaplib.snapshot_attrs(
+                self, self._NARY_COUNTERS + snaplib.BASE_OPERATOR_COUNTERS
+            ),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        from repro.checkpoint import snapshot as snaplib
+
+        for side, side_snap in zip(self.sides, snap["sides"]):
+            snaplib.restore_side_into(side, side_snap)
+        snaplib.restore_attrs(self.monitor, snap["monitor"])
+        snaplib.restore_validator_into(self.validator, snap["validator"])
+        snaplib.restore_attrs(self, snap["counters"])
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
 

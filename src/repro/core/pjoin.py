@@ -698,6 +698,65 @@ class PJoin(BinaryHashJoin):
         return cost
 
     # ==================================================================
+    # Checkpointing (repro.checkpoint)
+    # ==================================================================
+
+    _PJOIN_COUNTERS = (
+        "tuples_dropped_on_fly",
+        "purge_runs",
+        "tuples_purged",
+        "disk_join_runs",
+        "propagation_runs",
+        "punctuations_propagated",
+        "spills",
+        "probe_time_total",
+        "purge_time_total",
+        "propagation_latency_total_ms",
+    )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Everything needed to resume this join in a fresh process.
+
+        Taken at a quiescent point (typically a punctuation-cover
+        boundary with the engine drained); the payload is a plain
+        picklable dict — see :mod:`repro.checkpoint.snapshot`.
+        """
+        from repro.checkpoint import snapshot as snaplib
+
+        return {
+            "version": snaplib.SNAPSHOT_VERSION,
+            "kind": "pjoin",
+            "sides": [snaplib.snapshot_side(side) for side in self.sides],
+            "monitor": snaplib.snapshot_attrs(self.monitor, snaplib.MONITOR_FIELDS),
+            "validator": snaplib.snapshot_validator(self.validator),
+            "last_full_disk_join": self._last_full_disk_join,
+            "events_dispatched": dict(self.events_dispatched),
+            "counters": snaplib.snapshot_attrs(
+                self,
+                self._PJOIN_COUNTERS
+                + snaplib.BINARY_JOIN_COUNTERS
+                + snaplib.BASE_OPERATOR_COUNTERS,
+            ),
+        }
+
+    def restore_state(self, snap: Dict[str, Any]) -> None:
+        """Restore a :meth:`snapshot_state` payload, in place.
+
+        Sides, stores and tables are mutated rather than replaced so
+        governor registrations, validator contracts and the ``states``
+        alias keep pointing at live objects.
+        """
+        from repro.checkpoint import snapshot as snaplib
+
+        for side, side_snap in zip(self.sides, snap["sides"]):
+            snaplib.restore_side_into(side, side_snap)
+        snaplib.restore_attrs(self.monitor, snap["monitor"])
+        snaplib.restore_validator_into(self.validator, snap["validator"])
+        self._last_full_disk_join = snap["last_full_disk_join"]
+        self.events_dispatched = dict(snap["events_dispatched"])
+        snaplib.restore_attrs(self, snap["counters"])
+
+    # ==================================================================
     # Metrics
     # ==================================================================
 

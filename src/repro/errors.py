@@ -88,6 +88,28 @@ class TransientIOError(ResilienceError, StorageError):
     """
 
 
+class RetryExhaustedError(TransientIOError):
+    """The capped total retry budget ran out.
+
+    :class:`~repro.resilience.retry.RetryPolicy` can cap the *total*
+    number of retries an injector may spend across a whole run
+    (``max_total_retries``); once spent, further faults fail fast with
+    this error instead of looping through another backoff schedule.
+    Also raised when a single fault outlives its per-operation backoff
+    schedule, replacing the untyped :class:`TransientIOError` (which it
+    subclasses, so existing handlers keep working).
+    """
+
+
+class RecoveryError(ResilienceError):
+    """Crash recovery or rescaling could not restore a consistent run.
+
+    Raised by the checkpoint subsystem (:mod:`repro.checkpoint`) when a
+    shard worker keeps dying past the respawn budget, or a rescale has
+    no punctuation-cover boundary to quiesce at.
+    """
+
+
 class SourceStallError(ResilienceError):
     """A stream source stalled past the watchdog's tolerance.
 

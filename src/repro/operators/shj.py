@@ -105,6 +105,35 @@ class SymmetricHashJoin(BinaryHashJoin):
             + governor_cost
         )
 
+    # ------------------------------------------------------------------
+    # Checkpointing (repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Recoverable state: both accumulating tables plus counters."""
+        from repro.checkpoint import snapshot as snaplib
+
+        return {
+            "version": snaplib.SNAPSHOT_VERSION,
+            "kind": "shj",
+            "states": [snaplib.snapshot_table(table) for table in self.states],
+            "validator": snaplib.snapshot_validator(self.validator),
+            "counters": snaplib.snapshot_attrs(
+                self,
+                ("punctuations_absorbed",)
+                + snaplib.BINARY_JOIN_COUNTERS
+                + snaplib.BASE_OPERATOR_COUNTERS,
+            ),
+        }
+
+    def restore_state(self, snap: Dict[str, Any]) -> None:
+        from repro.checkpoint import snapshot as snaplib
+
+        for table, table_snap in zip(self.states, snap["states"]):
+            snaplib.restore_table_into(table, table_snap)
+        snaplib.restore_validator_into(self.validator, snap["validator"])
+        snaplib.restore_attrs(self, snap["counters"])
+
     def counters(self) -> Dict[str, float]:
         out = super().counters()
         out["punctuations_absorbed"] = self.punctuations_absorbed

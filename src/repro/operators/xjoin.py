@@ -328,6 +328,42 @@ class XJoin(BinaryHashJoin):
             )
         return cost
 
+    # ------------------------------------------------------------------
+    # Checkpointing (repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    _XJOIN_COUNTERS = (
+        "spills",
+        "stage2_runs",
+        "stage3_pairs_emitted",
+        "punctuations_absorbed",
+    )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Recoverable state: both tables plus the stage counters."""
+        from repro.checkpoint import snapshot as snaplib
+
+        return {
+            "version": snaplib.SNAPSHOT_VERSION,
+            "kind": "xjoin",
+            "states": [snaplib.snapshot_table(table) for table in self.states],
+            "validator": snaplib.snapshot_validator(self.validator),
+            "counters": snaplib.snapshot_attrs(
+                self,
+                self._XJOIN_COUNTERS
+                + snaplib.BINARY_JOIN_COUNTERS
+                + snaplib.BASE_OPERATOR_COUNTERS,
+            ),
+        }
+
+    def restore_state(self, snap: Dict[str, Any]) -> None:
+        from repro.checkpoint import snapshot as snaplib
+
+        for table, table_snap in zip(self.states, snap["states"]):
+            snaplib.restore_table_into(table, table_snap)
+        snaplib.restore_validator_into(self.validator, snap["validator"])
+        snaplib.restore_attrs(self, snap["counters"])
+
     def counters(self) -> Dict[str, float]:
         out = super().counters()
         out.update(

@@ -210,6 +210,23 @@ def _prepare_chaos_disorder(scale: float) -> Callable[[], Dict[str, Any]]:
     return run
 
 
+def _prepare_chaos_crash(scale: float) -> Callable[[], Dict[str, Any]]:
+    # Pinned at the preset size like chaos_disorder.  The thunk times
+    # the whole recovery drill: the unsharded reference run, the
+    # supervised sharded run with a seeded worker death, the checkpoint
+    # restore and the in-flight-suffix replay.
+    def run() -> Dict[str, Any]:
+        chaos = run_chaos("crash")
+        engine = chaos.manifest["engine"]
+        return {
+            "events": engine["events_executed"],
+            "results": chaos.sink.tuple_count,
+            "virtual_ms": engine["virtual_now_ms"],
+        }
+
+    return run
+
+
 BENCH_CASES: Dict[str, BenchCase] = {
     case.name: case
     for case in (
@@ -244,6 +261,12 @@ BENCH_CASES: Dict[str, BenchCase] = {
             "chaos_disorder",
             "Chaos 'disorder' preset under quarantine (fixed size)",
             _prepare_chaos_disorder,
+        ),
+        BenchCase(
+            "chaos_crash_recovery",
+            "Chaos 'crash' preset: seeded worker death, checkpoint "
+            "restore and replay (fixed size)",
+            _prepare_chaos_crash,
         ),
     )
 }

@@ -71,6 +71,16 @@ class ChaosScenario:
     stall_gap_ms: float = 1000.0
     watchdog_timeout_ms: Optional[float] = None
     watchdog_mode: str = ON_STALL_HEARTBEAT
+    # -- worker crash + checkpoint recovery ----------------------------
+    # n_shards > 0 switches the scenario to the supervised sharded
+    # backend: the workload runs unsharded (the reference) and as a
+    # K-shard checkpointed stack whose crash_shard worker dies before
+    # its crash_after_items-th delivery; the summary records whether
+    # recovery reproduced the reference result multiset exactly.
+    n_shards: int = 0
+    crash_shard: int = 0
+    crash_after_items: int = 0
+    checkpoint_every: int = 4
 
 
 CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
@@ -104,6 +114,18 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
             memory_threshold=60,
             disk_failure_rate=0.2,
             disk_outage_ms=1.0,
+        ),
+        ChaosScenario(
+            name="crash",
+            description="A shard worker dies mid-run (seeded); the "
+            "supervisor restores its punctuation-aligned checkpoint, "
+            "replays the in-flight suffix and the recovered run "
+            "reproduces the unsharded result multiset exactly.",
+            tuples_per_stream=240,
+            n_shards=2,
+            crash_shard=0,
+            crash_after_items=60,
+            checkpoint_every=4,
         ),
         ChaosScenario(
             name="stall",
@@ -198,6 +220,105 @@ def _corrupt_schedules(scenario: ChaosScenario, workload: Any, seed: int):
     return schedules, injected
 
 
+def _run_chaos_crash(
+    scenario: ChaosScenario,
+    policy: str,
+    seed: int,
+    cost_model: Optional[CostModel],
+) -> ChaosRun:
+    """The worker-crash scenario: reference run vs supervised recovery.
+
+    The same clean workload runs twice: once unsharded (the reference)
+    and once on the supervised multiprocess backend with a seeded
+    worker crash mid-run.  Eager purge plus push-count propagation make
+    both the result multiset and the merged punctuation multiset exact,
+    so the golden pins ``results_match``/``punctuations_match`` at 1 —
+    any recovery bug shows up as a multiset mismatch, not just a count
+    drift.  The summary carries only scenario knobs and integer
+    recovery counters (never checkpoint byte sizes, which depend on
+    the pickle encoding of the running interpreter).
+    """
+    from repro.checkpoint.recovery import CrashSpec, run_sharded_resilient
+
+    workload = generate_workload(
+        n_tuples_per_stream=scenario.tuples_per_stream,
+        punct_spacing_a=scenario.punct_spacing,
+        punct_spacing_b=scenario.punct_spacing,
+        seed=seed,
+    )
+    config = PJoinConfig(
+        fault_policy=policy,
+        purge_threshold=1,
+        propagation_mode="push_count",
+    )
+
+    plan = QueryPlan(cost_model=cost_model)
+    join = PJoin(
+        plan.engine,
+        plan.cost_model,
+        workload.schemas[0],
+        workload.schemas[1],
+        workload.join_fields[0],
+        workload.join_fields[1],
+        config=config,
+        name="pjoin",
+    )
+    sink = Sink(plan.engine, plan.cost_model)
+    join.connect(sink)
+    plan.add_source(workload.schedule_a, join, port=0, name="A")
+    plan.add_source(workload.schedule_b, join, port=1, name="B")
+    plan.run()
+    reference_results = sink.result_multiset()
+    reference_puncts: Dict[Any, int] = {}
+    for punct in sink.punctuations:
+        key = punct.patterns[0]
+        reference_puncts[key] = reference_puncts.get(key, 0) + 1
+
+    outcome = run_sharded_resilient(
+        workload,
+        scenario.n_shards,
+        config=config,
+        keep_items=True,
+        checkpoint_every=scenario.checkpoint_every,
+        crash=CrashSpec(scenario.crash_shard, scenario.crash_after_items),
+    )
+
+    label = f"chaos:{scenario.name}:{policy}"
+    manifest = build_manifest(
+        label, join, sink, plan.engine, workload=workload,
+        duration_ms=plan.engine.now,
+    )
+    recovery = outcome.counters
+    summary: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "policy": policy,
+        "seed": seed,
+        "n_shards": scenario.n_shards,
+        "crash_shard": scenario.crash_shard,
+        "crash_after_items": scenario.crash_after_items,
+        "checkpoint_every": scenario.checkpoint_every,
+        "reference_results": sink.tuple_count,
+        "results_produced": outcome.result_count,
+        "results_match": int(outcome.result_multiset() == reference_results),
+        "punctuations_match": int(
+            outcome.punctuation_multiset() == reference_puncts
+        ),
+        "checkpoints_taken": int(recovery.get("recovery.checkpoints_taken", 0)),
+        "crashes_detected": int(recovery.get("recovery.crashes_detected", 0)),
+        "workers_respawned": int(recovery.get("recovery.workers_respawned", 0)),
+        "events_replayed": int(recovery.get("recovery.events_replayed", 0)),
+    }
+    manifest["resilience"] = {
+        "summary": summary,
+        "watchdog": {},
+        "sources": {s.name: s.counters() for s in plan.sources},
+    }
+    injected = {"violations": 0, "duplicates": 0, "stalls": 0}
+    return ChaosRun(
+        scenario, policy, seed, join, sink, plan, None, injected, manifest
+    )
+
+
 def run_chaos(
     scenario: Any,
     policy: str = QUARANTINE,
@@ -224,6 +345,8 @@ def run_chaos(
     policy = normalize_policy(policy)
     if seed is None:
         seed = scenario.seed
+    if scenario.n_shards > 0:
+        return _run_chaos_crash(scenario, policy, seed, cost_model)
     workload = generate_workload(
         n_tuples_per_stream=scenario.tuples_per_stream,
         punct_spacing_a=scenario.punct_spacing,

@@ -16,8 +16,12 @@ bursts.  This module models both sides of that reality:
 The combination turns an outage into *measurable virtual latency*: the
 faulted operation's cost grows by the backoff sum, every retry is
 counted, and the join above it simply runs slower — exactly the
-graceful-degradation contract.  Only when the whole retry budget cannot
-outlast the burst does :class:`~repro.errors.TransientIOError` escape.
+graceful-degradation contract.  Only when a retry budget runs out —
+either one operation's backoff schedule cannot outlast the burst, or
+the policy's capped *total* budget across the whole run is spent —
+does :class:`~repro.errors.RetryExhaustedError` escape (a
+:class:`~repro.errors.TransientIOError` subclass, so pre-existing
+handlers keep working).
 """
 
 from __future__ import annotations
@@ -26,16 +30,25 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple as PyTuple
 
-from repro.errors import ResilienceError, TransientIOError
+from repro.errors import ResilienceError, RetryExhaustedError
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """An exponential-backoff schedule in virtual milliseconds."""
+    """An exponential-backoff schedule in virtual milliseconds.
+
+    ``max_retries`` bounds the retries spent on one faulted operation;
+    ``max_total_retries`` (optional) caps the retries spent across a
+    whole run.  Once the total budget is gone, the next fault fails
+    fast with :class:`~repro.errors.RetryExhaustedError` instead of
+    burning another backoff schedule — the run is declared unhealthy
+    rather than indefinitely slow.
+    """
 
     max_retries: int = 8
     initial_backoff_ms: float = 0.5
     backoff_factor: float = 2.0
+    max_total_retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 1:
@@ -49,6 +62,11 @@ class RetryPolicy:
         if self.backoff_factor < 1.0:
             raise ResilienceError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_total_retries is not None and self.max_total_retries < 1:
+            raise ResilienceError(
+                f"max_total_retries must be >= 1 when set, "
+                f"got {self.max_total_retries}"
             )
 
     def backoffs(self) -> Iterator[float]:
@@ -111,15 +129,20 @@ class DiskFaultInjector:
         self.faults_injected = 0
         self.retries = 0
         self.backoff_time_ms = 0.0
+        self.retry_exhausted = 0
 
     def charge(self, operation: str) -> PyTuple[float, int]:
         """Decide one operation's fate; return ``(penalty_ms, retries)``.
 
         A fault-free operation costs nothing extra.  A faulted one pays
         the backoff schedule until the cumulative wait outlives the
-        burst outage; if the budget runs out first, the outage was not
-        transient after all and :class:`~repro.errors.TransientIOError`
-        propagates to the operator.
+        burst outage; if the per-operation budget runs out first, the
+        outage was not transient after all and
+        :class:`~repro.errors.RetryExhaustedError` propagates to the
+        operator.  A capped total budget (``max_total_retries``) fails
+        fast the same way, *before* paying another backoff schedule —
+        no retry is charged past the cap, so the counters never
+        overstate the budget.
         """
         profile = self.profile
         if profile.failure_rate == 0.0:
@@ -127,16 +150,32 @@ class DiskFaultInjector:
         if self._rng.random() >= profile.failure_rate:
             return 0.0, 0
         self.faults_injected += 1
+        budget = profile.retry.max_total_retries
+        if budget is not None and self.retries >= budget:
+            self.retry_exhausted += 1
+            raise RetryExhaustedError(
+                f"disk {operation} faulted with the total retry budget "
+                f"already spent ({self.retries} of {budget} retries used); "
+                f"failing fast instead of backing off again"
+            )
         waited = 0.0
         attempts = 0
         for backoff in profile.retry.backoffs():
+            if budget is not None and self.retries >= budget:
+                self.retry_exhausted += 1
+                raise RetryExhaustedError(
+                    f"disk {operation} exhausted the total retry budget "
+                    f"mid-outage ({budget} retries spent, "
+                    f"{waited:g} ms of backoff paid); failing fast"
+                )
             attempts += 1
             self.retries += 1
             waited += backoff
             self.backoff_time_ms += backoff
             if waited >= profile.outage_ms:
                 return waited, attempts
-        raise TransientIOError(
+        self.retry_exhausted += 1
+        raise RetryExhaustedError(
             f"disk {operation} still failing after {attempts} retries "
             f"({waited:g} ms of backoff < {profile.outage_ms:g} ms outage); "
             f"raise the retry budget or shorten the outage"
@@ -148,6 +187,7 @@ class DiskFaultInjector:
             "faults_injected": self.faults_injected,
             "retries": self.retries,
             "backoff_time_ms": self.backoff_time_ms,
+            "retry.exhausted": self.retry_exhausted,
         }
 
     def __repr__(self) -> str:

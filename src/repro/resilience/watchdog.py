@@ -32,6 +32,15 @@ according to the configured mode:
 
 One heartbeat is emitted per stall episode: after firing, the watchdog
 re-arms only once the source has emitted again.
+
+Heartbeat synthesis is **idempotent and monotone**: before pushing, the
+watchdog checks (defensively, via ``getattr``) whether the stalled
+input's punctuation store already holds an equal all-wildcard promise —
+the stream's watermark has already passed, so re-asserting it would
+only double-count the promise — and whether the new heartbeat's
+timestamp strictly exceeds the previous one synthesised for the same
+watch.  Redundant heartbeats are suppressed and counted
+(``heartbeats_suppressed``) instead of pushed.
 """
 
 from __future__ import annotations
@@ -54,7 +63,10 @@ _ON_STALL_MODES = (ON_STALL_HEARTBEAT, ON_STALL_FLAG, ON_STALL_RAISE)
 class _Watch:
     """One watched (source, operator input) binding."""
 
-    __slots__ = ("source", "operator", "port", "schema", "handled_since")
+    __slots__ = (
+        "source", "operator", "port", "schema", "handled_since",
+        "last_heartbeat_ts",
+    )
 
     def __init__(self, source: Any, operator: Any, port: int, schema: Schema) -> None:
         self.source = source
@@ -64,6 +76,9 @@ class _Watch:
         # Virtual time of the last source emission this watchdog already
         # reacted to; one reaction per stall episode.
         self.handled_since = float("-inf")
+        # Timestamp of the last heartbeat synthesised on this watch;
+        # later heartbeats must strictly advance it.
+        self.last_heartbeat_ts = float("-inf")
 
 
 class StallWatchdog:
@@ -113,6 +128,7 @@ class StallWatchdog:
         # -- counters ---------------------------------------------------
         self.stalls_detected = 0
         self.heartbeats_emitted = 0
+        self.heartbeats_suppressed = 0
         self.degraded = False
 
     # ------------------------------------------------------------------
@@ -190,16 +206,50 @@ class StallWatchdog:
             )
         if self.on_stall != ON_STALL_HEARTBEAT:
             return
+        if self._heartbeat_redundant(watch, now):
+            self.heartbeats_suppressed += 1
+            if tracer is not None:
+                tracer.record(
+                    now, "watchdog", "heartbeat_suppressed",
+                    source=getattr(watch.source, "name", "?"), port=watch.port,
+                )
+            return
         heartbeat = Punctuation(
             watch.schema, [WILDCARD] * watch.schema.arity, ts=now
         )
         watch.operator.push(heartbeat, watch.port)
         self.heartbeats_emitted += 1
+        watch.last_heartbeat_ts = now
         if tracer is not None:
             tracer.record(
                 now, "watchdog", "heartbeat",
                 source=getattr(watch.source, "name", "?"), port=watch.port,
             )
+
+    def _heartbeat_redundant(self, watch: _Watch, now: float) -> bool:
+        """True when synthesising another heartbeat would add nothing.
+
+        Two monotonicity guards: the heartbeat timestamp must strictly
+        advance past the last one synthesised for this watch, and the
+        stalled input's punctuation store must not already hold an
+        equal all-wildcard promise — a watermark that has already
+        passed cannot be usefully re-asserted, and pushing it again
+        would double-count the promise in the operator's store.  The
+        store lookup is defensive (``getattr`` all the way down), so
+        operators without per-port stores keep the old behaviour.
+        """
+        if now <= watch.last_heartbeat_ts:
+            return True
+        sides = getattr(watch.operator, "sides", None)
+        if sides is None or not 0 <= watch.port < len(sides):
+            return False
+        store = getattr(sides[watch.port], "store", None)
+        if store is None:
+            return False
+        try:
+            return bool(store.has_equal_join_pattern(WILDCARD))
+        except Exception:
+            return False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -210,6 +260,7 @@ class StallWatchdog:
         return {
             "stalls_detected": self.stalls_detected,
             "heartbeats_emitted": self.heartbeats_emitted,
+            "heartbeats_suppressed": self.heartbeats_suppressed,
             "degraded": int(self.degraded),
         }
 

@@ -55,14 +55,24 @@ class AlignmentLedger:
         self.subscriptions_open = 0
         self.subscriptions_completed = 0
 
-    def register(self, original: Pattern, cover: List[PyTuple[int, Pattern]]) -> None:
-        """Expect one narrowed piece from every shard in *cover*."""
+    def register(
+        self, original: Pattern, cover: List[PyTuple[int, Pattern]]
+    ) -> Optional[_Subscription]:
+        """Expect one narrowed piece from every shard in *cover*.
+
+        Returns the subscription so callers that need to inspect
+        settlement progress can hold on to it — the rescale quiesce
+        (:mod:`repro.checkpoint.rescale`) re-delivers still-unsettled
+        originals across the new shard set.  The router ignores the
+        return value.
+        """
         if not cover:
-            return
+            return None
         sub = _Subscription(original, {(s, p) for s, p in cover})
         for key in sub.remaining:
             self._queues.setdefault(key, deque()).append(sub)
         self.subscriptions_open += 1
+        return sub
 
     def settle(
         self, shard: int, pattern: Pattern

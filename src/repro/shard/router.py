@@ -129,3 +129,71 @@ class ShardRouter:
 
     def __repr__(self) -> str:
         return f"ShardRouter(shards={self.n_shards}, tuples={self.tuples_routed})"
+
+
+class InFlightLog:
+    """Bounded replay log of the items a shard has not yet checkpointed.
+
+    The resilient multiprocess backend keeps one log per shard worker:
+    every schedule item routed to the worker stays *in flight* until a
+    checkpoint acknowledgement covers it.  When the worker dies, the
+    supervisor respawns it from the latest checkpoint and replays
+    exactly :meth:`suffix` — the unacknowledged tail.  Acknowledged
+    prefixes are trimmed eagerly, so the retained window is bounded by
+    the checkpoint interval rather than the stream length.
+
+    Positions are *absolute* indices into the shard's full per-port
+    schedule; :attr:`base` reports how far each port has been trimmed,
+    letting the supervisor translate a respawned worker's
+    schedule-relative checkpoint positions back into absolute ones.
+    """
+
+    def __init__(self, schedule_a: Sequence[Any], schedule_b: Sequence[Any]) -> None:
+        self._pending: List[List[Any]] = [list(schedule_a), list(schedule_b)]
+        self._base = [0, 0]
+        self.items_retired = 0
+        self.acks = 0
+
+    @property
+    def base(self) -> tuple:
+        """Absolute schedule positions covered by the latest ack."""
+        return (self._base[0], self._base[1])
+
+    @property
+    def retained(self) -> int:
+        """Number of items currently held for potential replay."""
+        return len(self._pending[0]) + len(self._pending[1])
+
+    def ack(self, abs_a: int, abs_b: int) -> None:
+        """Trim every item at or before the absolute positions given."""
+        for port, target in ((0, abs_a), (1, abs_b)):
+            drop = target - self._base[port]
+            if drop < 0:
+                raise OperatorError(
+                    f"in-flight log ack went backwards on port {port}: "
+                    f"{target} < {self._base[port]}"
+                )
+            if drop > len(self._pending[port]):
+                raise OperatorError(
+                    f"in-flight log ack beyond schedule end on port {port}: "
+                    f"{target} > {self._base[port] + len(self._pending[port])}"
+                )
+            if drop:
+                del self._pending[port][:drop]
+                self._base[port] = target
+                self.items_retired += drop
+        self.acks += 1
+
+    def suffix(self) -> tuple:
+        """The unacknowledged tails, as fresh lists ``(tail_a, tail_b)``."""
+        return (list(self._pending[0]), list(self._pending[1]))
+
+    def counters(self) -> dict:
+        return {
+            "acks": self.acks,
+            "items_retired": self.items_retired,
+            "items_retained": self.retained,
+        }
+
+    def __repr__(self) -> str:
+        return f"InFlightLog(base={self.base}, retained={self.retained})"

@@ -42,6 +42,12 @@ def test_lenient_policies_complete_every_preset(name, policy):
     run = run_chaos(name, policy=policy)
     summary = run.summary
     assert summary["policy"] == policy
+    if CHAOS_SCENARIOS[name].n_shards > 0:
+        # Supervised crash presets report equivalence, not violations:
+        # completing means the recovered run matched the reference.
+        assert summary["results_match"] == 1
+        assert summary["results_produced"] > 0
+        return
     # Injected schedule faults were seen (or nothing was injected).
     assert summary["violations_seen"] >= summary["violations_injected"]
     if policy == "quarantine":

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TransientIOError
+from repro.errors import ResilienceError, RetryExhaustedError, TransientIOError
 from repro.resilience.disorder import DisorderBuffer
 from repro.resilience.retry import (
     DiskFaultProfile,
@@ -102,3 +102,78 @@ class TestRetry:
         assert maybe_injector(None) is None
         assert maybe_injector(DiskFaultProfile(failure_rate=0.0)) is None
         assert maybe_injector(DiskFaultProfile(failure_rate=0.1)) is not None
+
+
+class TestRetryBudget:
+    """The capped *total* retry budget across a whole run."""
+
+    def test_exhaustion_error_is_a_transient_io_error(self):
+        # Pre-existing handlers that catch TransientIOError keep working.
+        assert issubclass(RetryExhaustedError, TransientIOError)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive_budget(self, bad):
+        with pytest.raises(ResilienceError, match="max_total_retries"):
+            RetryPolicy(max_total_retries=bad)
+
+    def test_spent_budget_fails_fast(self):
+        profile = DiskFaultProfile(
+            failure_rate=1.0,
+            outage_ms=1.0,
+            retry=RetryPolicy(initial_backoff_ms=1.0, max_total_retries=3),
+            seed=0,
+        )
+        injector = profile.make_injector()
+        survived = 0
+        with pytest.raises(RetryExhaustedError, match="total retry budget"):
+            for _ in range(100):
+                injector.charge("write")
+                survived += 1
+        # Each surviving op pays exactly one 1ms retry, so a budget of 3
+        # rides out three faults and the fourth fails fast, uncharged.
+        assert survived == 3
+        assert injector.retries == 3
+        assert injector.faults_injected == 4
+        assert injector.counters()["retry.exhausted"] == 1
+
+    def test_budget_never_overcharged_mid_outage(self):
+        # A long outage needs several retries per fault; the budget cap
+        # must stop the backoff loop partway without overshooting.
+        budget = 5
+        profile = DiskFaultProfile(
+            failure_rate=1.0,
+            outage_ms=10.0,
+            retry=RetryPolicy(
+                initial_backoff_ms=4.0, max_total_retries=budget
+            ),
+            seed=0,
+        )
+        injector = profile.make_injector()
+        injector.charge("read")  # two retries (4 + 8 ms >= 10 ms)
+        with pytest.raises(RetryExhaustedError, match="mid-outage"):
+            for _ in range(100):
+                injector.charge("read")
+        assert injector.retries <= budget
+        assert injector.counters()["retry.exhausted"] == 1
+
+    def test_per_operation_exhaustion_raises_same_type(self):
+        profile = DiskFaultProfile(
+            failure_rate=1.0,
+            outage_ms=10_000.0,
+            retry=RetryPolicy(max_retries=3, initial_backoff_ms=0.5),
+            seed=0,
+        )
+        injector = profile.make_injector()
+        with pytest.raises(RetryExhaustedError, match="still failing"):
+            injector.charge("write")
+        assert injector.counters()["retry.exhausted"] == 1
+
+    def test_default_policy_has_no_total_cap(self):
+        # No budget set: behaviour is identical to the pre-budget code —
+        # a long fault-free-ish run never fails fast.
+        profile = DiskFaultProfile(failure_rate=0.5, outage_ms=1.0, seed=7)
+        injector = profile.make_injector()
+        for _ in range(500):
+            injector.charge("write")
+        assert injector.retries > 0
+        assert injector.counters()["retry.exhausted"] == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ResilienceError, SourceStallError
 from repro.punctuations.patterns import WILDCARD
 from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import PunctuationStore
 from repro.resilience.watchdog import StallWatchdog
 from repro.sim.engine import SimulationEngine
 from repro.tuples.schema import Schema
@@ -30,6 +31,26 @@ class FakeOperator:
 
     def push(self, item, port):
         self.pushed.append((item, port))
+
+
+class FakeSide:
+    """One input side exposing its punctuation store, like PJoin's."""
+
+    def __init__(self, schema, join_field):
+        self.store = PunctuationStore(schema, join_field)
+
+
+class FakeJoinOperator(FakeOperator):
+    """A FakeOperator whose pushed punctuations land in per-port stores."""
+
+    def __init__(self, schema, join_field="key", n_ports=2):
+        super().__init__()
+        self.sides = [FakeSide(schema, join_field) for _ in range(n_ports)]
+
+    def push(self, item, port):
+        super().push(item, port)
+        if isinstance(item, Punctuation):
+            self.sides[port].store.add(item)
 
 
 @pytest.fixture
@@ -106,6 +127,74 @@ class TestHeartbeatMode:
         assert not watchdog.degraded
 
 
+class TestHeartbeatSuppression:
+    def test_standing_wildcard_promise_suppresses_heartbeat(self, rig):
+        engine, source, _ = rig
+        operator = FakeJoinOperator(SCHEMA)
+        # The stalled input already holds an all-wildcard promise (the
+        # stream's watermark has passed): re-asserting it would
+        # double-count the promise, so the heartbeat is suppressed.
+        operator.sides[1].store.add(
+            Punctuation(SCHEMA, [WILDCARD] * SCHEMA.arity, ts=0.0)
+        )
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=1, schema=SCHEMA)
+        watchdog.start()
+        finish_at(engine, source, 60.0)
+        engine.run(max_events=100)
+
+        assert watchdog.stalls_detected == 1
+        assert watchdog.heartbeats_emitted == 0
+        assert watchdog.heartbeats_suppressed == 1
+        assert operator.pushed == []
+
+    def test_second_episode_is_idempotent_once_promise_lands(self, rig):
+        engine, source, _ = rig
+        operator = FakeJoinOperator(SCHEMA)
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+
+        def resume():
+            source.last_emit_time = engine.now
+
+        # Stall, resume, stall again.  The first episode's heartbeat
+        # went into the store; the second episode finds the promise
+        # still standing and synthesises nothing new.
+        engine.schedule_at(30.0, resume)
+        finish_at(engine, source, 80.0)
+        engine.run(max_events=200)
+
+        assert watchdog.stalls_detected == 2
+        assert watchdog.heartbeats_emitted == 1
+        assert watchdog.heartbeats_suppressed == 1
+        assert len(operator.pushed) == 1
+
+    def test_heartbeat_timestamps_are_strictly_monotone(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watch = watchdog._watches[0]
+        watch.last_heartbeat_ts = 50.0
+        # A heartbeat at (or before) the last synthesised timestamp is
+        # redundant; strictly later ones are not (FakeOperator has no
+        # stores, so only the monotone guard applies).
+        assert watchdog._heartbeat_redundant(watch, 50.0)
+        assert watchdog._heartbeat_redundant(watch, 40.0)
+        assert not watchdog._heartbeat_redundant(watch, 50.1)
+
+    def test_operators_without_stores_keep_old_behaviour(self, rig):
+        engine, source, operator = rig
+        watchdog = StallWatchdog(engine, timeout_ms=10.0, on_stall="heartbeat")
+        watchdog.watch(source, operator, port=0, schema=SCHEMA)
+        watchdog.start()
+        finish_at(engine, source, 60.0)
+        engine.run(max_events=100)
+
+        assert watchdog.heartbeats_emitted == 1
+        assert watchdog.heartbeats_suppressed == 0
+
+
 class TestFlagMode:
     def test_only_marks_degraded(self, rig):
         engine, source, operator = rig
@@ -122,6 +211,7 @@ class TestFlagMode:
         assert watchdog.counters() == {
             "stalls_detected": 1,
             "heartbeats_emitted": 0,
+            "heartbeats_suppressed": 0,
             "degraded": 1,
         }
 
