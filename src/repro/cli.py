@@ -53,6 +53,7 @@ from repro.errors import ConfigError, RecoveryError
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import (
+    batching,
     governed,
     pjoin_factory,
     run_join_experiment,
@@ -94,6 +95,15 @@ def _add_memory_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--eviction-policy", choices=sorted(POLICIES), default="lru",
         help="governor eviction policy (default %(default)s)",
+    )
+
+
+def _add_batch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="admit source tuples in micro-batches of N per scheduler "
+             "event (default 1); results are byte-identical to the "
+             "unbatched run, only wall-clock time changes",
     )
 
 
@@ -156,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(K=1 replays the unsharded execution exactly)",
     )
     _add_memory_args(figures_cmd)
+    _add_batch_args(figures_cmd)
     figures_cmd.set_defaults(func=cmd_figures)
 
     demo_cmd = sub.add_parser(
@@ -175,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run both joins as K-shard stacks",
     )
     _add_memory_args(demo_cmd)
+    _add_batch_args(demo_cmd)
     demo_cmd.set_defaults(func=cmd_demo)
 
     _add_shard_parser(sub)
@@ -720,6 +732,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", 1)
     shards = getattr(args, "shards", None)
     spec = _governor_spec(args)
+    batch_size = getattr(args, "batch_size", None)
     if shards is not None and jobs > 1:
         # Worker processes re-import the experiment module and would not
         # see the parent's sharding context.
@@ -729,6 +742,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
         # Same re-import problem: the governed() context would not reach
         # the sweep workers.
         log.error("--memory-budget cannot be combined with --jobs > 1")
+        return 2
+    if batch_size is not None and jobs > 1:
+        # Same re-import problem for the batching() context.
+        log.error("--batch-size cannot be combined with --jobs > 1")
         return 2
     runner = None
     if jobs > 1:
@@ -741,6 +758,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
             stack.enter_context(sharding(shards))
         if spec is not None:
             stack.enter_context(governed(spec))
+        if batch_size is not None:
+            try:
+                stack.enter_context(batching(batch_size))
+            except ValueError as exc:
+                log.error(str(exc))
+                return 2
         for name in names:
             if runner is not None:
                 result = runner.run_experiment(name, scale=args.scale)
@@ -765,11 +788,18 @@ def cmd_demo(args: argparse.Namespace) -> int:
     )
     shards = getattr(args, "shards", None)
     spec = _governor_spec(args)
+    batch_size = getattr(args, "batch_size", None)
     with contextlib.ExitStack() as stack:
         if shards is not None:
             stack.enter_context(sharding(shards))
         if spec is not None:
             stack.enter_context(governed(spec))
+        if batch_size is not None:
+            try:
+                stack.enter_context(batching(batch_size))
+            except ValueError as exc:
+                log.error(str(exc))
+                return 2
         pjoin = run_join_experiment(
             pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
             workload,

@@ -41,6 +41,7 @@ from repro.core.state import JoinStateSide
 from repro.errors import OperatorError
 from repro.memory.budget import GovernorSpec
 from repro.obs.trace import get_tracer
+from repro.operators import fastpath
 from repro.operators.binary import BinaryHashJoin
 from repro.operators.dedupe import (
     already_produced,
@@ -194,6 +195,98 @@ class PJoin(BinaryHashJoin):
         self.propagation_latency_total_ms = 0.0
         if self.config.propagation_mode == PROPAGATE_PUSH_TIME:
             self._arm_propagation_timer()
+        self._build_fast_path()
+
+    # ==================================================================
+    # Fast-path specialization (see repro.operators.fastpath)
+    # ==================================================================
+
+    def _build_fast_path(self) -> None:
+        """Install a specialized ``handle`` when every hot layer is off.
+
+        Conditions: strict (default) fault policy, no governor, no
+        tracer attached at build time.  The strict contract check stays
+        — inlined as one direct ``covers`` probe per tuple, delegating
+        to the full validator only on an actual violation — so the fast
+        path is byte-identical to the layered one, counters included.
+        """
+        if not fastpath.fastpath_enabled():
+            return
+        cls = type(self)
+        if cls.handle is not PJoin.handle or (
+            cls._handle_tuple is not PJoin._handle_tuple
+        ):
+            return  # a subclass (e.g. WindowedPJoin) extends the hot path
+        if self.validator.policy != STRICT:
+            return
+        if self.governor is not None:
+            return
+        if getattr(self.engine, "tracer", None) is not None:
+            return
+        side0, side1 = self.sides
+        ji0, ji1 = self.join_indices
+        cost_model = self.cost_model
+        tuple_overhead = cost_model.tuple_overhead
+        drop_check = cost_model.drop_check
+        insert_cost = cost_model.insert
+        on_the_fly_drop = self.config.on_the_fly_drop
+        engine = self.engine
+        monitor = self.monitor
+
+        def fast_tuple(tup: Tuple, side: int) -> float:
+            if side == 0:
+                value = tup.values[ji0]
+                mine, other = side0, side1
+            else:
+                value = tup.values[ji1]
+                mine, other = side1, side0
+            cost = tuple_overhead
+            if mine.covers(value):
+                # Strict contract violation: the full validator counts
+                # it and raises, exactly as on the layered path.
+                self.validator.admit(tup, value, side)
+                return cost  # pragma: no cover - strict admit raises
+            value_hash = stable_hash(value)
+            occupancy, matches = other.probe(value, value_hash)
+            self.probes += 1
+            self.probe_matches += len(matches)
+            self.emit_joins(tup, matches, side)
+            probe_cost = cost_model.probe_cost(occupancy, len(matches))
+            self.probe_time_total += probe_cost
+            cost += probe_cost
+            dropped = False
+            if on_the_fly_drop:
+                cost += drop_check
+                if other.covers(value):
+                    if other.table.partition_for(value, value_hash).disk_count == 0:
+                        dropped = True
+                        self.tuples_dropped_on_fly += 1
+            if not dropped:
+                mine.insert(tup, value, engine.now, value_hash)
+                self.insertions += 1
+                cost += insert_cost
+                event = monitor.on_insert(side0.memory_size + side1.memory_size)
+                if event is not None:
+                    cost += self.dispatch(event)
+            return cost
+
+        def handle(item: Any, port: int) -> float:
+            if isinstance(item, Tuple):
+                return fast_tuple(item, port)
+            if isinstance(item, Punctuation):
+                return self._handle_punctuation(item, port)
+            if isinstance(item, _ControlSignal):
+                return self.dispatch(item.event)
+            return 0.0
+
+        self.handle = fastpath.mark(handle)  # type: ignore[method-assign]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return fastpath.strip_for_pickle(self.__dict__)
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._build_fast_path()
 
     # ==================================================================
     # Event dispatch

@@ -112,14 +112,31 @@ class Profiler:
                 else:
                     self.total_ns += elapsed
 
+        # Tag the shadow so leak checks can tell a forgotten profiler
+        # closure from a deliberate fast-path specialization
+        # (see repro.operators.fastpath).
+        profiled.__repro_profiled__ = True  # type: ignore[attr-defined]
         return profiled
 
     # ------------------------------------------------------------------
     # Shadow installation (reversible)
     # ------------------------------------------------------------------
 
+    _ABSENT = object()
+
     def _install(self, obj: Any, name: str, fn: Callable[..., Any]) -> None:
-        """Shadow ``obj.name`` with *fn* on the instance; undoable."""
+        """Shadow ``obj.name`` with *fn* on the instance; undoable.
+
+        The undo restores whatever *instance* value the attribute held
+        before — fast-path closures live in the instance ``__dict__``
+        (see :mod:`repro.operators.fastpath`) and must survive a
+        profiled run, so a plain ``delattr`` would wrongly strip them
+        back to the layered class method.
+        """
+        try:
+            prior = obj.__dict__.get(name, self._ABSENT)
+        except AttributeError:  # __slots__ objects: nothing to preserve
+            prior = self._ABSENT
         try:
             setattr(obj, name, fn)
         except AttributeError:
@@ -127,11 +144,17 @@ class Profiler:
             # instance __dict__ is still writable underneath.
             object.__setattr__(obj, name, fn)
 
-        def undo(target: Any = obj, attr: str = name) -> None:
-            try:
-                delattr(target, attr)
-            except AttributeError:
-                object.__delattr__(target, attr)
+        def undo(target: Any = obj, attr: str = name, value: Any = prior) -> None:
+            if value is self._ABSENT:
+                try:
+                    delattr(target, attr)
+                except AttributeError:
+                    object.__delattr__(target, attr)
+            else:
+                try:
+                    setattr(target, attr, value)
+                except AttributeError:
+                    object.__setattr__(target, attr, value)
 
         self._undo.append(undo)
 
@@ -182,6 +205,8 @@ class Profiler:
         if sink is not None:
             source = getattr(sink, "name", type(sink).__name__)
             self._shadow(sink, "handle", source, "core")
+            if hasattr(sink, "accept_batch"):
+                self._shadow(sink, "accept_batch", source, "core")
 
     def instrument_operator(self, op: Any) -> None:
         """Shadow one join operator's hot path and its feature hooks."""

@@ -37,6 +37,12 @@ from repro.tuples.tuple import Tuple
 class Operator:
     """Base class: a single-server operator with N input ports."""
 
+    #: Operators that can take a whole outbox in one call (the sink)
+    #: set this and implement :meth:`accept_batch`; ``_deliver`` then
+    #: skips the per-item push/queue/pump cycle while keeping every
+    #: counter and timestamp byte-identical to item-at-a-time delivery.
+    _accepts_batches = False
+
     def __init__(
         self,
         engine: SimulationEngine,
@@ -179,6 +185,18 @@ class Operator:
         now = self.engine.now
         downstream = self._downstream
         port = self._downstream_port
+        if (
+            outbox
+            and downstream is not None
+            and downstream._accepts_batches
+            and not downstream._busy
+            and not downstream._queue
+            and not downstream._finished
+        ):
+            n_tuples, n_puncts = downstream.accept_batch(outbox, now)
+            self.tuples_out += n_tuples
+            self.punctuations_out += n_puncts
+            return
         tuples_out = 0
         for item in outbox:
             cls = item.__class__
@@ -222,6 +240,14 @@ class Operator:
 
     def handle(self, item: Any, port: int) -> float:
         """Process one input item; return its virtual cost (ms)."""
+        raise NotImplementedError
+
+    def accept_batch(self, items: List[Any], now: float) -> PyTuple[int, int]:
+        """Take a whole upstream outbox at *now*; return (tuples, puncts).
+
+        Only called when :attr:`_accepts_batches` is set.  Must update
+        the same counters the per-item path would.
+        """
         raise NotImplementedError
 
     def on_idle(self) -> None:

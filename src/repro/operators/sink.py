@@ -28,6 +28,10 @@ class Sink(Operator):
         can pass ``False`` to keep only counters and timings.
     """
 
+    # Zero-cost and terminal: a whole upstream outbox can be absorbed
+    # in one call with byte-identical counters (see accept_batch).
+    _accepts_batches = True
+
     def __init__(
         self,
         engine: SimulationEngine,
@@ -56,6 +60,44 @@ class Sink(Operator):
             if self.keep_items:
                 self.punctuations.append(item)
         return 0.0
+
+    def accept_batch(self, items: List[Any], now: float) -> PyTuple[int, int]:
+        """Absorb a whole upstream outbox in one call.
+
+        Emulates exactly what *len(items)* individual ``push`` calls
+        would do — handling is zero-cost, so each push would drain
+        immediately with a queue length of one — including the
+        per-item ``with_ts`` restamp the upstream delivery loop applies
+        (skipped when items are not kept: the copies were discarded).
+        Returns ``(tuples, punctuations)`` so the upstream can update
+        its own output counters.
+        """
+        n_tuples = 0
+        n_puncts = 0
+        keep = self.keep_items
+        tuple_times = self.tuple_arrival_times
+        punct_times = self.punctuation_arrival_times
+        for item in items:
+            if isinstance(item, Tuple):
+                n_tuples += 1
+                tuple_times.append(now)
+                if keep:
+                    self.results.append(
+                        item if item.ts == now else item.with_ts(now)
+                    )
+            elif isinstance(item, Punctuation):
+                n_puncts += 1
+                punct_times.append(now)
+                if keep:
+                    self.punctuations.append(
+                        item if item.ts == now else item.with_ts(now)
+                    )
+        self.tuples_in += n_tuples
+        self.punctuations_in += n_puncts
+        self.items_processed += len(items)
+        if items and self.max_queue_length < 1:
+            self.max_queue_length = 1
+        return n_tuples, n_puncts
 
     def on_finish(self) -> float:
         self.eos_time = self.engine.now

@@ -45,6 +45,7 @@ from repro.metrics.report import render_table
 from repro.obs.logging import get_logger
 from repro.obs.profile import LAYERS, Profiler
 from repro.obs.trace import Tracer
+from repro.operators import fastpath
 from repro.profiling.presets import (
     ALIASES,
     FEATURES,
@@ -140,8 +141,14 @@ def run_profile(
     features: Sequence[str] = (),
     profile: bool = True,
     workload: Any = None,
+    batch_size: Optional[int] = None,
 ) -> ProfileRun:
-    """Execute *preset* once; workload generation stays untimed."""
+    """Execute *preset* once; workload generation stays untimed.
+
+    *batch_size* admits source tuples in micro-batches of that many per
+    scheduler event; the simulation outcome is byte-identical to the
+    default item-at-a-time admission, only wall time moves.
+    """
     if workload is None:
         workload = preset.workload(scale)
     factory = preset.factory(resilience="resilience" in features)
@@ -153,7 +160,8 @@ def run_profile(
             stack.enter_context(profiling(profiler))
         begin = time.perf_counter()
         run = run_join_experiment(
-            factory, workload, label=f"profile:{preset.name}"
+            factory, workload, label=f"profile:{preset.name}",
+            batch_size=batch_size,
         )
         wall = time.perf_counter() - begin
     return ProfileRun(preset, list(features), run, profiler, wall)
@@ -168,6 +176,7 @@ def layer_cost_matrix(
     preset_name: str = "fig5_pjoin",
     scale: float = DEFAULT_SCALE,
     repeat: int = 1,
+    batch_sizes: Sequence[int] = (1,),
 ) -> Dict[str, Any]:
     """Wall-clock cost of each feature layer, measured by toggling it.
 
@@ -176,6 +185,13 @@ def layer_cost_matrix(
     runs; ``overhead_pct`` is relative to the baseline's wall time.
     No profiler shadows are installed — the matrix measures the
     features themselves, not the measurement.
+
+    *batch_sizes* adds a source micro-batching axis: the whole variant
+    grid is re-measured at each batch size (every run stays
+    byte-identical in outcome; only wall time moves).  The first batch
+    size fills the top-level ``variants`` (schema-compatible with the
+    single-axis matrix); when more than one size is given, the full
+    per-size grids land in ``batch_variants``.
     """
     preset = resolve_preset(preset_name)
     workload = preset.workload(scale)
@@ -184,39 +200,52 @@ def layer_cost_matrix(
         variant_features[feature] = [feature]
     if len(preset.features) > 1:
         variant_features["all"] = list(preset.features)
-    variants: Dict[str, Dict[str, Any]] = {}
-    baseline_wall: Optional[float] = None
-    for name, features in variant_features.items():
-        best: Optional[ProfileRun] = None
-        for _ in range(max(1, repeat)):
-            measured = run_profile(
-                preset, scale, features, profile=False, workload=workload
-            )
-            if best is None or measured.wall_s < best.wall_s:
-                best = measured
-        assert best is not None
-        entry: Dict[str, Any] = {
-            "features": features,
-            "wall_s": round(best.wall_s, 4),
-            "events_per_s": round(best.events_per_s, 1),
-            **best.outcome(),
-        }
-        if name == "none":
-            baseline_wall = best.wall_s
-            entry["overhead_pct"] = 0.0
-        elif baseline_wall:
-            entry["overhead_pct"] = round(
-                (best.wall_s - baseline_wall) / baseline_wall * 100.0, 2
-            )
-        else:
-            entry["overhead_pct"] = None
-        variants[name] = entry
-    return {
+
+    def measure_grid(batch: int) -> Dict[str, Dict[str, Any]]:
+        variants: Dict[str, Dict[str, Any]] = {}
+        baseline_wall: Optional[float] = None
+        for name, features in variant_features.items():
+            best: Optional[ProfileRun] = None
+            for _ in range(max(1, repeat)):
+                measured = run_profile(
+                    preset, scale, features, profile=False,
+                    workload=workload, batch_size=batch,
+                )
+                if best is None or measured.wall_s < best.wall_s:
+                    best = measured
+            assert best is not None
+            entry: Dict[str, Any] = {
+                "features": features,
+                "wall_s": round(best.wall_s, 4),
+                "events_per_s": round(best.events_per_s, 1),
+                **best.outcome(),
+            }
+            if name == "none":
+                baseline_wall = best.wall_s
+                entry["overhead_pct"] = 0.0
+            elif baseline_wall:
+                entry["overhead_pct"] = round(
+                    (best.wall_s - baseline_wall) / baseline_wall * 100.0, 2
+                )
+            else:
+                entry["overhead_pct"] = None
+            variants[name] = entry
+        return variants
+
+    sizes = [int(b) for b in batch_sizes] or [1]
+    if any(b < 1 for b in sizes):
+        raise ConfigError(f"batch sizes must be >= 1: {sizes}")
+    grids = {batch: measure_grid(batch) for batch in sizes}
+    matrix: Dict[str, Any] = {
         "preset": preset.name,
         "scale": scale,
         "repeat": repeat,
-        "variants": variants,
+        "variants": grids[sizes[0]],
     }
+    if sizes != [1]:
+        matrix["batch_sizes"] = sizes
+        matrix["batch_variants"] = {str(b): grids[b] for b in sizes}
+    return matrix
 
 
 def render_layer_matrix(
@@ -240,7 +269,27 @@ def render_layer_matrix(
             row.append(f"{delta:+.1f}pp" if delta is not None else "-")
         rows.append(row)
     title = f"layer-cost matrix ({matrix['preset']} @ scale {matrix['scale']:g})"
-    return title + "\n" + render_table(headers, rows)
+    out = title + "\n" + render_table(headers, rows)
+    batch_variants = matrix.get("batch_variants")
+    if batch_variants:
+        batch_rows: List[List[Any]] = []
+        for batch, variants in batch_variants.items():
+            for name, entry in variants.items():
+                overhead = entry.get("overhead_pct")
+                batch_rows.append([
+                    name,
+                    batch,
+                    f"{entry['wall_s']:.3f}",
+                    f"{entry['events_per_s']:.0f}",
+                    f"{overhead:+.1f}" if overhead is not None else "-",
+                ])
+        out += ("\n\nmicro-batch axis (overhead % vs the same batch "
+                "size's bare core)\n")
+        out += render_table(
+            ["variant", "batch", "wall s", "events/s", "overhead %"],
+            batch_rows,
+        )
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -307,13 +356,23 @@ def check_profile(
     profiled = run_profile(preset, scale, (), profile=True, workload=workload)
 
     # (1) structurally no-op when off: nothing shadowed, no snapshot.
+    # A tagged fast-path closure (repro.operators.fastpath) is a
+    # deliberate build-time specialization, not a profiler leak.
+    def _profiler_shadow(op: Any) -> bool:
+        fn = vars(op).get("handle")
+        return fn is not None and getattr(fn, "__repro_profiled__", False)
+
     join = plain.run.join
-    if "handle" in vars(join):
+    if _profiler_shadow(join):
         failures.append("unprofiled join carries a handle shadow")
     if plain.run.profile is not None:
         failures.append("unprofiled run unexpectedly carries a profile")
-    if profiled.run.join is not join and "handle" in vars(profiled.run.join):
+    if profiled.run.join is not join and _profiler_shadow(profiled.run.join):
         failures.append("profiled join still shadowed after restore()")
+    if fastpath.has_fastpath(join) and not fastpath.has_fastpath(
+        profiled.run.join
+    ):
+        failures.append("fast-path handle did not survive profiler restore()")
 
     # (2) profiling must not change the simulation.
     if profiled.outcome() != plain.outcome():
@@ -385,6 +444,18 @@ def add_profile_args(parser: argparse.ArgumentParser) -> None:
         help="grid repetitions per variant; fastest wall time kept",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="admit source tuples in micro-batches of N per scheduler "
+             "event for the profiled run (outcome is byte-identical to "
+             "the default N=1; only wall time moves)",
+    )
+    parser.add_argument(
+        "--batch-sizes", default="1,16,64", metavar="LIST",
+        help="comma-separated micro-batch sizes for the --grid matrix; "
+             "each size re-measures the whole feature grid "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, metavar="PATH",
         help="write the profile report (manifest + profile section) as JSON",
     )
@@ -418,13 +489,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
         log.error(str(exc))
         return 2
 
+    batch_size = getattr(args, "batch_size", None)
+    try:
+        batch_sizes = [
+            int(part) for part in
+            getattr(args, "batch_sizes", "1").split(",") if part.strip()
+        ]
+    except ValueError:
+        log.error("--batch-sizes must be a comma-separated int list, "
+                  "got %r", args.batch_sizes)
+        return 2
+
     log.info("profiling %s (scale %g, features %s)",
              preset.name, args.scale, ",".join(features) or "none")
-    profiled = run_profile(preset, args.scale, features, profile=True)
+    profiled = run_profile(
+        preset, args.scale, features, profile=True, batch_size=batch_size
+    )
     snapshot = profiled.run.profile
     assert snapshot is not None and profiled.profiler is not None
+    batch_note = f" | batch {batch_size}" if batch_size else ""
     print(f"profile: {preset.name} @ scale {args.scale:g} | features "
-          f"{','.join(features) or 'none'} | wall {profiled.wall_s:.3f}s "
+          f"{','.join(features) or 'none'}{batch_note} "
+          f"| wall {profiled.wall_s:.3f}s "
           f"| {profiled.events_per_s:.0f} events/s")
     print()
     print(render_layer_table(snapshot))
@@ -433,8 +519,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     matrix: Optional[Dict[str, Any]] = None
     if args.grid:
-        log.info("running the on/off feature grid (repeat %d)", args.repeat)
-        matrix = layer_cost_matrix(preset.name, args.scale, repeat=args.repeat)
+        log.info("running the on/off feature grid (repeat %d, "
+                 "batch sizes %s)", args.repeat,
+                 ",".join(str(b) for b in batch_sizes))
+        try:
+            matrix = layer_cost_matrix(
+                preset.name, args.scale, repeat=args.repeat,
+                batch_sizes=batch_sizes,
+            )
+        except ConfigError as exc:
+            log.error(str(exc))
+            return 2
         print()
         print(render_layer_matrix(matrix))
 

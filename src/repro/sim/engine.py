@@ -50,10 +50,16 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callback) -> None:
-        """Run *callback* after *delay* virtual milliseconds."""
+        """Run *callback* after *delay* virtual milliseconds.
+
+        Inlines :meth:`schedule_at` — this is the hottest scheduling
+        call (every operator completion goes through it), and a
+        non-negative delay from ``now`` can never land in the past.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay!r}")
-        self.schedule_at(self.now + delay, callback)
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
 
     def schedule_at(self, time: float, callback: Callback) -> None:
         """Run *callback* at absolute virtual time *time*."""

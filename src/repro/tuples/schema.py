@@ -5,6 +5,14 @@ Schemas are immutable and hashable, so operators can share and compare
 them cheaply.  Punctuations are defined *against a schema*: a
 punctuation carries one pattern per schema field, in field order
 (Tucker et al.'s "ordered set of patterns").
+
+Because schemas and fields are immutable they are also **interned**:
+structurally equal instances built through :meth:`Schema.of`,
+:meth:`Schema.project`, :meth:`Schema.concat` or :func:`intern_schema`
+resolve to one shared object per process.  Repeated operator builds
+(bench repeats, shard stacks, equivalence reruns) then share one schema
+instance instead of allocating a fresh field list each time, and the
+schema's hash is computed once and cached.
 """
 
 from __future__ import annotations
@@ -83,7 +91,7 @@ class Schema:
     >>> typed = Schema([Field("item_id", int), Field("price", float)])
     """
 
-    __slots__ = ("fields", "_index", "name")
+    __slots__ = ("fields", "_index", "name", "_hash")
 
     def __init__(self, fields: Iterable[Field], name: str = "") -> None:
         field_list: PyTuple[Field, ...] = tuple(fields)
@@ -99,11 +107,12 @@ class Schema:
         self.fields = field_list
         self._index = {field.name: i for i, field in enumerate(field_list)}
         self.name = name
+        self._hash: Optional[int] = None
 
     @classmethod
     def of(cls, *names: str, name: str = "") -> "Schema":
-        """Build an untyped schema from field names only."""
-        return cls([Field(n) for n in names], name=name)
+        """Build an untyped schema from field names only (interned)."""
+        return intern_schema(cls([intern_field(n) for n in names], name=name))
 
     @property
     def arity(self) -> int:
@@ -138,15 +147,19 @@ class Schema:
             field.validate(value)
 
     def project(self, field_names: Sequence[str], name: str = "") -> "Schema":
-        """Return a new schema restricted to *field_names* (in that order)."""
-        return Schema([self.fields[self.index_of(n)] for n in field_names], name=name)
+        """Return the schema restricted to *field_names* (interned)."""
+        return intern_schema(
+            Schema([self.fields[self.index_of(n)] for n in field_names], name=name)
+        )
 
     def concat(self, other: "Schema", name: str = "") -> "Schema":
         """Concatenate two schemas, prefixing clashing names.
 
         Used to build a join output schema.  If a field name appears in
         both inputs, both copies are renamed ``<schema>.<field>`` (or
-        ``left.``/``right.`` when the schemas are anonymous).
+        ``left.``/``right.`` when the schemas are anonymous).  The
+        result is interned: every operator joining the same schema pair
+        under the same name shares one output schema instance.
         """
         left_prefix = (self.name or "left") + "."
         right_prefix = (other.name or "right") + "."
@@ -154,15 +167,15 @@ class Schema:
         fields = []
         for field in self.fields:
             if field.name in clashes:
-                fields.append(Field(left_prefix + field.name, field.dtype))
+                fields.append(intern_field(left_prefix + field.name, field.dtype))
             else:
                 fields.append(field)
         for field in other.fields:
             if field.name in clashes:
-                fields.append(Field(right_prefix + field.name, field.dtype))
+                fields.append(intern_field(right_prefix + field.name, field.dtype))
             else:
                 fields.append(field)
-        return Schema(fields, name=name)
+        return intern_schema(Schema(fields, name=name))
 
     def __iter__(self) -> Iterator[Field]:
         return iter(self.fields)
@@ -176,10 +189,53 @@ class Schema:
         return self.fields == other.fields
 
     def __hash__(self) -> int:
-        return hash(self.fields)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.fields)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(field) for field in self.fields)
         if self.name:
             return f"Schema(name={self.name!r}, [{inner}])"
         return f"Schema([{inner}])"
+
+
+# ---------------------------------------------------------------------------
+# Interning
+# ---------------------------------------------------------------------------
+
+#: (name, dtype) -> the one shared Field instance.
+_FIELD_CACHE: dict = {}
+
+#: (((field name, dtype), ...), schema name) -> the shared Schema.
+_SCHEMA_CACHE: dict = {}
+
+
+def intern_field(name: str, dtype: Optional[type] = None) -> Field:
+    """The process-wide shared :class:`Field` for ``(name, dtype)``."""
+    key = (name, dtype)
+    field = _FIELD_CACHE.get(key)
+    if field is None:
+        field = _FIELD_CACHE[key] = Field(name, dtype)
+    return field
+
+
+def intern_schema(schema: Schema) -> Schema:
+    """Resolve *schema* to the process-wide shared instance.
+
+    Keyed on field structure *and* schema name (equality ignores the
+    name, but two same-shaped schemas with different names are distinct
+    objects for error messages and manifests).  Safe because schemas
+    are immutable; the first instance seen becomes canonical.
+    """
+    key = (
+        tuple((field.name, field.dtype) for field in schema.fields),
+        schema.name,
+    )
+    cached = _SCHEMA_CACHE.get(key)
+    if cached is None:
+        _SCHEMA_CACHE[key] = schema
+        return schema
+    return cached

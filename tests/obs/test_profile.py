@@ -169,9 +169,25 @@ class TestInstrumentAndRestore:
         factory = pjoin_factory(PJoinConfig(purge_threshold=1))
         run, _ = self.run_once(factory, small_workload(), obs=True)
         join = run.join
-        # The harness restores after the run: no instance shadows left.
+        # The tracer suppresses the fast-path build, so restore() must
+        # leave literally no instance shadows behind.
         for attr in ("handle", "on_finish", "emit_joins", "_handle_punctuation"):
             assert attr not in vars(join), f"leaked shadow: {attr}"
+
+    def test_restore_preserves_fast_path_handle(self):
+        from repro.operators import fastpath
+
+        factory = pjoin_factory(PJoinConfig(purge_threshold=1))
+        run, _ = self.run_once(factory, small_workload())
+        join = run.join
+        # No tracer: the join built its fast path; profiling shadowed it
+        # for the run and restore() must hand it back, not delete it.
+        assert fastpath.has_fastpath(join)
+        for attr in ("on_finish", "emit_joins", "_handle_punctuation"):
+            fn = vars(join).get(attr)
+            assert fn is None or not getattr(
+                fn, "__repro_profiled__", False
+            ), f"leaked profiler shadow: {attr}"
 
     def test_no_profiler_active_outside_context(self):
         assert active_profiler() is None
