@@ -33,6 +33,7 @@ from repro.checkpoint.store import Checkpoint, CheckpointStore
 from repro.checkpoint.recovery import (
     CrashSpec,
     cover_cut_times,
+    cover_cut_times_n,
     run_checkpointed_shard,
     run_sharded_resilient,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "CrashSpec",
     "RescalePlan",
     "cover_cut_times",
+    "cover_cut_times_n",
     "restore_disorder_buffer_into",
     "restore_side",
     "restore_side_into",

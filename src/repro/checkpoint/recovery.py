@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_right
-from typing import Any, Callable, Dict, List, Optional, Tuple as PyTuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.checkpoint.store import Checkpoint, CheckpointStore
 from repro.core.config import PJoinConfig
@@ -124,8 +124,23 @@ def cover_cut_times(
     cut lands *after* all items scheduled at that time (a cover's own
     purge has run by the time the segment quiesces).
     """
+    return cover_cut_times_n((schedule_a, schedule_b), join_fields, every)
+
+
+def cover_cut_times_n(
+    schedules: Sequence[Schedule],
+    join_fields: Sequence[str],
+    every: int = DEFAULT_CHECKPOINT_EVERY,
+) -> List[float]:
+    """:func:`cover_cut_times` over *n* schedules.
+
+    The same punctuation-aligned boundaries the adaptive planner
+    re-optimizes at (:mod:`repro.planner.reopt`): every Nth
+    join-exploitable punctuation over all streams, merged ascending and
+    deduplicated by time.
+    """
     times: List[float] = []
-    for side, schedule in enumerate((schedule_a, schedule_b)):
+    for side, schedule in enumerate(schedules):
         field = join_fields[side]
         for time, item in schedule:
             if isinstance(item, Punctuation) and is_join_exploitable(item, field):

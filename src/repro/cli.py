@@ -107,6 +107,51 @@ def _add_batch_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fastpath_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the specialized hot-path closures and run every "
+             "join through the layered dispatch (results are "
+             "byte-identical; only wall-clock time changes)",
+    )
+
+
+def _add_planner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--planner", choices=("static", "adaptive"), default="static",
+        help="probe-order planning for n-way joins built by the presets "
+             "(default %(default)s = fixed stream order, byte-identical "
+             "to unplanned runs); 'adaptive' re-optimizes the order at "
+             "punctuation-aligned purge boundaries",
+    )
+
+
+@contextlib.contextmanager
+def _maybe_no_fastpath(disabled: bool):
+    """Enter ``fastpath.disabled()`` when ``--no-fastpath`` was given."""
+    if not disabled:
+        yield
+        return
+    from repro.operators import fastpath
+
+    with fastpath.disabled():
+        yield
+
+
+def _planner_context(args: argparse.Namespace):
+    """The ``planning(...)`` context for ``--planner``, or ``None``.
+
+    ``--planner static`` installs nothing: the default build is already
+    the fixed stream order and stays byte-identical to unplanned runs.
+    """
+    if getattr(args, "planner", "static") != "adaptive":
+        return None
+    from repro.experiments.harness import planning
+    from repro.planner import PlannerSpec
+
+    return planning(PlannerSpec(mode="adaptive"))
+
+
 def _governor_spec(args: argparse.Namespace) -> Optional[GovernorSpec]:
     """The GovernorSpec requested on the command line, if any."""
     budget = getattr(args, "memory_budget", None)
@@ -167,6 +212,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_memory_args(figures_cmd)
     _add_batch_args(figures_cmd)
+    _add_fastpath_args(figures_cmd)
+    _add_planner_args(figures_cmd)
     figures_cmd.set_defaults(func=cmd_figures)
 
     demo_cmd = sub.add_parser(
@@ -187,8 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_memory_args(demo_cmd)
     _add_batch_args(demo_cmd)
+    _add_fastpath_args(demo_cmd)
     demo_cmd.set_defaults(func=cmd_demo)
 
+    _add_plan_parser(sub)
     _add_shard_parser(sub)
     _add_memory_parser(sub)
     _add_trace_parser(sub)
@@ -209,6 +258,166 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_parser(obs_sub)
 
     return parser
+
+
+def _add_plan_parser(sub) -> None:
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="run the adaptive probe-order planner on an n-way preset "
+             "and explain its decisions",
+        description="Runs an n-way punctuated join over a named planner "
+                    "preset with adaptive probe-order planning, prints "
+                    "the planner counters and the punctuation-aligned "
+                    "decision log, and (with --explain) the per-candidate "
+                    "cost breakdown behind every decision.  With --check "
+                    "it also runs the static plan and verifies the "
+                    "adaptive run reproduced the identical result "
+                    "multiset.",
+    )
+    plan_cmd.add_argument(
+        "preset", nargs="?", default="nary_drift",
+        help="planner preset name (default %(default)s); see --list",
+    )
+    plan_cmd.add_argument(
+        "--list", action="store_true", dest="list_presets",
+        help="list the available presets and exit",
+    )
+    plan_cmd.add_argument(
+        "--scale", type=float, default=0.3,
+        help="workload scale factor (default %(default)s)",
+    )
+    plan_cmd.add_argument(
+        "--seed", type=int, default=None,
+        help="override the preset's workload seed",
+    )
+    plan_cmd.add_argument(
+        "--reopt-interval", type=int, default=2, metavar="K",
+        help="re-optimize every Kth purge-complete boundary "
+             "(default %(default)s)",
+    )
+    plan_cmd.add_argument(
+        "--purge-threshold", type=int, default=8, metavar="N",
+        help="join purge threshold (default %(default)s); the purge "
+             "boundaries it induces are the planner's re-plan points",
+    )
+    plan_cmd.add_argument(
+        "--explain", action="store_true",
+        help="print the per-candidate cost table behind every decision",
+    )
+    plan_cmd.add_argument(
+        "--check", action="store_true",
+        help="also run the static plan and exit non-zero unless the "
+             "adaptive run produced the identical result multiset",
+    )
+    _add_fastpath_args(plan_cmd)
+    plan_cmd.set_defaults(func=cmd_plan)
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.checkpoint import cover_cut_times_n
+    from repro.errors import PlannerError
+    from repro.experiments.harness import run_nary_experiment
+    from repro.planner import PlannerSpec, get_preset, preset_names
+    from repro.sim.costs import CostModel
+    from repro.workloads.nary import generate_nary_workload
+
+    if args.list_presets:
+        for name in preset_names():
+            print(name)
+        return 0
+    try:
+        spec = get_preset(args.preset, scale=args.scale)
+    except PlannerError as exc:
+        log.error(str(exc))
+        return 2
+    if args.seed is not None:
+        spec = spec.with_overrides(seed=args.seed)
+    workload = generate_nary_workload(spec)
+    names = list(workload.stream_names)
+    config = PJoinConfig(purge_threshold=args.purge_threshold)
+    # Probe-heavy charging (as in fig_nary_adaptive) so order costs are
+    # visible against the fixed per-tuple overhead.
+    cost_model = CostModel().with_overrides(probe_per_candidate=0.04)
+    planner = PlannerSpec(mode="adaptive", reopt_interval=args.reopt_interval)
+    with _maybe_no_fastpath(getattr(args, "no_fastpath", False)):
+        adaptive = run_nary_experiment(
+            workload, config=config, planner=planner,
+            cost_model=cost_model, label="adaptive",
+            keep_items=args.check,
+        )
+        static = None
+        if args.check:
+            static = run_nary_experiment(
+                workload, config=config,
+                planner=PlannerSpec(mode="static"),
+                cost_model=cost_model, label="static",
+                keep_items=True,
+            )
+    reopt = adaptive.join.reoptimizer
+    order_names = lambda order: "->".join(names[i] for i in order)  # noqa: E731
+    initial = planner.initial_order or tuple(range(len(names)))
+    print(f"preset:      {args.preset} (scale {args.scale}, "
+          f"seed {workload.spec.seed})")
+    print(f"streams:     {', '.join(names)}")
+    print(f"probe order: {order_names(initial)} -> "
+          f"{order_names(adaptive.join.stream_order)}")
+    print(f"results:     {adaptive.results} tuples in "
+          f"{adaptive.duration_ms:.0f} virtual ms")
+    boundaries = cover_cut_times_n(
+        workload.schedules, workload.join_fields,
+        every=args.purge_threshold,
+    )
+    print(f"boundaries:  {reopt.boundaries} purge-complete cover cuts "
+          f"(schedule predicts {len(boundaries)}), re-optimized every "
+          f"{args.reopt_interval}")
+    print()
+    print("planner counters:")
+    for key, value in sorted(reopt.counters().items()):
+        print(f"  planner.{key:<22} {value:g}")
+    decisions = list(reopt.decisions)
+    if decisions:
+        print()
+        rows = [
+            [
+                f"{d.at_ms:.0f}",
+                d.boundary,
+                order_names(d.previous),
+                order_names(d.chosen),
+                "switch" if d.switched else "hold",
+                f"{d.current_cost:.3f}",
+                f"{d.best_cost:.3f}",
+                f"{d.cost_delta:+.3f}",
+            ]
+            for d in decisions
+        ]
+        print(
+            render_table(
+                ["at (ms)", "boundary", "previous", "chosen", "action",
+                 "incumbent", "best", "delta"],
+                rows,
+            )
+        )
+    if args.explain:
+        for d in decisions:
+            print()
+            print(f"decision at {d.at_ms:.0f} ms (boundary {d.boundary}, "
+                  f"{'switched' if d.switched else 'held'}):")
+            print(d.choice.explain(names))
+    if args.check:
+        adaptive_counts = Counter(dict(adaptive.sink.result_multiset()))
+        static_counts = Counter(dict(static.sink.result_multiset()))
+        equivalent = adaptive_counts == static_counts
+        print()
+        print(
+            "equivalence: adaptive "
+            + ("reproduced" if equivalent else "DIVERGED FROM")
+            + f" the static result multiset ({static.results} tuples)"
+        )
+        if not equivalent:
+            return 1
+    return 0
 
 
 def _add_shard_parser(sub) -> None:
@@ -747,6 +956,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
         # Same re-import problem for the batching() context.
         log.error("--batch-size cannot be combined with --jobs > 1")
         return 2
+    no_fastpath = getattr(args, "no_fastpath", False)
+    planner_ctx = _planner_context(args)
+    if (no_fastpath or planner_ctx is not None) and jobs > 1:
+        # Same re-import problem for the fastpath/planning contexts.
+        log.error("--no-fastpath/--planner cannot be combined with --jobs > 1")
+        return 2
     runner = None
     if jobs > 1:
         from repro.perf.parallel import ParallelSweepRunner
@@ -764,6 +979,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 log.error(str(exc))
                 return 2
+        stack.enter_context(_maybe_no_fastpath(no_fastpath))
+        if planner_ctx is not None:
+            stack.enter_context(planner_ctx)
         for name in names:
             if runner is not None:
                 result = runner.run_experiment(name, scale=args.scale)
@@ -800,6 +1018,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 log.error(str(exc))
                 return 2
+        stack.enter_context(
+            _maybe_no_fastpath(getattr(args, "no_fastpath", False))
+        )
         pjoin = run_join_experiment(
             pjoin_factory(PJoinConfig(purge_threshold=args.purge_threshold)),
             workload,

@@ -32,6 +32,7 @@ from repro.core.state import JoinStateSide
 from repro.errors import ConfigError, OperatorError
 from repro.memory.budget import GovernorSpec
 from repro.operators.base import Operator
+from repro.planner.spec import PlannerSpec, validate_order
 from repro.punctuations.punctuation import Punctuation
 from repro.resilience.policy import STRICT
 from repro.resilience.validator import ContractValidator
@@ -54,6 +55,7 @@ class NaryPJoin(Operator):
         config: Optional[PJoinConfig] = None,
         name: str = "nary-pjoin",
         governor: Optional[GovernorSpec] = None,
+        planner: Optional[PlannerSpec] = None,
     ) -> None:
         if len(schemas) < 2:
             raise OperatorError("NaryPJoin needs at least two input streams")
@@ -105,7 +107,65 @@ class NaryPJoin(Operator):
         self.tuples_purged = 0
         self.purge_runs = 0
         self.punctuations_propagated = 0
+        # Per-side observability (feeds repro.planner.stats and the
+        # manifests): arrivals/probes/hits/matches/occupancy are indexed
+        # by side; probes count probes *into* that side.
+        n = self.n_inputs
+        self.side_tuples_in = [0] * n
+        self.side_probe_count = [0] * n
+        self.side_probe_hits = [0] * n
+        self.side_match_count = [0] * n
+        self.side_probe_occupancy = [0] * n
+        self.side_punct_count = [0] * n
+        self.side_first_punct_ms: List[Optional[float]] = [None] * n
+        self.side_last_punct_ms = [0.0] * n
+        self.last_purge_ms = 0.0
+        # Plan state: a global stream priority order.  The containers
+        # are mutated in place by set_plan so the fast-path closure's
+        # captured references stay live across static rebuilds.
+        self.planner_spec = planner
+        self.probe_orders: List[PyTuple[int, ...]] = [()] * n
+        self._probe_pos: List[dict] = [{} for _ in range(n)]
+        self.purge_order: PyTuple[int, ...] = tuple(range(n))
+        self._stream_order: PyTuple[int, ...] = tuple(range(n))
+        initial = tuple(range(n))
+        if planner is not None and planner.initial_order is not None:
+            initial = planner.initial_order
+        self.set_plan(initial)
+        self.reoptimizer = None
+        if planner is not None and planner.adaptive:
+            from repro.planner.reopt import Reoptimizer
+
+            self.reoptimizer = Reoptimizer(self, planner)
         self._build_fast_path()
+
+    # ------------------------------------------------------------------
+    # Plan installation (repro.planner)
+    # ------------------------------------------------------------------
+
+    @property
+    def stream_order(self) -> PyTuple[int, ...]:
+        """The current global stream priority order."""
+        return self._stream_order
+
+    def set_plan(self, order: Sequence[int]) -> None:
+        """Install a global priority order as probe and purge order.
+
+        An **exact state handoff**: only visitation orders change — the
+        side hash tables, punctuation stores and indexes are untouched,
+        so swapping plans mid-run can never alter the result multiset
+        or the state trajectory (probe and purge outcomes are
+        order-independent; only the virtual probe cost shifts).
+        """
+        order = validate_order(order, self.n_inputs)
+        self._stream_order = order
+        self.purge_order = order
+        for side in range(self.n_inputs):
+            probe = tuple(o for o in order if o != side)
+            self.probe_orders[side] = probe
+            self._probe_pos[side] = {
+                stream: pos for pos, stream in enumerate(probe)
+            }
 
     # ------------------------------------------------------------------
     # Fast-path specialization (see repro.operators.fastpath)
@@ -133,6 +193,8 @@ class NaryPJoin(Operator):
             return
         if self.governor is not None:
             return
+        if self.reoptimizer is not None:
+            return  # adaptive planning re-enters the operator mid-run
         if getattr(self.engine, "tracer", None) is not None:
             return
         sides = self.sides
@@ -144,6 +206,12 @@ class NaryPJoin(Operator):
         insert_cost = cost_model.insert
         on_the_fly_drop = self.config.on_the_fly_drop
         engine = self.engine
+        probe_orders = self.probe_orders  # mutated in place by set_plan
+        side_tuples_in = self.side_tuples_in
+        side_probe_count = self.side_probe_count
+        side_probe_hits = self.side_probe_hits
+        side_match_count = self.side_match_count
+        side_probe_occupancy = self.side_probe_occupancy
 
         def fast_tuple(tup: Tuple, side: int) -> float:
             mine = sides[side]
@@ -152,17 +220,20 @@ class NaryPJoin(Operator):
             if mine.covers(value):
                 self.validator.admit(tup, value, side)
                 return cost  # pragma: no cover - strict admit raises
+            side_tuples_in[side] += 1
             value_hash = stable_hash(value)
             match_lists: List[List[Tuple]] = []
             complete = True
-            for other in range(n_inputs):
-                if other == side:
-                    continue
+            for other in probe_orders[side]:
                 occupancy, matches = sides[other].probe(value, value_hash)
+                side_probe_count[other] += 1
+                side_probe_occupancy[other] += occupancy
                 cost += cost_model.probe_cost(occupancy, len(matches))
                 if not matches:
                     complete = False
                     break
+                side_probe_hits[other] += 1
+                side_match_count[other] += len(matches)
                 match_lists.append([entry.tup for entry in matches])
             if complete:
                 cost += self._emit_combinations(tup, side, match_lists)
@@ -251,21 +322,25 @@ class NaryPJoin(Operator):
         cost = self.cost_model.tuple_overhead
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: must not probe or enter the state
+        self.side_tuples_in[side] += 1
         value_hash = stable_hash(value)
         governor = self.governor
-        # Probe every other state; a result needs a match from each.
+        # Probe every other state in plan order; a result needs a match
+        # from each, so the first empty probe ends the pipeline.
         match_lists: List[List[Tuple]] = []
         complete = True
-        for other in range(self.n_inputs):
-            if other == side:
-                continue
+        for other in self.probe_orders[side]:
             if governor is not None:
                 cost += governor.fault_in(other, value, value_hash)
             occupancy, matches = self.sides[other].probe(value, value_hash)
+            self.side_probe_count[other] += 1
+            self.side_probe_occupancy[other] += occupancy
             cost += self.cost_model.probe_cost(occupancy, len(matches))
             if not matches:
                 complete = False
                 break
+            self.side_probe_hits[other] += 1
+            self.side_match_count[other] += len(matches)
             match_lists.append([entry.tup for entry in matches])
         if complete:
             cost += self._emit_combinations(tup, side, match_lists)
@@ -292,19 +367,20 @@ class NaryPJoin(Operator):
     ) -> float:
         """Emit the cross product of per-stream matches with *tup*.
 
-        *match_lists* holds matches for the other streams in stream
-        order (stream *side* excluded); the result column order is
-        stream order with *tup* slotted into its own position.
+        *match_lists* holds matches for the other streams in this
+        side's **probe order**; the result column order is always
+        stream order with *tup* slotted into its own position, so the
+        output is identical under every plan.
         """
         combos: List[PyTuple[Tuple, ...]] = [()]
         for matches in match_lists:
             combos = [combo + (m,) for combo in combos for m in matches]
         emitted = 0
+        pos = self._probe_pos[side]
         for combo in combos:
             values: PyTuple[Any, ...] = ()
-            combo_iter = iter(combo)
             for stream in range(self.n_inputs):
-                source = tup if stream == side else next(combo_iter)
+                source = tup if stream == side else combo[pos[stream]]
                 values = values + source.values
             self.emit(
                 Tuple(self.out_schema, values, ts=self.engine.now, validate=False)
@@ -316,11 +392,21 @@ class NaryPJoin(Operator):
     def _handle_punctuation(self, punct: Punctuation, side: int) -> float:
         cost = self.cost_model.punct_overhead
         pid = self.sides[side].add_punctuation(punct)
-        if pid is not None and self.config.index_building == INDEX_EAGER:
-            cost += self._index_build()
+        if pid is not None:
+            now = self.engine.now
+            self.side_punct_count[side] += 1
+            if self.side_first_punct_ms[side] is None:
+                self.side_first_punct_ms[side] = now
+            self.side_last_punct_ms[side] = now
+            if self.config.index_building == INDEX_EAGER:
+                cost += self._index_build()
         for event in self.monitor.on_punctuation(paired=False):
             if event.event_name == "PurgeThresholdReachEvent":
                 cost += self._purge_all()
+                if self.reoptimizer is not None:
+                    # Purge-complete cover boundary: the safe (and
+                    # punctuation-aligned) moment to re-plan.
+                    cost += self.reoptimizer.on_cover_boundary()
             elif event.event_name == "PropagateCountReachEvent":
                 cost += self._index_build()
                 cost += self._propagate()
@@ -331,10 +417,15 @@ class NaryPJoin(Operator):
     # ------------------------------------------------------------------
 
     def _purge_all(self) -> float:
-        """Purge every state: all-other-streams-covered rule."""
+        """Purge every state: all-other-streams-covered rule.
+
+        Scans the sides in plan order; the removal set is the same
+        under every order (coverage depends only on punctuation
+        stores), so the plan shifts purge timing costs, never results.
+        """
         scanned = 0
         removed_total = 0
-        for side in range(self.n_inputs):
+        for side in self.purge_order:
             others = [s for s in range(self.n_inputs) if s != side]
             if any(len(self.sides[s].store) == 0 for s in others):
                 scanned += self.sides[side].memory_size
@@ -352,6 +443,7 @@ class NaryPJoin(Operator):
             removed_total += len(removed)
         self.purge_runs += 1
         self.tuples_purged += removed_total
+        self.last_purge_ms = self.engine.now
         return self.cost_model.purge_cost(scanned)
 
     def _index_build(self) -> float:
@@ -389,6 +481,18 @@ class NaryPJoin(Operator):
         "tuples_purged",
         "purge_runs",
         "punctuations_propagated",
+        "last_purge_ms",
+    )
+
+    _SIDE_COUNTER_ATTRS = (
+        "side_tuples_in",
+        "side_probe_count",
+        "side_probe_hits",
+        "side_match_count",
+        "side_probe_occupancy",
+        "side_punct_count",
+        "side_first_punct_ms",
+        "side_last_punct_ms",
     )
 
     def snapshot_state(self) -> dict:
@@ -404,6 +508,11 @@ class NaryPJoin(Operator):
             "counters": snaplib.snapshot_attrs(
                 self, self._NARY_COUNTERS + snaplib.BASE_OPERATOR_COUNTERS
             ),
+            "side_counters": {
+                attr: list(getattr(self, attr))
+                for attr in self._SIDE_COUNTER_ATTRS
+            },
+            "plan": {"stream_order": list(self._stream_order)},
         }
 
     def restore_state(self, snap: dict) -> None:
@@ -414,6 +523,11 @@ class NaryPJoin(Operator):
         snaplib.restore_attrs(self.monitor, snap["monitor"])
         snaplib.restore_validator_into(self.validator, snap["validator"])
         snaplib.restore_attrs(self, snap["counters"])
+        for attr, values in snap.get("side_counters", {}).items():
+            setattr(self, attr, list(values))
+        plan = snap.get("plan")
+        if plan is not None:
+            self.set_plan(plan["stream_order"])
 
     # ------------------------------------------------------------------
     # Metrics
@@ -424,6 +538,14 @@ class NaryPJoin(Operator):
 
     def total_state_size(self) -> int:
         return sum(side.total_size for side in self.sides)
+
+    def _punct_cadence_ms(self, side: int) -> float:
+        """Mean virtual ms between exploitable punctuations on a side."""
+        count = self.side_punct_count[side]
+        first = self.side_first_punct_ms[side]
+        if count < 2 or first is None:
+            return 0.0
+        return (self.side_last_punct_ms[side] - first) / (count - 1)
 
     def counters(self) -> dict:
         """Uniform counter registry (see :mod:`repro.obs.counters`)."""
@@ -436,6 +558,19 @@ class NaryPJoin(Operator):
             punctuations_propagated=self.punctuations_propagated,
             punctuation_violations=self.punctuation_violations,
         )
+        for i, side in enumerate(self.sides):
+            prefix = f"side.{side.side_name}"
+            out[f"{prefix}.state_size"] = side.total_size
+            out[f"{prefix}.tuples_in"] = self.side_tuples_in[i]
+            out[f"{prefix}.probe_count"] = self.side_probe_count[i]
+            out[f"{prefix}.probe_hits"] = self.side_probe_hits[i]
+            out[f"{prefix}.match_count"] = self.side_match_count[i]
+            out[f"{prefix}.probe_occupancy"] = self.side_probe_occupancy[i]
+            out[f"{prefix}.punct_count"] = self.side_punct_count[i]
+            out[f"{prefix}.punct_cadence_ms"] = self._punct_cadence_ms(i)
+        if self.reoptimizer is not None:
+            for key, value in self.reoptimizer.counters().items():
+                out[f"planner.{key}"] = value
         # Non-default policies only: default manifests stay unchanged.
         if self.validator.policy != STRICT:
             for key, value in self.validator.counters().items():

@@ -127,3 +127,12 @@ class PerfError(ReproError):
     ``run_join_experiment`` calls than the planning pass observed, which
     would make a deterministic merge impossible.
     """
+
+
+class PlannerError(ReproError):
+    """A failure in the cost-based planner (:mod:`repro.planner`).
+
+    Raised for malformed planner specifications (unknown mode, an
+    initial probe order that is not a permutation of the input streams)
+    and for plan swaps that would violate the operator's invariants.
+    """

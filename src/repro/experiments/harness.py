@@ -12,9 +12,11 @@ import contextlib
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.core.config import PJoinConfig
+from repro.core.nary import NaryPJoin
 from repro.core.pjoin import PJoin
 from repro.core.registry import EventListenerRegistry
 from repro.memory.budget import GovernorSpec
+from repro.planner.spec import PlannerSpec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.series import TimeSeries
 from repro.obs.manifest import build_manifest
@@ -59,6 +61,36 @@ _ACTIVE_PROFILER: Optional[Profiler] = None
 # set, every experiment's sources prefetch their schedules in vectors
 # of this size (byte-identical results for every value).
 _ACTIVE_BATCH_SIZE: Optional[int] = None
+
+# Planner spec installed by the planning() context manager; when set,
+# the n-ary stock factory builds its joins with this spec (the CLI's
+# --planner flag).  When unset, joins are unplanned: stream order,
+# byte-identical to pre-planner builds.
+_ACTIVE_PLANNER: Optional[PlannerSpec] = None
+
+
+@contextlib.contextmanager
+def planning(spec: Optional[PlannerSpec]) -> Iterator[None]:
+    """Build every stock n-ary join in this block with a planner spec.
+
+    The CLI's ``--planner {static,adaptive}`` uses this to re-run
+    unmodified experiment presets under the cost-based planner:
+    :func:`nary_pjoin_factory` consults the active spec when its own
+    ``planner`` argument is ``None``.  ``planning(None)`` restores
+    unplanned builds (the byte-identical default path).
+    """
+    global _ACTIVE_PLANNER
+    previous = _ACTIVE_PLANNER
+    _ACTIVE_PLANNER = spec
+    try:
+        yield
+    finally:
+        _ACTIVE_PLANNER = previous
+
+
+def active_planner() -> Optional[PlannerSpec]:
+    """The planner spec installed by :func:`planning`, if any."""
+    return _ACTIVE_PLANNER
 
 
 @contextlib.contextmanager
@@ -391,16 +423,23 @@ def execute_join_experiment(
     join = factory(plan, workload)
     sink = Sink(plan.engine, plan.cost_model, keep_items=keep_items)
     join.connect(sink)
-    plan.add_source(
-        workload.schedule_a, join, port=0, name="A", batch_size=batch_size
+    # One source per stream: binary workloads expose ("A", "B"), n-ary
+    # workloads ("S0", "S1", ...) — the wiring is shape-agnostic.
+    schedules = workload.schedules
+    names = getattr(workload, "stream_names", None) or tuple(
+        chr(ord("A") + i) for i in range(len(schedules))
     )
-    plan.add_source(
-        workload.schedule_b, join, port=1, name="B", batch_size=batch_size
-    )
+    for port, (schedule, source_name) in enumerate(zip(schedules, names)):
+        plan.add_source(
+            schedule, join, port=port, name=source_name, batch_size=batch_size
+        )
     collector = MetricsCollector(plan.engine, interval_ms=sample_interval_ms)
     collector.register_gauge("state_total", join.total_state_size)
-    collector.register_gauge("state_a", lambda: join.state_size(0))
-    collector.register_gauge("state_b", lambda: join.state_size(1))
+    for port, source_name in enumerate(names):
+        collector.register_gauge(
+            f"state_{source_name.lower()}",
+            (lambda p: lambda: join.state_size(p))(port),
+        )
     collector.register_gauge("output", lambda: sink.tuple_count)
     collector.register_gauge("punct_output", lambda: sink.punctuation_count)
     collector.start(horizon_ms=workload.end_time * horizon_factor + 1000.0)
@@ -562,3 +601,46 @@ def shj_factory() -> JoinFactory:
         )
 
     return build
+
+
+def nary_pjoin_factory(
+    config: Optional[PJoinConfig] = None,
+    planner: Optional[PlannerSpec] = None,
+) -> JoinFactory:
+    """A factory producing an n-ary PJoin over all workload streams.
+
+    ``planner`` defaults to the spec installed by the :func:`planning`
+    context manager (the CLI's ``--planner`` flag); both unset builds
+    the unplanned operator.
+    """
+
+    def build(plan: QueryPlan, workload: GeneratedWorkload) -> Operator:
+        spec = planner if planner is not None else _ACTIVE_PLANNER
+        return NaryPJoin(
+            plan.engine,
+            plan.cost_model,
+            workload.schemas,
+            workload.join_fields,
+            config=config,
+            governor=_ACTIVE_GOVERNOR,
+            planner=spec,
+        )
+
+    return build
+
+
+def run_nary_experiment(
+    workload: Any,
+    config: Optional[PJoinConfig] = None,
+    planner: Optional[PlannerSpec] = None,
+    **kwargs: Any,
+) -> ExperimentRun:
+    """Run an n-ary PJoin over an n-stream workload.
+
+    A thin veneer over :func:`run_join_experiment` — interception
+    (parallel sweeps), batching, profiling and tracing all compose
+    exactly as for binary experiments.
+    """
+    return run_join_experiment(
+        nary_pjoin_factory(config=config, planner=planner), workload, **kwargs
+    )

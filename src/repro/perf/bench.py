@@ -219,6 +219,33 @@ def _prepare_fig5_sharded(scale: float) -> Callable[[], Dict[str, Any]]:
     return run
 
 
+def _prepare_nary_adaptive(scale: float) -> Callable[[], Dict[str, Any]]:
+    # The adaptive planner's showcase: the nary_drift preset (arrival
+    # rates and punctuation cadences invert mid-run) under probe-heavy
+    # charging, joined 3-way with runtime re-optimization on.  Times
+    # the whole planning stack — per-side stats collection, boundary
+    # re-scoring and plan switches — on top of the n-ary hot path.
+    from repro.experiments.harness import run_nary_experiment
+    from repro.planner import PlannerSpec, get_preset
+    from repro.sim.costs import CostModel
+    from repro.workloads.nary import generate_nary_workload
+
+    workload = generate_nary_workload(get_preset("nary_drift", scale=scale))
+    config = PJoinConfig(purge_threshold=8)
+    cost_model = CostModel().with_overrides(probe_per_candidate=0.04)
+    planner = PlannerSpec(mode="adaptive", reopt_interval=2)
+
+    def run() -> Dict[str, Any]:
+        return _experiment_outcome(
+            run_nary_experiment(
+                workload, config=config, planner=planner,
+                cost_model=cost_model, label="bench:nary:adaptive",
+            )
+        )
+
+    return run
+
+
 def _prepare_chaos_disorder(scale: float) -> Callable[[], Dict[str, Any]]:
     # Chaos scenarios are pinned at their preset size; scale is ignored
     # so quick and full reports stay comparable on this case.
@@ -286,6 +313,12 @@ BENCH_CASES: Dict[str, BenchCase] = {
             "fig8_pjoin_lazy",
             "Figure 8 workload (10 t/p, seed 9), PJoin with lazy purge (10)",
             _prepare_fig8_lazy,
+        ),
+        BenchCase(
+            "fig_nary_adaptive",
+            "nary_drift preset (3-way, rate drift, seed 11), NaryPJoin "
+            "with the adaptive probe-order planner (reopt every 2)",
+            _prepare_nary_adaptive,
         ),
         BenchCase(
             "chaos_disorder",
@@ -638,6 +671,13 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
              "so combine with --no-compare",
     )
     parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="run every in-process case with the specialized hot-path "
+             "closures disabled (results are byte-identical; only wall "
+             "time moves); wall times will not be comparable to a "
+             "fastpath baseline, so combine with --no-compare",
+    )
+    parser.add_argument(
         "--layer-matrix", action="store_true",
         help="also run the feature-toggle grid (obs/resilience/governor/"
              "shard on and off) on the fig5_pjoin preset and record the "
@@ -667,6 +707,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 stack.enter_context(governed(spec))
             if getattr(args, "batch_size", None) is not None:
                 stack.enter_context(batching(args.batch_size))
+            if getattr(args, "no_fastpath", False):
+                from repro.operators import fastpath
+
+                stack.enter_context(fastpath.disabled())
             report = run_bench(
                 scale=scale,
                 cases=args.cases,

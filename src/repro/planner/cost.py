@@ -1,0 +1,182 @@
+"""The planner's cost model for candidate probe orders.
+
+A candidate plan is a **global stream priority order**; an arriving
+tuple on side *i* probes the other sides in that order (with *i*
+removed).  The model scores a plan as the expected virtual-time probe
+work per unit of virtual time, using the same coefficients the
+simulator charges (:class:`repro.sim.costs.CostModel`):
+
+* each probe into side *o* scans that side's expected bucket occupancy
+  at ``probe_per_candidate`` per resident tuple;
+* a probe that misses ends the pipeline, so stage *k* is only reached
+  with probability ``prod(hit_rate of earlier stages)`` — put the most
+  selective / cheapest sides first;
+* sides that punctuate fast keep little state *and are about to purge
+  what they have*, so their effective occupancy is discounted by their
+  punctuation-to-arrival cadence — the punctuation-driven state-savings
+  term that makes this a PJoin planner rather than a plain join-order
+  planner;
+* a fully-matched pipeline pays ``emit_result`` per output combination.
+
+Total plan cost = sum over arriving sides of (arrival rate x per-tuple
+pipeline cost).  The breakdown is kept per candidate and per stage so
+``repro plan --explain`` can show *why* an order won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.planner.stats import StreamStats
+from repro.sim.costs import CostModel
+
+_EPS = 1e-12
+
+# A side's punctuations can never discount more than this fraction of
+# its resident state: purges run on the monitor's threshold, not on
+# every punctuation, so some covered state always lingers.
+MAX_PUNCT_DISCOUNT = 0.9
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One probe stage of one arriving side's pipeline."""
+
+    target: int           # side being probed
+    reach: float          # P(pipeline reaches this stage)
+    occupancy: float      # expected resident tuples scanned
+    discount: float       # punctuation-driven occupancy discount [0, 1)
+    cost: float           # expected virtual ms for this stage (per tuple)
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    """Full cost breakdown of one candidate order."""
+
+    order: Tuple[int, ...]
+    total: float                        # virtual ms of probe work per ms
+    per_side: Tuple[float, ...]         # cost contributed by each arriving side
+    stages: Tuple[Tuple[StageCost, ...], ...]  # per arriving side
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "order": list(self.order),
+            "total": self.total,
+            "per_side": list(self.per_side),
+        }
+
+
+class PlannerCostModel:
+    """Scores candidate probe orders against live stream statistics."""
+
+    def __init__(
+        self,
+        probe_per_tuple: float = 0.004,
+        emit_result: float = 0.002,
+        plan_eval_cost: float = 0.01,
+        max_discount: float = MAX_PUNCT_DISCOUNT,
+    ) -> None:
+        self.probe_per_tuple = probe_per_tuple
+        self.emit_result = emit_result
+        self.plan_eval_cost = plan_eval_cost
+        self.max_discount = max_discount
+
+    @classmethod
+    def from_cost_model(cls, cost_model: Optional[CostModel]) -> "PlannerCostModel":
+        """Inherit the simulator's probe/emit coefficients."""
+        if cost_model is None:
+            cost_model = CostModel()
+        return cls(
+            probe_per_tuple=cost_model.probe_per_candidate,
+            emit_result=cost_model.emit_result,
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def discount(self, stats: StreamStats) -> float:
+        """Punctuation-driven state-savings credit for probing late.
+
+        A side whose punctuation cadence approaches its arrival rate
+        retires state about as fast as it accretes; probing it *later*
+        in the pipeline (fewer pipelines reach it) costs little even
+        when a snapshot of its state looks large, because much of that
+        state is moments from being purged.
+        """
+        arrival = max(stats.arrival_rate, _EPS)
+        return min(self.max_discount, stats.punct_rate / arrival)
+
+    def effective_occupancy(self, stats: StreamStats, stage: int) -> float:
+        """Expected bucket scan for a probe reaching stage *k*.
+
+        Occupancy comes from the measured per-probe bucket scan when
+        the side has been probed, else from its resident state spread
+        over nothing (pure state-size proxy).  Each later stage
+        compounds the punctuation discount once more: by the time a
+        pipeline reaches stage k the operator has had k more chances to
+        drop the tuple against fresher promises.
+        """
+        base = stats.avg_occupancy
+        if base <= _EPS:
+            base = stats.state_size
+        return base * (1.0 - self.discount(stats)) ** (stage + 1)
+
+    def pipeline_cost(
+        self,
+        arriving: StreamStats,
+        probe_order: Sequence[int],
+        stats: Sequence[StreamStats],
+    ) -> Tuple[float, Tuple[StageCost, ...]]:
+        """Expected virtual ms one arriving tuple spends probing."""
+        reach = 1.0
+        total = 0.0
+        expected_results = 1.0
+        stages: List[StageCost] = []
+        for stage, target in enumerate(probe_order):
+            other = stats[target]
+            occ = self.effective_occupancy(other, stage)
+            cost = reach * self.probe_per_tuple * occ
+            stages.append(
+                StageCost(
+                    target=target,
+                    reach=reach,
+                    occupancy=occ,
+                    discount=self.discount(other),
+                    cost=cost,
+                )
+            )
+            total += cost
+            reach *= min(1.0, other.hit_rate)
+            expected_results *= other.avg_matches
+        total += reach * self.emit_result * expected_results
+        return total, tuple(stages)
+
+    def plan_cost(
+        self,
+        order: Sequence[int],
+        stats: Sequence[StreamStats],
+    ) -> CandidateCost:
+        """Score one global priority order against the latest stats."""
+        order = tuple(order)
+        per_side: List[float] = []
+        all_stages: List[Tuple[StageCost, ...]] = []
+        total = 0.0
+        for side, side_stats in enumerate(stats):
+            probe_order = tuple(o for o in order if o != side)
+            per_tuple, stages = self.pipeline_cost(side_stats, probe_order, stats)
+            contribution = side_stats.arrival_rate * per_tuple
+            per_side.append(contribution)
+            all_stages.append(stages)
+            total += contribution
+        return CandidateCost(
+            order=order,
+            total=total,
+            per_side=tuple(per_side),
+            stages=tuple(all_stages),
+        )
+
+    def planning_cost(self, n_candidates: int) -> float:
+        """Virtual ms charged for evaluating *n* candidates."""
+        return self.plan_eval_cost * n_candidates

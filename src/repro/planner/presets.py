@@ -1,0 +1,69 @@
+"""Named n-way workload presets for ``repro plan`` and the figures.
+
+Each preset is a :class:`~repro.workloads.nary.NaryWorkloadSpec` with a
+story the planner can act on:
+
+* ``nary_uniform`` — three symmetric streams; every probe order costs
+  the same, so the planner should *hold* the identity order (a no-switch
+  sanity baseline).
+* ``nary_drift`` — three streams whose punctuation cadences invert
+  halfway through the run: the stream that purges aggressively early
+  (small state, probe it first) becomes the laggard late.  Any static
+  order is wrong for half the run; this is the adaptive planner's
+  showcase and the workload behind ``fig_nary_adaptive``.
+* ``nary_skew4`` — four streams with a stable cadence skew; the best
+  order is static but *not* the identity, exercising exhaustive
+  enumeration at the n=4 limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import PlannerError
+from repro.workloads.nary import NaryWorkloadSpec
+
+PRESETS: Dict[str, NaryWorkloadSpec] = {
+    "nary_uniform": NaryWorkloadSpec(
+        n_streams=3,
+        n_tuples_per_stream=6_000,
+        punct_spacings=(40.0, 40.0, 40.0),
+        seed=7,
+    ),
+    "nary_drift": NaryWorkloadSpec(
+        n_streams=3,
+        n_tuples_per_stream=6_000,
+        interarrival_ms=(1.0, 6.0, 0.4),
+        drift_interarrival_ms=(1.0, 0.4, 6.0),
+        punct_spacings=(5.0, 15.0, 60.0),
+        drift_spacings=(5.0, 60.0, 15.0),
+        drift_at=0.5,
+        active_values=12,
+        seed=11,
+    ),
+    "nary_skew4": NaryWorkloadSpec(
+        n_streams=4,
+        n_tuples_per_stream=4_000,
+        punct_spacings=(10.0, 40.0, 80.0, 160.0),
+        seed=13,
+    ),
+}
+
+
+def preset_names() -> list:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str, scale: float = 1.0) -> NaryWorkloadSpec:
+    """Look up a preset, optionally scaling its tuple count."""
+    try:
+        spec = PRESETS[name]
+    except KeyError:
+        raise PlannerError(
+            f"unknown planner preset {name!r}; known: {', '.join(preset_names())}"
+        ) from None
+    if scale != 1.0:
+        spec = spec.with_overrides(
+            n_tuples_per_stream=max(500, int(spec.n_tuples_per_stream * scale))
+        )
+    return spec

@@ -22,7 +22,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple as PyTuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.operators.base import Operator
 from repro.sim.costs import CostModel
@@ -69,6 +69,32 @@ class QueryPlan:
         source.connect(operator, port)
         self.sources.append(source)
         return source
+
+    def nary_join(
+        self,
+        schemas: Sequence[Any],
+        join_fields: Sequence[str],
+        config: Optional[Any] = None,
+        planner: Optional[Any] = None,
+        name: str = "nary-pjoin",
+    ) -> Operator:
+        """Build an n-ary PJoin on this plan's engine and cost model.
+
+        ``planner`` is a :class:`~repro.planner.spec.PlannerSpec`
+        controlling the probe order (static or adaptive); ``None``
+        keeps the unplanned stream-order operator.
+        """
+        from repro.core.nary import NaryPJoin
+
+        return NaryPJoin(
+            self.engine,
+            self.cost_model,
+            schemas,
+            join_fields,
+            config=config,
+            planner=planner,
+            name=name,
+        )
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None

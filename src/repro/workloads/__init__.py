@@ -21,6 +21,12 @@ from repro.workloads.generator import (
     PunctuatedStreamGenerator,
     generate_workload,
 )
+from repro.workloads.nary import (
+    NaryGeneratedWorkload,
+    NaryStreamGenerator,
+    NaryWorkloadSpec,
+    generate_nary_workload,
+)
 from repro.workloads.auction import AuctionSpec, AuctionWorkloadGenerator
 from repro.workloads.sensors import SensorSpec, SensorWorkloadGenerator
 from repro.workloads.bursty import make_bursty
@@ -43,6 +49,10 @@ __all__ = [
     "PunctuatedStreamGenerator",
     "GeneratedWorkload",
     "generate_workload",
+    "NaryWorkloadSpec",
+    "NaryStreamGenerator",
+    "NaryGeneratedWorkload",
+    "generate_nary_workload",
     "AuctionSpec",
     "AuctionWorkloadGenerator",
     "SensorSpec",

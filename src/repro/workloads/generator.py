@@ -58,6 +58,11 @@ class GeneratedWorkload:
         self.join_fields = ("key", "key")
 
     @property
+    def stream_names(self) -> PyTuple[str, str]:
+        """Source names for the harness (kept at the paper's "A"/"B")."""
+        return ("A", "B")
+
+    @property
     def schedule_a(self) -> Schedule:
         return self.schedules[0]
 

@@ -1,0 +1,313 @@
+"""N-stream punctuated workloads for the multi-way join planner.
+
+Generalizes the binary generator (:mod:`repro.workloads.generator`) to
+*n* co-generated streams sharing one join-value lifecycle, and adds the
+one knob the adaptive planner needs that the binary spec cannot
+express: **rate drift**.  Each stream's punctuation spacing may switch
+to a second value partway through the run (``drift_spacings`` at
+``drift_at``), so the stream that keeps its state small early is the
+one whose state accretes late — the regime in which a fixed probe
+order must be wrong in one half of the run.
+
+Validity is preserved by construction exactly as in the binary
+generator: every stream draws keys only from its own open window
+``[lo, hi)`` and punctuates its oldest open value, so no stream ever
+emits a tuple on a value it has promised away.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Tuple as PyTuple
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.sim.arrivals import poisson_tuple_spacing
+from repro.tuples.schema import Field, Schema
+from repro.tuples.tuple import Tuple
+
+Schedule = List[PyTuple[float, Any]]
+
+
+def _stream_schema(i: int) -> Schema:
+    return Schema(
+        [Field("key", int), Field("seq", int), Field("payload", float)],
+        name=f"S{i}",
+    )
+
+
+@dataclass(frozen=True)
+class NaryWorkloadSpec:
+    """Parameters of an n-stream punctuated workload with optional drift.
+
+    Parameters
+    ----------
+    n_streams:
+        Number of co-generated streams (>= 2).
+    n_tuples_per_stream:
+        Data tuples per stream (punctuations come on top).
+    tuple_interarrival_ms:
+        Mean Poisson tuple inter-arrival (every stream, unless
+        ``interarrival_ms`` overrides it per stream).
+    interarrival_ms:
+        Per-stream mean tuple inter-arrival; a slow stream is *sparse*
+        (few tuples per open value), so probes into it miss often and
+        end the probe pipeline early — the asymmetry a probe order can
+        exploit.
+    punct_spacings:
+        Mean punctuation spacing (tuples/punctuation) per stream;
+        ``None`` disables punctuations for that stream.  Length must
+        equal ``n_streams``.
+    drift_spacings:
+        When set, each stream switches to this spacing after emitting
+        ``drift_at`` of its tuples — punctuation-cadence drift.
+    drift_interarrival_ms:
+        When set, each stream switches to this mean inter-arrival after
+        emitting ``drift_at`` of its tuples — arrival-rate drift (the
+        dense and sparse streams trade places mid-run).
+    drift_at:
+        Fraction of a stream's tuples after which the drifts apply.
+    active_values:
+        Join values open at any moment (many-to-many multiplicity).
+    aligned_punctuations:
+        Deterministic (exact-mean) punctuation spacing when ``True``.
+    seed:
+        Base RNG seed; each stream derives its own generator from it.
+    """
+
+    n_streams: int = 3
+    n_tuples_per_stream: int = 6_000
+    tuple_interarrival_ms: float = 2.0
+    interarrival_ms: Optional[PyTuple[float, ...]] = None
+    punct_spacings: PyTuple[Optional[float], ...] = (40.0, 40.0, 40.0)
+    drift_spacings: Optional[PyTuple[Optional[float], ...]] = None
+    drift_interarrival_ms: Optional[PyTuple[float, ...]] = None
+    drift_at: float = 0.5
+    active_values: int = 10
+    aligned_punctuations: bool = False
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_streams < 2:
+            raise WorkloadError(f"n_streams must be >= 2, got {self.n_streams}")
+        if self.n_tuples_per_stream < 1:
+            raise WorkloadError(
+                f"n_tuples_per_stream must be >= 1, got {self.n_tuples_per_stream}"
+            )
+        if self.tuple_interarrival_ms <= 0:
+            raise WorkloadError(
+                "tuple_interarrival_ms must be positive, "
+                f"got {self.tuple_interarrival_ms}"
+            )
+        for label, spacings in (
+            ("punct_spacings", self.punct_spacings),
+            ("drift_spacings", self.drift_spacings),
+        ):
+            if spacings is None:
+                continue
+            if len(spacings) != self.n_streams:
+                raise WorkloadError(
+                    f"{label} needs one entry per stream "
+                    f"({self.n_streams}), got {len(spacings)}"
+                )
+            for spacing in spacings:
+                if spacing is not None and spacing < 1:
+                    raise WorkloadError(
+                        f"{label} entries must be >= 1 or None, got {spacing}"
+                    )
+        for label, gaps in (
+            ("interarrival_ms", self.interarrival_ms),
+            ("drift_interarrival_ms", self.drift_interarrival_ms),
+        ):
+            if gaps is None:
+                continue
+            if len(gaps) != self.n_streams:
+                raise WorkloadError(
+                    f"{label} needs one entry per stream "
+                    f"({self.n_streams}), got {len(gaps)}"
+                )
+            for gap in gaps:
+                if gap <= 0:
+                    raise WorkloadError(
+                        f"{label} entries must be positive, got {gap}"
+                    )
+        if not 0.0 < self.drift_at < 1.0:
+            raise WorkloadError(
+                f"drift_at must be in (0, 1), got {self.drift_at}"
+            )
+        if self.active_values < 1:
+            raise WorkloadError(
+                f"active_values must be >= 1, got {self.active_values}"
+            )
+
+    def with_overrides(self, **overrides) -> "NaryWorkloadSpec":
+        return replace(self, **overrides)
+
+
+class NaryGeneratedWorkload:
+    """Generator output: one schedule per stream plus shared metadata.
+
+    Mirrors :class:`~repro.workloads.generator.GeneratedWorkload` so the
+    experiment harness runs either shape through the same code path.
+    """
+
+    def __init__(self, spec: NaryWorkloadSpec, schedules: List[Schedule]) -> None:
+        self.spec = spec
+        self.schedules = tuple(schedules)
+        self.schemas = tuple(_stream_schema(i) for i in range(spec.n_streams))
+        self.join_fields = tuple("key" for _ in range(spec.n_streams))
+
+    @property
+    def stream_names(self) -> PyTuple[str, ...]:
+        return tuple(schema.name for schema in self.schemas)
+
+    def tuples(self, side: int) -> List[Tuple]:
+        return [item for _t, item in self.schedules[side] if isinstance(item, Tuple)]
+
+    def punctuations(self, side: int) -> List[Punctuation]:
+        return [
+            item
+            for _t, item in self.schedules[side]
+            if isinstance(item, Punctuation)
+        ]
+
+    @property
+    def end_time(self) -> float:
+        last = 0.0
+        for schedule in self.schedules:
+            if schedule:
+                last = max(last, schedule[-1][0])
+        return last
+
+    def __repr__(self) -> str:
+        return (
+            f"NaryGeneratedWorkload(streams={self.spec.n_streams}, "
+            f"tuples={self.spec.n_tuples_per_stream}/stream, "
+            f"seed={self.spec.seed})"
+        )
+
+
+@dataclass
+class _Stream:
+    rng: random.Random
+    spacing: Optional[float]
+    interarrival: float = 2.0
+    drift_spacing: Optional[float] = None
+    drift_interarrival: Optional[float] = None
+    drifted: bool = field(default=False)
+    countdown: int = 0
+    lo: int = 0
+    seq: int = 0
+    next_time: float = 0.0
+    emitted: int = 0
+
+
+class NaryStreamGenerator:
+    """Co-generates the *n* streams of a :class:`NaryWorkloadSpec`."""
+
+    def __init__(self, spec: NaryWorkloadSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> NaryGeneratedWorkload:
+        spec = self.spec
+        schemas = [_stream_schema(i) for i in range(spec.n_streams)]
+        drift = spec.drift_spacings or tuple([None] * spec.n_streams)
+        gaps = spec.interarrival_ms or tuple(
+            [spec.tuple_interarrival_ms] * spec.n_streams
+        )
+        drift_gaps = spec.drift_interarrival_ms or tuple(
+            [None] * spec.n_streams
+        )
+        streams = [
+            _Stream(
+                random.Random(spec.seed * 1_000_003 + side),
+                spacing,
+                interarrival=gaps[side],
+                drift_spacing=drift[side],
+                drift_interarrival=drift_gaps[side],
+            )
+            for side, spacing in enumerate(spec.punct_spacings)
+        ]
+        schedules: List[Schedule] = [[] for _ in streams]
+        hi = spec.active_values
+        drift_after = int(spec.drift_at * spec.n_tuples_per_stream)
+        for stream in streams:
+            stream.next_time = self._gap(stream)
+            stream.countdown = self._spacing(stream)
+        while any(s.emitted < spec.n_tuples_per_stream for s in streams):
+            side = self._next_side(streams, spec.n_tuples_per_stream)
+            stream = streams[side]
+            now = stream.next_time
+            key = stream.rng.randrange(stream.lo, hi)
+            tup = Tuple(
+                schemas[side],
+                (key, stream.seq, round(stream.rng.random(), 6)),
+                ts=now,
+                validate=False,
+            )
+            schedules[side].append((now, tup))
+            stream.seq += 1
+            stream.emitted += 1
+            stream.countdown -= 1
+            if (
+                (spec.drift_spacings is not None
+                 or spec.drift_interarrival_ms is not None)
+                and not stream.drifted
+                and stream.emitted >= drift_after
+            ):
+                # The drift point: the stream's punctuation cadence
+                # and/or arrival rate change for the rest of the run.
+                if spec.drift_spacings is not None:
+                    stream.spacing = stream.drift_spacing
+                    stream.countdown = min(
+                        stream.countdown, self._spacing(stream)
+                    )
+                if stream.drift_interarrival is not None:
+                    stream.interarrival = stream.drift_interarrival
+                stream.drifted = True
+            if stream.spacing is not None and stream.countdown <= 0:
+                if stream.lo < hi:
+                    punct = Punctuation.on_field(
+                        schemas[side], "key", stream.lo, ts=now
+                    )
+                    schedules[side].append((now, punct))
+                    stream.lo += 1
+                    if hi - stream.lo < spec.active_values:
+                        hi += 1
+                stream.countdown = self._spacing(stream)
+            stream.next_time = now + self._gap(stream)
+        return NaryGeneratedWorkload(spec, schedules)
+
+    def _gap(self, stream: _Stream) -> float:
+        return stream.rng.expovariate(1.0 / stream.interarrival)
+
+    def _spacing(self, stream: _Stream) -> int:
+        if stream.spacing is None:
+            return 1 << 62  # effectively never
+        if self.spec.aligned_punctuations:
+            return max(1, round(stream.spacing))
+        return poisson_tuple_spacing(stream.spacing, stream.rng)
+
+    @staticmethod
+    def _next_side(streams: List[_Stream], limit: int) -> int:
+        best = -1
+        best_time = float("inf")
+        for side, stream in enumerate(streams):
+            if stream.emitted >= limit:
+                continue
+            if stream.next_time < best_time:
+                best = side
+                best_time = stream.next_time
+        return best
+
+
+def generate_nary_workload(
+    spec: Optional[NaryWorkloadSpec] = None, **overrides
+) -> NaryGeneratedWorkload:
+    """Build a spec (or override one) and generate its streams."""
+    if spec is None:
+        spec = NaryWorkloadSpec(**overrides)
+    elif overrides:
+        spec = spec.with_overrides(**overrides)
+    return NaryStreamGenerator(spec).generate()

@@ -54,3 +54,54 @@ def test_missing_figures_reported(figure, tmp_path_factory, capsys):
     save_figure_json(figure, old / "f.json")
     compare_runs.main([str(old), str(new)])
     assert "only in" in capsys.readouterr().out
+
+
+def test_nary_side_counters_fold_into_the_counter_diff(tmp_path, capsys):
+    """Per-side n-ary counters travel through manifests into --counters."""
+    import json
+
+    from repro.core.config import PJoinConfig
+    from repro.experiments.harness import run_nary_experiment
+    from repro.planner import PlannerSpec
+    from repro.workloads.nary import generate_nary_workload
+
+    workload = generate_nary_workload(
+        n_streams=3, n_tuples_per_stream=200,
+        punct_spacings=(10.0, 20.0, 40.0), seed=4,
+    )
+    runs = [
+        run_nary_experiment(
+            workload, config=PJoinConfig(purge_threshold=4),
+            planner=PlannerSpec(mode="static", initial_order=order),
+        )
+        for order in [(0, 1, 2), (2, 1, 0)]
+    ]
+    registry = runs[0].manifest["counters"]["nary-pjoin"]
+    assert "side.input0.probe_count" in registry
+    assert "side.input0.punct_cadence_ms" in registry
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old_path.write_text(json.dumps(runs[0].manifest))
+    new_path.write_text(json.dumps(runs[1].manifest))
+    # Different probe orders shift which sides get probed, so the
+    # per-side probe counters must move in the diff.
+    assert compare_runs.main([str(old_path), str(new_path)]) == 1
+    out = capsys.readouterr().out
+    assert "side.input" in out
+
+
+def test_adaptive_manifest_carries_planner_counters(capsys):
+    from repro.core.config import PJoinConfig
+    from repro.experiments.harness import run_nary_experiment
+    from repro.planner import PlannerSpec, get_preset
+    from repro.workloads.nary import generate_nary_workload
+
+    workload = generate_nary_workload(get_preset("nary_drift", scale=0.05))
+    run = run_nary_experiment(
+        workload, config=PJoinConfig(purge_threshold=8),
+        planner=PlannerSpec(mode="adaptive", reopt_interval=2),
+    )
+    registry = run.manifest["counters"]["nary-pjoin"]
+    assert registry["planner.reopt.count"] >= 1
+    assert "planner.switches" in registry
+    assert "planner.cumulative_cost_delta" in registry

@@ -16,7 +16,8 @@ from repro.experiments.figures import ALL_FIGURES, Check, FigureResult
 class TestRegistry:
     def test_all_figures_registered(self):
         assert set(ALL_FIGURES) == (
-            {f"figure{i}" for i in range(5, 15)} | {"fig_memory_sweep"}
+            {f"figure{i}" for i in range(5, 15)}
+            | {"fig_memory_sweep", "fig_nary_adaptive"}
         )
 
     def test_all_seven_ablations_registered(self):

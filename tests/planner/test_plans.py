@@ -1,0 +1,113 @@
+"""Candidate enumeration, the greedy heuristic, and plan choice."""
+
+import pytest
+
+from repro.errors import PlannerError
+from repro.planner.cost import PlannerCostModel
+from repro.planner.plans import (
+    EXHAUSTIVE_LIMIT,
+    candidate_orders,
+    choose_plan,
+    greedy_order,
+)
+
+from .test_cost import mk_stats
+
+
+class TestCandidateOrders:
+    def test_exhaustive_up_to_the_limit(self):
+        assert len(candidate_orders(3)) == 6
+        assert len(set(candidate_orders(EXHAUSTIVE_LIMIT))) == 24
+
+    def test_rejects_degenerate_joins(self):
+        with pytest.raises(PlannerError):
+            candidate_orders(1)
+
+    def test_greedy_needs_stats_beyond_the_limit(self):
+        with pytest.raises(PlannerError):
+            candidate_orders(EXHAUSTIVE_LIMIT + 1)
+
+    def test_greedy_seed_plus_adjacent_swaps(self):
+        cm = PlannerCostModel()
+        stats = [mk_stats(i, occ=float(10 * (i + 1))) for i in range(5)]
+        candidates = candidate_orders(5, stats, cm)
+        assert candidates[0] == (0, 1, 2, 3, 4)  # cheapest-first seed
+        assert len(candidates) == 5              # seed + 4 adjacent swaps
+        assert (1, 0, 2, 3, 4) in candidates
+
+    def test_incumbent_is_kept_as_a_candidate(self):
+        cm = PlannerCostModel()
+        stats = [mk_stats(i, occ=float(10 * (i + 1))) for i in range(5)]
+        incumbent = (4, 3, 2, 1, 0)
+        candidates = candidate_orders(5, stats, cm, current=incumbent)
+        assert incumbent in candidates
+        # ... but not duplicated when it already is one.
+        again = candidate_orders(5, stats, cm, current=(0, 1, 2, 3, 4))
+        assert len(again) == len(set(again)) == 5
+
+
+class TestGreedyOrder:
+    def test_cheap_sides_first(self):
+        cm = PlannerCostModel()
+        stats = [mk_stats(0, occ=30.0), mk_stats(1, occ=1.0),
+                 mk_stats(2, occ=10.0)]
+        assert greedy_order(stats, cm) == (1, 2, 0)
+
+    def test_selectivity_beats_raw_occupancy(self):
+        cm = PlannerCostModel()
+        # Side 0 scans 10 but misses 90% (rank 1.0); side 1 scans 5 and
+        # always hits (rank 5.0): probe the miss-prone side first.
+        stats = [mk_stats(0, occ=10.0, hit=0.1), mk_stats(1, occ=5.0)]
+        assert greedy_order(stats, cm) == (0, 1)
+
+    def test_ties_break_toward_lower_index(self):
+        cm = PlannerCostModel()
+        stats = [mk_stats(0), mk_stats(1), mk_stats(2)]
+        assert greedy_order(stats, cm) == (0, 1, 2)
+
+
+class TestChoosePlan:
+    def test_symmetric_stats_keep_the_identity_order(self):
+        choice = choose_plan([mk_stats(i) for i in range(3)])
+        assert choice.order == (0, 1, 2)
+        assert choice.exhaustive
+        assert len(choice.candidates) == 6
+        assert choice.cost == pytest.approx(choice.best.total)
+
+    def test_prefers_probing_the_selective_cheap_side_first(self):
+        stats = [
+            mk_stats(0, occ=10.0),
+            mk_stats(1, occ=2.0, hit=0.2),   # cheap and miss-prone
+            mk_stats(2, occ=50.0),           # expensive
+        ]
+        choice = choose_plan(stats)
+        probe_of_0 = tuple(o for o in choice.order if o != 0)
+        assert probe_of_0 == (1, 2)
+
+    def test_candidates_sorted_best_first(self):
+        choice = choose_plan(
+            [mk_stats(0, occ=5.0), mk_stats(1, occ=20.0), mk_stats(2)]
+        )
+        totals = [cand.total for cand in choice.candidates]
+        assert totals == sorted(totals)
+
+    def test_candidate_for_lookup(self):
+        cm = PlannerCostModel()
+        stats = [mk_stats(i, occ=float(10 * (i + 1))) for i in range(5)]
+        choice = choose_plan(stats, cm)
+        assert choice.candidate_for((0, 1, 2, 3, 4)) is not None
+        assert choice.candidate_for((2, 0, 1, 3, 4)) is None  # not enumerated
+
+    def test_explain_marks_the_winner(self):
+        choice = choose_plan([mk_stats(0), mk_stats(1, occ=30.0), mk_stats(2)])
+        text = choice.explain(["A", "B", "C"])
+        assert "<- chosen" in text
+        assert "A" in text and "B" in text
+        assert "exhaustive: 6 candidates" in text
+
+    def test_as_dict_is_json_shaped(self):
+        choice = choose_plan([mk_stats(0), mk_stats(1)])
+        payload = choice.as_dict()
+        assert payload["order"] == list(choice.order)
+        assert payload["exhaustive"] is True
+        assert len(payload["candidates"]) == 2

@@ -1,0 +1,114 @@
+"""Windowed statistics collection over a stub counter registry."""
+
+import pytest
+
+from repro.planner.stats import StatsCollector
+
+
+class _StubEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _StubSide:
+    def __init__(self, name):
+        self.side_name = name
+
+
+class _StubJoin:
+    """Quacks like NaryPJoin for the collector: counters + sides."""
+
+    def __init__(self, n=2):
+        self.engine = _StubEngine()
+        self.sides = [_StubSide(f"input{i}") for i in range(n)]
+        self.registry = {}
+        self.last_purge_ms = 0.0
+
+    def counters(self):
+        return dict(self.registry)
+
+    def set_side(self, side, **values):
+        for key, value in values.items():
+            self.registry[f"side.input{side}.{key}"] = value
+
+
+@pytest.fixture
+def join():
+    stub = _StubJoin()
+    stub.set_side(
+        0, state_size=7, tuples_in=20, probe_count=10, probe_hits=5,
+        match_count=20, probe_occupancy=100, punct_count=5,
+    )
+    stub.set_side(
+        1, state_size=3, tuples_in=10, probe_count=4, probe_hits=4,
+        match_count=4, probe_occupancy=8, punct_count=0,
+    )
+    return stub
+
+
+class TestFirstWindow:
+    def test_rates_are_cumulative_over_elapsed_time(self, join):
+        collector = StatsCollector(join)
+        (s0, s1) = collector.collect(now=10.0)
+        assert s0.arrival_rate == pytest.approx(2.0)   # 20 tuples / 10 ms
+        assert s0.punct_rate == pytest.approx(0.5)
+        assert s1.arrival_rate == pytest.approx(1.0)
+        assert s1.punct_rate == 0.0
+
+    def test_ratios_from_probe_counters(self, join):
+        collector = StatsCollector(join)
+        (s0, s1) = collector.collect(now=10.0)
+        assert s0.hit_rate == pytest.approx(0.5)       # 5 hits / 10 probes
+        assert s0.avg_matches == pytest.approx(2.0)    # 20 matches / 10
+        assert s0.avg_occupancy == pytest.approx(10.0)  # 100 scanned / 10
+        assert s1.hit_rate == pytest.approx(1.0)
+
+    def test_state_and_names_pass_through(self, join):
+        (s0, s1) = StatsCollector(join).collect(now=10.0)
+        assert (s0.side, s0.name, s0.state_size) == (0, "input0", 7.0)
+        assert (s1.side, s1.name, s1.state_size) == (1, "input1", 3.0)
+
+
+class TestRollingWindows:
+    def test_rates_are_ewma_blended(self, join):
+        collector = StatsCollector(join, smoothing=0.5)
+        collector.collect(now=10.0)                    # rate 2.0
+        join.set_side(0, tuples_in=30)                 # +10 in 10 ms -> 1.0
+        (s0, _) = collector.collect(now=20.0)
+        assert s0.arrival_rate == pytest.approx(0.5 * 1.0 + 0.5 * 2.0)
+
+    def test_window_without_probes_falls_back_to_cumulative(self, join):
+        collector = StatsCollector(join)
+        collector.collect(now=10.0)
+        (s0, _) = collector.collect(now=20.0)          # no new probes
+        assert s0.hit_rate == pytest.approx(0.5)       # cumulative 5/10
+        assert s0.avg_occupancy == pytest.approx(10.0)
+
+    def test_zero_width_window_returns_last_stats(self, join):
+        collector = StatsCollector(join)
+        first = collector.collect(now=10.0)
+        assert collector.collect(now=10.0) is first
+        assert collector.collections == 1
+
+    def test_purge_lag_from_last_purge(self, join):
+        collector = StatsCollector(join)
+        join.last_purge_ms = 15.0
+        (s0, _) = collector.collect(now=20.0)
+        assert s0.purge_lag_ms == pytest.approx(5.0)
+
+    def test_hit_rate_capped_at_one(self, join):
+        join.set_side(0, probe_hits=25)                # corrupt: hits > probes
+        (s0, _) = StatsCollector(join).collect(now=10.0)
+        assert s0.hit_rate == 1.0
+
+    def test_last_property_and_as_dict(self, join):
+        collector = StatsCollector(join)
+        assert collector.last is None
+        stats = collector.collect(now=10.0)
+        assert collector.last is stats
+        payload = stats[0].as_dict()
+        assert payload["arrival_rate"] == pytest.approx(2.0)
+        assert set(payload) == {
+            "state_size", "arrival_rate", "punct_rate", "hit_rate",
+            "avg_matches", "avg_occupancy", "purge_lag_ms",
+        }

@@ -123,3 +123,51 @@ class TestParser:
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         assert "trace" in out and "metrics" in out
+
+
+class TestPlan:
+    def test_list_presets(self, capsys):
+        assert main(["plan", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "nary_drift" in out
+        assert "nary_uniform" in out
+
+    def test_runs_and_prints_planner_report(self, capsys):
+        code = main(["plan", "nary_uniform", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner counters" in out
+        assert "planner.reopt.count" in out
+        assert "boundaries" in out
+        assert "probe order" in out
+
+    def test_check_verifies_equivalence(self, capsys):
+        code = main(["plan", "nary_uniform", "--scale", "0.01", "--check"])
+        assert code == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_explain_prints_candidate_tables(self, capsys):
+        code = main(["plan", "nary_uniform", "--scale", "0.01", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidates scored" in out
+
+    def test_unknown_preset_fails(self, capsys):
+        assert main(["plan", "nosuch"]) == 2
+        assert "unknown planner preset" in capsys.readouterr().err
+
+
+class TestFastpathFlag:
+    def test_demo_runs_without_fastpath(self, capsys):
+        code = main(
+            ["demo", "--tuples", "200", "--no-fastpath"]
+        )
+        assert code == 0
+        assert "XJoin" in capsys.readouterr().out
+
+    def test_figures_reject_planner_with_jobs(self, capsys):
+        code = main(
+            ["figures", "figure6", "--planner", "adaptive", "--jobs", "2"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err

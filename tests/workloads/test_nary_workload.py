@@ -1,0 +1,176 @@
+"""Unit and property tests for the n-stream workload generator."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+from repro.workloads.nary import (
+    NaryWorkloadSpec,
+    generate_nary_workload,
+)
+
+
+def stream_is_valid(schedule, schema) -> bool:
+    """No tuple matches an earlier punctuation of the same stream."""
+    key_index = schema.index_of("key")
+    punctuated = set()
+    for _t, item in schedule:
+        if isinstance(item, Punctuation):
+            punctuated.add(item.patterns[key_index])
+        elif isinstance(item, Tuple):
+            key = item.values[key_index]
+            if any(p.matches(key) for p in punctuated):
+                return False
+    return True
+
+
+class TestBasicShape:
+    def test_tuple_counts_match_spec(self):
+        workload = generate_nary_workload(
+            n_streams=3, n_tuples_per_stream=300, seed=1
+        )
+        for side in range(3):
+            assert len(workload.tuples(side)) == 300
+
+    def test_schedules_are_time_ordered(self):
+        workload = generate_nary_workload(
+            n_streams=4, n_tuples_per_stream=200,
+            punct_spacings=(10.0, 20.0, 30.0, 40.0), seed=2,
+        )
+        for schedule in workload.schedules:
+            times = [t for t, _ in schedule]
+            assert times == sorted(times)
+
+    def test_stream_names_and_join_fields(self):
+        workload = generate_nary_workload(
+            n_streams=3, n_tuples_per_stream=50, seed=3
+        )
+        assert workload.stream_names == ("S0", "S1", "S2")
+        assert workload.join_fields == ("key", "key", "key")
+
+    def test_none_spacing_disables_punctuations(self):
+        workload = generate_nary_workload(
+            n_streams=3, n_tuples_per_stream=200,
+            punct_spacings=(10.0, None, 10.0), seed=4,
+        )
+        assert workload.punctuations(0)
+        assert not workload.punctuations(1)
+        assert workload.punctuations(2)
+
+    def test_end_time_is_the_latest_event(self):
+        workload = generate_nary_workload(
+            n_streams=2, n_tuples_per_stream=100,
+            punct_spacings=(10.0, 10.0), seed=5,
+        )
+        latest = max(s[-1][0] for s in workload.schedules if s)
+        assert workload.end_time == latest
+
+    def test_same_seed_reproduces_the_workload(self):
+        spec = NaryWorkloadSpec(n_tuples_per_stream=150, seed=9)
+        a = generate_nary_workload(spec)
+        b = generate_nary_workload(spec)
+        for sa, sb in zip(a.schedules, b.schedules):
+            assert [(t, repr(i)) for t, i in sa] == [
+                (t, repr(i)) for t, i in sb
+            ]
+
+
+class TestValidity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_streams=st.integers(2, 4),
+        n_tuples=st.integers(50, 200),
+        active_values=st.integers(1, 10),
+        seed=st.integers(0, 10_000),
+    )
+    def test_every_stream_is_valid(
+        self, n_streams, n_tuples, active_values, seed
+    ):
+        workload = generate_nary_workload(
+            n_streams=n_streams,
+            n_tuples_per_stream=n_tuples,
+            punct_spacings=tuple([7.0] * n_streams),
+            active_values=active_values,
+            seed=seed,
+        )
+        for side, schedule in enumerate(workload.schedules):
+            assert stream_is_valid(schedule, workload.schemas[side])
+
+    def test_valid_under_both_drifts(self):
+        workload = generate_nary_workload(
+            n_streams=3, n_tuples_per_stream=600,
+            interarrival_ms=(1.0, 4.0, 1.0),
+            drift_interarrival_ms=(1.0, 1.0, 4.0),
+            punct_spacings=(5.0, 20.0, 40.0),
+            drift_spacings=(5.0, 40.0, 20.0),
+            drift_at=0.5, seed=6,
+        )
+        for side, schedule in enumerate(workload.schedules):
+            assert stream_is_valid(schedule, workload.schemas[side])
+
+
+class TestDrift:
+    def test_interarrival_drift_changes_the_gap(self):
+        workload = generate_nary_workload(
+            n_streams=2, n_tuples_per_stream=2000,
+            interarrival_ms=(1.0, 1.0),
+            drift_interarrival_ms=(8.0, 1.0),
+            punct_spacings=(None, None),
+            drift_at=0.5, seed=7,
+        )
+        times = [t for t, _ in workload.schedules[0]]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        half = len(gaps) // 2
+        early, late = statistics.mean(gaps[:half]), statistics.mean(gaps[half:])
+        assert late > 4 * early  # 1 ms -> 8 ms mean inter-arrival
+
+    def test_spacing_drift_changes_punctuation_cadence(self):
+        workload = generate_nary_workload(
+            n_streams=2, n_tuples_per_stream=4000,
+            punct_spacings=(5.0, 5.0),
+            drift_spacings=(80.0, 5.0),
+            drift_at=0.5, seed=8,
+        )
+        tuples = workload.tuples(0)
+        mid_ts = tuples[len(tuples) // 2].ts
+        puncts = workload.punctuations(0)
+        early = sum(1 for p in puncts if p.ts <= mid_ts)
+        late = len(puncts) - early
+        assert early > 4 * late
+
+
+class TestSpecValidation:
+    def test_needs_two_streams(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(n_streams=1, punct_spacings=(10.0,))
+
+    def test_spacings_must_match_stream_count(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(n_streams=3, punct_spacings=(10.0, 10.0))
+
+    def test_interarrival_must_match_stream_count(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(n_streams=3, interarrival_ms=(1.0, 1.0))
+
+    def test_interarrival_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(n_streams=2, punct_spacings=(10.0, 10.0),
+                             interarrival_ms=(1.0, 0.0))
+
+    def test_drift_interarrival_validated_like_interarrival(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(n_streams=2, punct_spacings=(10.0, 10.0),
+                             drift_interarrival_ms=(-1.0, 1.0))
+
+    def test_drift_at_must_be_a_fraction(self):
+        with pytest.raises(WorkloadError):
+            NaryWorkloadSpec(drift_at=1.5)
+
+    def test_with_overrides_returns_a_new_spec(self):
+        spec = NaryWorkloadSpec(seed=1)
+        other = spec.with_overrides(seed=2)
+        assert spec.seed == 1 and other.seed == 2
