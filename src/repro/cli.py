@@ -18,7 +18,12 @@ Commands:
   fault policy and print/check their resilience counter summaries;
 * ``memory`` — the memory-governor smoke: one fig5-style workload at an
   unlimited and a tight state budget, asserting result-multiset
-  equivalence and nonzero spill counters (the CI memory-smoke gate).
+  equivalence and nonzero spill counters (the CI memory-smoke gate);
+* ``skew`` — the skew-layer smoke: one Zipf-keyed workload joined
+  statically, with adaptive split/coalesce buckets, and on the sharded
+  stack with and without hot-key replication, asserting result-multiset
+  equivalence, active skew counters and (with ``--check DIR``) a
+  counter golden (the CI skew-smoke gate).
 
 ``figures``, ``demo``, ``shard`` and ``bench`` accept
 ``--memory-budget`` / ``--eviction-policy`` to attach the memory
@@ -58,6 +63,7 @@ from repro.experiments.harness import (
     pjoin_factory,
     run_join_experiment,
     sharding,
+    skewed,
     tracing,
     xjoin_factory,
 )
@@ -210,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every join in the presets as a K-shard stack "
              "(K=1 replays the unsharded execution exactly)",
     )
+    figures_cmd.add_argument(
+        "--export", type=Path, default=None, metavar="DIR",
+        help="also write each experiment's figure JSON (series, checks "
+             "and run manifests) to DIR/<name>.json",
+    )
     _add_memory_args(figures_cmd)
     _add_batch_args(figures_cmd)
     _add_fastpath_args(figures_cmd)
@@ -240,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_parser(sub)
     _add_shard_parser(sub)
     _add_memory_parser(sub)
+    _add_skew_parser(sub)
     _add_trace_parser(sub)
     _add_metrics_parser(sub)
     _add_chaos_parser(sub)
@@ -572,6 +584,139 @@ def cmd_memory(args: argparse.Namespace) -> int:
             return 1
     elif args.check:
         print("memory governor smoke passed")
+    return 0
+
+
+def _add_skew_parser(sub) -> None:
+    skew_cmd = sub.add_parser(
+        "skew",
+        help="skew-layer smoke: static vs adaptive buckets and sharded "
+             "hot-key replication on one Zipf workload, with "
+             "equivalence and counter checks",
+        description="Runs one Zipf-keyed workload four ways — static "
+                    "PJoin, adaptive split/coalesce buckets, sharded "
+                    "with the stock hash router, and sharded with "
+                    "hot-key replication — and verifies every variant "
+                    "reproduces the static result multiset while the "
+                    "skew machinery actually engages (the CI "
+                    "skew-smoke gate).",
+    )
+    skew_cmd.add_argument("--tuples", type=int, default=3000,
+                          help="tuples per stream")
+    skew_cmd.add_argument("--zipf", type=float, default=1.4,
+                          help="Zipf exponent of the join-key draw")
+    skew_cmd.add_argument("--active-values", type=int, default=48,
+                          help="active join-value window size")
+    skew_cmd.add_argument("--spacing-a", type=float, default=40.0,
+                          help="stream A punctuation spacing (tuples)")
+    skew_cmd.add_argument("--spacing-b", type=float, default=40.0,
+                          help="stream B punctuation spacing (tuples)")
+    skew_cmd.add_argument("--seed", type=int, default=7)
+    skew_cmd.add_argument("--shards", type=int, default=4,
+                          help="shard count for the sharded variants")
+    skew_cmd.add_argument("--partitions", type=int, default=8,
+                          help="base hash partitions per join side")
+    skew_cmd.add_argument(
+        "--check", type=Path, default=None, metavar="DIR",
+        help="diff the counter summary against DIR/skew_smoke.json and "
+             "fail on drift or any failed gate (the CI skew-smoke gate)",
+    )
+    skew_cmd.set_defaults(func=cmd_skew)
+
+
+def cmd_skew(args: argparse.Namespace) -> int:
+    from repro.skew import SkewSpec
+
+    if args.shards < 2:
+        log.error("--shards must be >= 2 (hot keys replicate across shards)")
+        return 2
+    workload = generate_workload(
+        n_tuples_per_stream=args.tuples,
+        punct_spacing_a=args.spacing_a,
+        punct_spacing_b=args.spacing_b,
+        active_values=args.active_values,
+        zipf_exponent=args.zipf,
+        seed=args.seed,
+    )
+    config = PJoinConfig(n_partitions=args.partitions, purge_threshold=1)
+    variants = [
+        ("static", contextlib.nullcontext()),
+        ("adaptive", skewed(SkewSpec())),
+        ("sharded static", sharding(args.shards)),
+        ("sharded hot-key", contextlib.ExitStack()),
+    ]
+    hotkey_spec = SkewSpec(hot_keys=True, adaptive=False)
+    runs = []
+    for label, ctx in variants:
+        with ctx as entered:
+            if label == "sharded hot-key":
+                entered.enter_context(sharding(args.shards))
+                entered.enter_context(skewed(hotkey_spec))
+            runs.append(run_join_experiment(
+                pjoin_factory(config), workload, label=label, keep_items=True
+            ))
+    reference = runs[0].sink.result_multiset()
+    failures: List[str] = []
+    rows = []
+    for run in runs:
+        if run is runs[0]:
+            equivalent = "-"
+        else:
+            match = run.sink.result_multiset() == reference
+            equivalent = "ok" if match else "MISMATCH"
+            if not match:
+                failures.append(f"{run.label}: result multiset drifted "
+                                f"from the static run")
+        rows.append([run.label, run.results, equivalent,
+                     round(run.duration_ms)])
+    print(render_table(["variant", "results", "equivalent", "finished (ms)"],
+                       rows))
+    adaptive_counters = runs[1].join.counters()
+    router_counters = runs[3].join.router.counters()
+    if not adaptive_counters.get("skew.splits"):
+        failures.append("adaptive: no bucket ever split")
+    if not router_counters.get("hot_activations"):
+        failures.append("sharded hot-key: no key ever activated")
+    if not router_counters.get("replica_copies"):
+        failures.append("sharded hot-key: no build history was replicated")
+    summary = {"results": runs[0].results}
+    for key in ("splits", "coalesces", "entries_moved", "leaf_partitions"):
+        summary[f"adaptive.{key}"] = adaptive_counters[f"skew.{key}"]
+    for key in ("hot_activations", "hot_deactivations", "replica_copies",
+                "hot_spread_tuples", "hot_broadcast_tuples",
+                "hot_broadcast_punctuations"):
+        summary[f"hotkey.{key}"] = router_counters[key]
+    summary["hotkey.replica_inserts"] = (
+        runs[3].join.counters().get("replica_inserts", 0)
+    )
+    print(render_table(
+        ["counter (skew smoke)", "value"],
+        [[key, value] for key, value in summary.items()],
+    ))
+    drifted = False
+    if args.check is not None:
+        golden_path = args.check / "skew_smoke.json"
+        if not golden_path.exists():
+            log.error("missing golden: %s", golden_path)
+            drifted = True
+        else:
+            golden = json.loads(golden_path.read_text())
+            if golden != summary:
+                drifted = True
+                for key in sorted(set(golden) | set(summary)):
+                    expected, got = golden.get(key), summary.get(key)
+                    if expected != got:
+                        log.error("  drift in skew_smoke.%s: golden=%r run=%r",
+                                  key, expected, got)
+    for failure in failures:
+        log.error("skew smoke: %s", failure)
+    if drifted:
+        log.error("skew counter drift against %s", args.check)
+    if args.check is not None:
+        if failures or drifted:
+            log.error("skew smoke FAILED")
+            return 1
+        print("skew smoke passed")
     return 0
 
 
@@ -957,11 +1102,20 @@ def cmd_figures(args: argparse.Namespace) -> int:
         log.error("--batch-size cannot be combined with --jobs > 1")
         return 2
     no_fastpath = getattr(args, "no_fastpath", False)
-    planner_ctx = _planner_context(args)
-    if (no_fastpath or planner_ctx is not None) and jobs > 1:
-        # Same re-import problem for the fastpath/planning contexts.
-        log.error("--no-fastpath/--planner cannot be combined with --jobs > 1")
+    if no_fastpath and jobs > 1:
+        # Same re-import problem for the fastpath context.
+        log.error("--no-fastpath cannot be combined with --jobs > 1")
         return 2
+    planner_ctx = _planner_context(args)
+    if planner_ctx is not None and jobs > 1:
+        # The planning() context would not reach re-importing sweep
+        # workers either, but the serial path runs the identical
+        # experiments — degrade instead of refusing.
+        log.warning(
+            "--planner adaptive cannot fan out over worker processes; "
+            "falling back to a serial run (--jobs 1)"
+        )
+        jobs = 1
     runner = None
     if jobs > 1:
         from repro.perf.parallel import ParallelSweepRunner
@@ -982,6 +1136,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
         stack.enter_context(_maybe_no_fastpath(no_fastpath))
         if planner_ctx is not None:
             stack.enter_context(planner_ctx)
+        export_dir = getattr(args, "export", None)
+        if export_dir is not None:
+            from repro.experiments.export import save_figure_json
+
+            export_dir.mkdir(parents=True, exist_ok=True)
         for name in names:
             if runner is not None:
                 result = runner.run_experiment(name, scale=args.scale)
@@ -989,6 +1148,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
                 result = ALL_EXPERIMENTS[name](scale=args.scale)
             print(result.render())
             print()
+            if export_dir is not None:
+                save_figure_json(result, export_dir / f"{name}.json")
             if not result.all_passed:
                 failures.append(name)
     if failures:

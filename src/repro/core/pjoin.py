@@ -53,6 +53,7 @@ from repro.resilience.policy import STRICT
 from repro.resilience.validator import ContractValidator
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationEngine
+from repro.skew.replica import HotKeyReplica
 from repro.storage.disk import SimulatedDisk
 from repro.storage.hash_table import stable_hash
 from repro.storage.partition import HybridPartition, StateEntry
@@ -113,6 +114,7 @@ class PJoin(BinaryHashJoin):
         disk: Optional[SimulatedDisk] = None,
         name: str = "pjoin",
         governor: Optional[GovernorSpec] = None,
+        skew: Optional[Any] = None,
     ) -> None:
         self.config = config if config is not None else PJoinConfig()
         super().__init__(
@@ -125,12 +127,24 @@ class PJoin(BinaryHashJoin):
             n_partitions=self.config.n_partitions,
             name=name,
         )
+        # Skew layer (repro.skew): a SkewSpec attaches a frequency
+        # sketch and adaptive (splittable) hash tables.  Unattached
+        # joins build the stock tables and take the stock code paths.
+        self.skew = None
+        table_factory = None
+        if skew is not None:
+            from repro.skew.manager import SkewManager
+
+            self.skew = SkewManager(skew, self.config.n_partitions)
+            table_factory = self.skew.make_table
         self.sides = [
             JoinStateSide(
-                left_schema, left_field, self.config.n_partitions, side_name="left"
+                left_schema, left_field, self.config.n_partitions,
+                side_name="left", table_factory=table_factory,
             ),
             JoinStateSide(
-                right_schema, right_field, self.config.n_partitions, side_name="right"
+                right_schema, right_field, self.config.n_partitions,
+                side_name="right", table_factory=table_factory,
             ),
         ]
         # Keep the inherited helpers pointed at the real tables.
@@ -162,6 +176,10 @@ class PJoin(BinaryHashJoin):
                 1, self.sides[1].table,
                 covered_by=self.sides[0].store.covers_value,
             )
+            if self.skew is not None:
+                # The skew-aware eviction policy scores victims by the
+                # sketch's heat estimates; hand it the live sketch.
+                self.governor.sketch = self.skew.sketch
         self._components = {
             "state_purge": self._component_state_purge,
             "state_relocation": self._component_state_relocation,
@@ -180,6 +198,7 @@ class PJoin(BinaryHashJoin):
         self._idle_check_pending = False
         # --- counters -----------------------------------------------------
         self.tuples_dropped_on_fly = 0
+        self.replica_inserts = 0
         self.purge_runs = 0
         self.tuples_purged = 0
         self.disk_join_runs = 0
@@ -221,6 +240,8 @@ class PJoin(BinaryHashJoin):
             return
         if self.governor is not None:
             return
+        if self.skew is not None:
+            return  # the skew layer rides the layered hot path
         if getattr(self.engine, "tracer", None) is not None:
             return
         side0, side1 = self.sides
@@ -277,6 +298,8 @@ class PJoin(BinaryHashJoin):
                 return self._handle_punctuation(item, port)
             if isinstance(item, _ControlSignal):
                 return self.dispatch(item.event)
+            if isinstance(item, HotKeyReplica):
+                return self._handle_replica(item)
             return 0.0
 
         self.handle = fastpath.mark(handle)  # type: ignore[method-assign]
@@ -375,7 +398,27 @@ class PJoin(BinaryHashJoin):
             return self._handle_punctuation(item, port)
         if isinstance(item, Tuple):
             return self._handle_tuple(item, port)
+        if isinstance(item, HotKeyReplica):
+            return self._handle_replica(item)
         return 0.0
+
+    def _handle_replica(self, replica: HotKeyReplica) -> float:
+        """Insert-only admission of a hot-key state replica.
+
+        The hot-key shard router replays a hot key's build-side history
+        to non-home shards (see :mod:`repro.skew.router`).  Replicas
+        never probe (the home shard already produced those pairs),
+        never pass the contract validator (they are state copies, not
+        stream arrivals) and fire no monitor events; they simply join
+        the build side's state and pay one insert.
+        """
+        tup = replica.tup
+        value = self.join_value(tup, 1)
+        value_hash = stable_hash(value)
+        self.sides[1].insert(tup, value, self.engine.now, value_hash)
+        self.insertions += 1
+        self.replica_inserts += 1
+        return self.cost_model.insert
 
     def _handle_tuple(self, tup: Tuple, side: int) -> float:
         other = self.other(side)
@@ -384,6 +427,10 @@ class PJoin(BinaryHashJoin):
         if not self.validator.admit(tup, value, side):
             return cost  # quarantined: the tuple must not probe or insert
         value_hash = stable_hash(value)
+        if self.skew is not None:
+            # O(1) counter bump riding the hash we just computed; charged
+            # zero virtual time (see repro.skew.manager).
+            self.skew.observe(value, value_hash)
         governor = self.governor
         if governor is not None:
             # Fault any demoted entries of the target bucket back in
@@ -466,6 +513,13 @@ class PJoin(BinaryHashJoin):
         self.purge_runs += 1
         self.tuples_purged += total.removed
         cost = self.cost_model.purge_cost(total.scanned)
+        if self.skew is not None:
+            # Purge boundaries are the skew layer's restructure points:
+            # the state just shrank to exactly the entries that still
+            # matter, so splits/coalesces move the fewest entries here.
+            moved = self.skew.maybe_restructure(now)
+            if moved:
+                cost += self.cost_model.purge_scan_per_tuple * moved
         self.purge_time_total += cost
         if tracer is not None:
             tracer.end(
@@ -563,7 +617,10 @@ class PJoin(BinaryHashJoin):
         cost = 0.0
         emitted = 0
         buffer_by_partition = [self._buffer_by_partition(0), self._buffer_by_partition(1)]
-        n = self.sides[0].table.n_partitions
+        # Flat leaf count, not n_partitions: the skew layer's adaptive
+        # tables keep both sides' leaf layouts identical (restructures
+        # apply symmetrically), so pairing by flat index stays correct.
+        n = len(self.sides[0].table.partitions)
         for index in range(n):
             part = [sides[0].table.partitions[index], sides[1].table.partitions[index]]
             if part[0].disk_count == 0 and part[1].disk_count == 0:
@@ -625,13 +682,13 @@ class PJoin(BinaryHashJoin):
 
     def _buffer_by_partition(self, side: int) -> Dict[int, List[StateEntry]]:
         """Group a side's purge buffer by hash-partition index."""
-        n = self.sides[side].table.n_partitions
+        table = self.sides[side].table
         grouped: Dict[int, List[StateEntry]] = {}
         for entry in self.sides[side].purge_buffer:
             h = entry.join_hash
             if h is None:
                 h = stable_hash(entry.join_value)
-            grouped.setdefault(h % n, []).append(entry)
+            grouped.setdefault(table.partition_index_for(h), []).append(entry)
         return grouped
 
     def _disk_vs_memory(
@@ -930,6 +987,13 @@ class PJoin(BinaryHashJoin):
         if self.governor is not None:
             for key, value in self.governor.counters().items():
                 out[f"governor.{key}"] = value
+        # Skew counters likewise only appear with a skew layer attached;
+        # replica_inserts only when the hot-key router produced any.
+        if self.skew is not None:
+            for key, value in self.skew.counters().items():
+                out[f"skew.{key}"] = value
+        if self.replica_inserts:
+            out["replica_inserts"] = self.replica_inserts
         return out
 
     def __repr__(self) -> str:

@@ -17,7 +17,7 @@ structures the paper describes:
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple as PyTuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple as PyTuple
 
 from repro.core.index import PunctuationIndex
 from repro.punctuations.punctuation import Punctuation
@@ -37,11 +37,17 @@ class JoinStateSide:
         join_field: str,
         n_partitions: int,
         side_name: str = "",
+        table_factory: Optional[Callable[[], PartitionedHashTable]] = None,
     ) -> None:
         self.schema = schema
         self.join_field = join_field
         self.side_name = side_name
-        self.table = PartitionedHashTable(n_partitions)
+        # The skew layer passes a factory building its AdaptiveTable;
+        # the default is the stock fixed-layout table.
+        self.table = (
+            table_factory() if table_factory is not None
+            else PartitionedHashTable(n_partitions)
+        )
         self.purge_buffer: List[StateEntry] = []
         self.store = PunctuationStore(schema, join_field)
         self.index = PunctuationIndex(self.store)

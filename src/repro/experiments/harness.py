@@ -68,6 +68,36 @@ _ACTIVE_BATCH_SIZE: Optional[int] = None
 # byte-identical to pre-planner builds.
 _ACTIVE_PLANNER: Optional[PlannerSpec] = None
 
+# Skew spec installed by the skewed() context manager; when set, the
+# stock PJoin factory attaches the skew layer (sketch + adaptive
+# tables, and the hot-key router under sharding).  When unset, joins
+# build stock tables on the byte-identical default path.
+_ACTIVE_SKEW: Optional[Any] = None
+
+
+@contextlib.contextmanager
+def skewed(spec: Optional[Any]) -> Iterator[None]:
+    """Attach the skew layer to every stock PJoin built in this block.
+
+    The CLI's ``repro skew`` and the skew-sweep figure use this to
+    re-run unmodified experiment presets skew-adaptively: *spec* is a
+    :class:`~repro.skew.manager.SkewSpec`; :func:`pjoin_factory`
+    consults it when building (plain or sharded).  ``skewed(None)``
+    restores stock builds.
+    """
+    global _ACTIVE_SKEW
+    previous = _ACTIVE_SKEW
+    _ACTIVE_SKEW = spec
+    try:
+        yield
+    finally:
+        _ACTIVE_SKEW = previous
+
+
+def active_skew() -> Optional[Any]:
+    """The skew spec installed by :func:`skewed`, if any."""
+    return _ACTIVE_SKEW
+
 
 @contextlib.contextmanager
 def planning(spec: Optional[PlannerSpec]) -> Iterator[None]:
@@ -525,6 +555,7 @@ def pjoin_factory(
                 config=config,
                 registry=registry,
                 governor=_ACTIVE_GOVERNOR,
+                skew=_ACTIVE_SKEW,
             )
         return PJoin(
             plan.engine,
@@ -536,6 +567,7 @@ def pjoin_factory(
             config=config,
             registry=registry,
             governor=_ACTIVE_GOVERNOR,
+            skew=_ACTIVE_SKEW,
         )
 
     return build

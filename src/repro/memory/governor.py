@@ -81,6 +81,9 @@ class MemoryGovernor:
         self.name = name
         self.bytes_per_tuple = bytes_per_tuple
         self.unlimited = math.isinf(self.budget_tuples)
+        # A live FrequencySketch, attached by the join when its skew
+        # layer is on; read by the skew-aware eviction policy.
+        self.sketch: Optional[Any] = None
         self._sides: List[SideRegistration] = []
         self._by_key: Dict[Any, SideRegistration] = {}
         # Logical clock driving LRU recency; ticked on every touch.

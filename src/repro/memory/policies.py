@@ -19,6 +19,12 @@ Three policies ship:
   discard them, so they are the state least likely to ever fault back.
   Falls back to largest-partition-first when nothing is covered (or
   the operator exploits no punctuations at all).
+* ``skew-aware`` — demote the bucket whose warm tuples the frequency
+  sketch (:mod:`repro.skew.sketch`) says are coldest: cold keys probe
+  rarely, so their entries are the least likely to fault back in.
+  Requires a skew layer on the same operator (the join hands the
+  governor its live sketch); behaves like largest-partition-first when
+  no sketch is attached.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ Candidate = Tuple["SideRegistration", "HybridPartition"]
 LRU = "lru"
 LARGEST_FIRST = "largest-partition-first"
 PUNCTUATION_AWARE = "punctuation-aware"
+SKEW_AWARE = "skew-aware"
 
 
 class EvictionPolicy:
@@ -114,10 +121,53 @@ class PunctuationAwarePolicy(EvictionPolicy):
         return best
 
 
+class SkewAwarePolicy(EvictionPolicy):
+    """Demote the bucket whose warm tuples the sketch says are coldest.
+
+    The join attaches its skew layer's live
+    :class:`~repro.skew.sketch.FrequencySketch` to the governor
+    (``governor.sketch``); each candidate bucket is scored by the summed
+    frequency estimate of its warm tuples' join values — an estimate of
+    how soon its state will be probed again.  The coldest bucket is
+    demoted.  Without a sketch (governor used stand-alone) this reduces
+    to largest-partition-first, keeping the policy safe to configure
+    unconditionally.
+    """
+
+    name = SKEW_AWARE
+
+    def __init__(self) -> None:
+        self._fallback = LargestPartitionFirstPolicy()
+
+    def select(
+        self, candidates: List[Candidate], governor: "MemoryGovernor"
+    ) -> Candidate:
+        sketch = getattr(governor, "sketch", None)
+        if sketch is None:
+            return self._fallback.select(candidates, governor)
+        best = None
+        best_key = None
+        for registration, partition in candidates:
+            heat = sum(
+                sketch.estimate(entry.join_value)
+                for entry in partition.iter_memory()
+            )
+            # Coldest first; break heat ties toward the biggest write
+            # (more budget reclaimed per spill), then deterministically.
+            key = (-heat, partition.memory_count,
+                   -registration.order, -partition.index)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = (registration, partition)
+        assert best is not None  # candidates is never empty here
+        return best
+
+
 POLICIES: Dict[str, Type[EvictionPolicy]] = {
     LRU: LRUPolicy,
     LARGEST_FIRST: LargestPartitionFirstPolicy,
     PUNCTUATION_AWARE: PunctuationAwarePolicy,
+    SKEW_AWARE: SkewAwarePolicy,
 }
 
 

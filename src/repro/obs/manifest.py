@@ -37,6 +37,22 @@ def _config_dict(join: Any) -> Dict[str, Any]:
     return dict(vars(config))
 
 
+#: WorkloadSpec fields omitted from manifests while at their None
+#: default, so pre-skew goldens stay byte-identical.
+_OPTIONAL_WORKLOAD_FIELDS = ("zipf_exponent", "hot_set_rotate_every")
+
+
+def _workload_dict(spec: Any) -> Dict[str, Any]:
+    """The workload spec as a plain dict (unset skew knobs omitted)."""
+    if spec is None:
+        return {}
+    out = dataclasses.asdict(spec)
+    for field in _OPTIONAL_WORKLOAD_FIELDS:
+        if field in out and out[field] is None:
+            del out[field]
+    return out
+
+
 def iter_plan_operators(plan: Any) -> Iterator[Any]:
     """Every operator reachable from the plan's sources, in plan order."""
     seen = set()
@@ -105,7 +121,7 @@ def build_manifest(
         "label": label,
         "join_type": type(join).__name__,
         "config": _config_dict(join),
-        "workload": dataclasses.asdict(spec) if spec is not None else {},
+        "workload": _workload_dict(spec),
         "seed": getattr(spec, "seed", None),
         "duration_ms": duration_ms if duration_ms is not None else engine.now,
         "engine": {

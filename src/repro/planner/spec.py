@@ -18,7 +18,7 @@ its probe and purge orders:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.errors import PlannerError
 
@@ -92,7 +92,7 @@ class PlannerSpec:
     def adaptive(self) -> bool:
         return self.mode == ADAPTIVE
 
-    def with_overrides(self, **overrides) -> "PlannerSpec":
+    def with_overrides(self, **overrides: Any) -> "PlannerSpec":
         return replace(self, **overrides)
 
     @classmethod

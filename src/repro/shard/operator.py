@@ -44,6 +44,12 @@ from repro.tuples.schema import Schema
 # Builds one inner join for a shard: (engine, cost_model, name) -> operator.
 InnerBuilder = Callable[[SimulationEngine, CostModel, str], Any]
 
+# Builds the router: (shards, join_indices, join_fields, ledger, name) -> router.
+RouterFactory = Callable[
+    [Sequence[Any], Sequence[int], Sequence[str], AlignmentLedger, str],
+    ShardRouter,
+]
+
 # Counters that aggregate by max across shards, not by sum.
 _MAX_COUNTERS = frozenset({"max_queue_length"})
 
@@ -76,6 +82,10 @@ class ShardedJoin:
         Builds one shard's inner join; called K times with the shard's
         name (``<name>.shard<i>``).  Use :func:`sharded_pjoin` /
         :func:`sharded_xjoin` / :func:`sharded_shj` for the stock joins.
+    router_factory:
+        Builds the router in front of the shards; defaults to the stock
+        hash :class:`~repro.shard.router.ShardRouter`.  The skew layer
+        passes the hot-key-replicating router here.
     """
 
     def __init__(
@@ -89,6 +99,7 @@ class ShardedJoin:
         n_shards: int,
         build_inner: InnerBuilder,
         name: str = "pjoin",
+        router_factory: Optional[RouterFactory] = None,
     ) -> None:
         if n_shards < 1:
             raise OperatorError(f"need at least one shard, got {n_shards}")
@@ -109,12 +120,13 @@ class ShardedJoin:
             for i in range(n_shards)
         ]
         self.ledger = AlignmentLedger()
-        self.router = ShardRouter(
+        make_router = router_factory if router_factory is not None else ShardRouter
+        self.router = make_router(
             self.shards,
             self.join_indices,
             self.join_fields,
             self.ledger,
-            name=f"{name}.router",
+            f"{name}.router",
         )
         self.merger = AlignedMerger(
             engine,
@@ -219,20 +231,47 @@ def sharded_pjoin(
     registry: Optional[EventListenerRegistry] = None,
     name: str = "pjoin",
     governor: Optional[GovernorSpec] = None,
+    skew: Optional[Any] = None,
 ) -> ShardedJoin:
-    """A sharded PJoin: each shard runs the full six-component operator."""
+    """A sharded PJoin: each shard runs the full six-component operator.
+
+    A :class:`~repro.skew.manager.SkewSpec` in *skew* attaches the skew
+    layer to every shard (each gets its own sketch and adaptive tables
+    over its key subspace); ``skew.hot_keys`` additionally swaps the
+    stock hash router for the hot-key-replicating
+    :class:`~repro.skew.router.HotKeyShardRouter`.
+    """
     shard_specs = iter(_shard_governors(governor, n_shards))
 
     def build(eng: SimulationEngine, costs: CostModel, shard_name: str) -> PJoin:
         return PJoin(
             eng, costs, left_schema, right_schema, left_field, right_field,
             config=config, registry=registry, name=shard_name,
-            governor=next(shard_specs),
+            governor=next(shard_specs), skew=skew,
         )
+
+    router_factory: Optional[RouterFactory] = None
+    if skew is not None and skew.hot_keys:
+        from repro.skew.router import HotKeyShardRouter
+
+        def make_hot_router(
+            shards: Sequence[Any],
+            join_indices: Sequence[int],
+            join_fields: Sequence[str],
+            ledger: AlignmentLedger,
+            router_name: str,
+        ) -> ShardRouter:
+            return HotKeyShardRouter(
+                shards, join_indices, join_fields, ledger, skew,
+                name=router_name,
+            )
+
+        router_factory = make_hot_router
 
     return ShardedJoin(
         engine, cost_model, left_schema, right_schema, left_field,
         right_field, n_shards, build, name=name,
+        router_factory=router_factory,
     )
 
 

@@ -1,0 +1,219 @@
+"""SkewSpec and SkewManager: the skew layer's attachment point.
+
+A :class:`SkewSpec` is the frozen configuration a join (or the sharded
+stack) is built with; a :class:`SkewManager` is the per-operator live
+object: one :class:`~repro.skew.sketch.FrequencySketch` observing both
+streams' join-key arrivals, the two sides'
+:class:`~repro.skew.partitioner.AdaptiveTable` instances, and the
+split/coalesce decision loop that runs at punctuation-aligned purge
+boundaries.
+
+Decision rule (PanJoin's direction, reduced to the repro's cost
+model): the manager tracks a decayed arrival mass per *base* bucket;
+at each purge boundary a bucket whose mass exceeds
+``split_factor ×`` the mean splits one level deeper (up to
+``max_depth``, and only if it holds enough memory entries to be worth
+it), while a bucket below ``coalesce_factor ×`` the mean gives one
+level back.  Splits move entries between leaves of one base bucket
+only — never across base buckets and never off the memory tier — so
+probe/purge/propagation *verdicts* are untouched; only bucket
+occupancy (and hence charged probe time) changes.  The entries moved
+are charged at the purge-scan rate through the purge component's cost.
+
+Sketch observation itself is charged zero virtual time, like the shard
+router's hashing: it models an O(1) counter bump riding the existing
+per-tuple hash computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.skew.partitioner import AdaptiveTable
+from repro.skew.sketch import FrequencySketch
+
+
+@dataclass(frozen=True)
+class SkewSpec:
+    """Configuration of the skew layer.
+
+    Parameters
+    ----------
+    top_k, sketch_width, sketch_depth:
+        Geometry of the frequency sketch.
+    adaptive:
+        Split/coalesce hash buckets at purge boundaries.  ``False``
+        keeps the layout static (the sketch still observes — the
+        skew-aware eviction policy and hot-key router only need that).
+    split_factor, coalesce_factor:
+        Split a base bucket whose decayed arrival mass exceeds
+        ``split_factor × mean``; coalesce below ``coalesce_factor ×
+        mean``.  The gap between them is the hysteresis that prevents
+        thrash.
+    max_depth:
+        Maximum split depth per base bucket (``2^depth`` leaves).
+    min_split_occupancy:
+        Don't split a bucket holding fewer memory entries than this
+        (both sides combined) — there is nothing to isolate.
+    decay:
+        Multiplier applied to every bucket's arrival mass after each
+        decision round; makes the masses track the recent regime so a
+        rotated hot set releases its old splits.
+    hot_keys:
+        Enable hot-key replication in the shard router (see
+        :class:`~repro.skew.router.HotKeyShardRouter`).
+    hot_key_share:
+        Activate a key once its estimated share of all arrivals
+        reaches this fraction.
+    hot_key_check_every:
+        Router activation cadence, in routed tuples.
+    hot_key_min_total:
+        Minimum observed arrivals before any activation.
+    """
+
+    top_k: int = 32
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    adaptive: bool = True
+    split_factor: float = 2.0
+    coalesce_factor: float = 0.5
+    max_depth: int = 3
+    min_split_occupancy: int = 16
+    decay: float = 0.5
+    hot_keys: bool = False
+    hot_key_share: float = 0.10
+    hot_key_check_every: int = 64
+    hot_key_min_total: int = 256
+
+    def __post_init__(self) -> None:
+        if self.split_factor <= self.coalesce_factor:
+            raise ConfigError(
+                "split_factor must exceed coalesce_factor "
+                f"(got {self.split_factor} <= {self.coalesce_factor})"
+            )
+        if self.max_depth < 0:
+            raise ConfigError(f"max_depth must be >= 0, got {self.max_depth}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigError(f"decay must be in (0, 1], got {self.decay}")
+        if not 0.0 < self.hot_key_share < 1.0:
+            raise ConfigError(
+                f"hot_key_share must be in (0, 1), got {self.hot_key_share}"
+            )
+        if self.hot_key_check_every < 1:
+            raise ConfigError(
+                f"hot_key_check_every must be >= 1, got {self.hot_key_check_every}"
+            )
+
+    def make_sketch(self) -> FrequencySketch:
+        return FrequencySketch(self.top_k, self.sketch_width, self.sketch_depth)
+
+
+class SkewManager:
+    """One operator's live skew state: sketch, tables, decisions."""
+
+    def __init__(self, spec: SkewSpec, n_partitions: int) -> None:
+        self.spec = spec
+        self.n_base = n_partitions
+        self.sketch = spec.make_sketch()
+        self.tables: List[AdaptiveTable] = []
+        # Decayed per-base-bucket arrival mass (tuples of both streams).
+        self.bucket_mass = [0.0] * n_partitions
+        # --- counters -----------------------------------------------------
+        self.splits = 0
+        self.coalesces = 0
+        self.entries_moved = 0
+        self.restructure_runs = 0
+
+    def make_table(self) -> AdaptiveTable:
+        """Build (and register) one side's adaptive table."""
+        table = AdaptiveTable(self.n_base)
+        self.tables.append(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # Hot path (zero virtual cost; see module docstring)
+    # ------------------------------------------------------------------
+
+    def observe(self, value: object, hash_value: int) -> None:
+        """Record one join-key arrival (either stream)."""
+        self.sketch.observe(value, hash_value)
+        self.bucket_mass[hash_value % self.n_base] += 1.0
+
+    # ------------------------------------------------------------------
+    # Purge-boundary restructuring
+    # ------------------------------------------------------------------
+
+    def maybe_restructure(self, now: float) -> int:
+        """Apply due splits/coalesces; returns entries moved (cost basis).
+
+        Called by the join's state-purge component, i.e. only at the
+        punctuation-aligned boundaries where purging itself runs — the
+        same cover cuts checkpointing and the reoptimizer use.
+        """
+        spec = self.spec
+        self.restructure_runs += 1
+        if not spec.adaptive or len(self.tables) < 2:
+            return 0
+        mass = self.bucket_mass
+        total = sum(mass)
+        moved = 0
+        if total > 0.0:
+            mean = total / self.n_base
+            primary = self.tables[0]
+            for base in range(self.n_base):
+                depth = primary.depths[base]
+                desired = depth
+                if (
+                    mass[base] > spec.split_factor * mean
+                    and depth < spec.max_depth
+                ):
+                    occupancy = sum(
+                        leaf.memory_count
+                        for table in self.tables
+                        for leaf in table.leaves(base)
+                    )
+                    if occupancy >= spec.min_split_occupancy:
+                        desired = depth + 1
+                elif depth > 0 and mass[base] < spec.coalesce_factor * mean:
+                    desired = depth - 1
+                if desired == depth:
+                    continue
+                if not all(t.can_restructure(base) for t in self.tables):
+                    continue
+                for table in self.tables:
+                    moved += table.set_depth(base, desired)
+                if desired > depth:
+                    self.splits += 1
+                else:
+                    self.coalesces += 1
+        if spec.decay < 1.0:
+            for base in range(self.n_base):
+                mass[base] *= spec.decay
+        self.entries_moved += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "splits": self.splits,
+            "coalesces": self.coalesces,
+            "entries_moved": self.entries_moved,
+            "restructure_runs": self.restructure_runs,
+            "leaf_partitions": (
+                self.tables[0].leaf_count if self.tables else self.n_base
+            ),
+        }
+        for key, value in self.sketch.counters().items():
+            out[f"sketch_{key}"] = value
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SkewManager(base={self.n_base}, splits={self.splits}, "
+            f"coalesces={self.coalesces}, observed={self.sketch.total})"
+        )

@@ -1,0 +1,32 @@
+"""The hot-key replica queue item.
+
+When the hot-key shard router activates a key, the key's *replicated*
+side (the build side, input port 1) must appear in every shard's state
+— including the tuples that arrived before activation and were routed
+only to the key's home shard.  The router wraps each such tuple in a
+:class:`HotKeyReplica` and pushes it to every non-home shard.
+
+A replica is **insert-only**: the receiving join adds it to its state
+without probing, without contract validation and without monitor
+events.  Probing would double-produce results the home shard already
+emitted; validation would misfire on shards that have already seen a
+narrowed promise for an unrelated key of the same pattern family.  The
+wrapper is deliberately import-light (no operator/core imports) so
+:mod:`repro.core.pjoin` can type-check against it without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.tuples.tuple import Tuple
+
+
+class HotKeyReplica:
+    """An insert-only state copy of one build-side tuple."""
+
+    __slots__ = ("tup",)
+
+    def __init__(self, tup: Tuple) -> None:
+        self.tup = tup
+
+    def __repr__(self) -> str:
+        return f"HotKeyReplica({self.tup!r})"

@@ -1,0 +1,245 @@
+"""HotKeyShardRouter: split/replicate hot keys across shards.
+
+The stock :class:`~repro.shard.router.ShardRouter` sends every tuple of
+a join value to one owning shard, so a hot key serialises on its home
+shard no matter how many shards exist.  This router watches arrivals
+through its own :class:`~repro.skew.sketch.FrequencySketch` and, once a
+key's estimated share crosses the spec's threshold, *activates* it:
+
+* the key's **build side** (input port 1) is replicated — its buffered
+  pre-activation history is pushed to every non-home shard as
+  insert-only :class:`~repro.skew.replica.HotKeyReplica` items, and
+  every later build tuple is broadcast to all shards (probing each
+  shard's disjoint probe-side state, inserting everywhere);
+* the key's **probe side** (input port 0) is spread round-robin — each
+  probe tuple lands on one shard, finds the complete replicated build
+  state there, and inserts only there;
+* punctuations covering a hot key broadcast un-narrowed to every
+  shard, with a full-cover alignment subscription so the merger still
+  re-emits the logical promise exactly once.
+
+Why the merged result multiset stays exactly equal to the unsharded
+run: every probe-side entry lives on exactly one shard, and every
+build-side tuple (replica or broadcast) probes either nothing
+(replicas) or each shard's disjoint probe-side state exactly once — so
+each qualifying pair is produced at exactly one shard.  A key is never
+activated after either stream has punctuated it (its state is already
+condemned), and its replica buffer is dropped on punctuation, so no
+replica can resurrect purged state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set
+
+from repro.punctuations.patterns import Constant, EnumerationList, Pattern
+from repro.punctuations.punctuation import Punctuation
+from repro.punctuations.store import is_join_exploitable
+from repro.shard.merger import AlignmentLedger
+from repro.shard.router import ShardRouter
+from repro.shard.routing import shard_of
+from repro.skew.manager import SkewSpec
+from repro.skew.replica import HotKeyReplica
+from repro.storage.hash_table import stable_hash
+from repro.tuples.tuple import Tuple as ReproTuple
+
+#: The replicated (build) input port; port 0 is spread instead.
+BUILD_PORT = 1
+
+
+class HotKeyShardRouter(ShardRouter):
+    """A shard router that learns and replicates hot keys."""
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        join_indices: Sequence[int],
+        join_fields: Sequence[str],
+        ledger: AlignmentLedger,
+        spec: SkewSpec,
+        name: str = "shard_router",
+    ) -> None:
+        super().__init__(shards, join_indices, join_fields, ledger, name=name)
+        self.spec = spec
+        self.sketch = spec.make_sketch()
+        self.hot_keys: Set[Any] = set()
+        # Build-side history per still-cold, still-open key — exactly
+        # the state the home shard retains in memory for that key.
+        self._replica_buffer: Dict[Any, List[ReproTuple]] = {}
+        # Keys each port has promised away (constant/enumeration
+        # patterns); non-enumerable exploitable patterns are kept whole.
+        self._punctuated: List[Set[Any]] = [set(), set()]
+        self._wide_patterns: List[List[Pattern]] = [[], []]
+        self._round_robin: Dict[Any, int] = {}
+        self._since_check = 0
+        # --- counters -----------------------------------------------------
+        self.hot_activations = 0
+        self.hot_deactivations = 0
+        self.replica_copies = 0
+        self.hot_spread_tuples = 0
+        self.hot_broadcast_tuples = 0
+        self.hot_broadcast_punctuations = 0
+
+    # ------------------------------------------------------------------
+    # Push protocol
+    # ------------------------------------------------------------------
+
+    def push(self, item: Any, port: int = 0) -> None:
+        if not isinstance(item, ReproTuple):
+            # Punctuations go through the overridden _route_punctuation;
+            # end-of-stream and control items take the stock path.
+            super().push(item, port)
+            return
+        value = item.values[self.join_indices[port]]
+        hash_value = stable_hash(value)
+        self.sketch.observe(value, hash_value)
+        self._since_check += 1
+        if self._since_check >= self.spec.hot_key_check_every:
+            self._since_check = 0
+            self._maybe_activate()
+        self.tuples_routed += 1
+        if value in self.hot_keys:
+            if port == BUILD_PORT:
+                # Replicated side: probe + insert at every shard (each
+                # shard's probe-side state is disjoint, so each pair is
+                # produced exactly once globally).
+                self.hot_broadcast_tuples += 1
+                for target, shard in enumerate(self.shards):
+                    self.per_shard_tuples[target] += 1
+                    shard.push(item, port)
+            else:
+                self.hot_spread_tuples += 1
+                target = self._next_spread_target(value, hash_value)
+                self.per_shard_tuples[target] += 1
+                self.shards[target].push(item, port)
+            return
+        if port == BUILD_PORT and not self._is_punctuated(value):
+            self._replica_buffer.setdefault(value, []).append(item)
+        target = hash_value % self.n_shards
+        self.per_shard_tuples[target] += 1
+        self.shards[target].push(item, port)
+
+    def _next_spread_target(self, value: Any, hash_value: int) -> int:
+        # Start the rotation at the home shard so a key that activates
+        # and sees exactly one more probe tuple behaves like before.
+        turn = self._round_robin.get(value, 0)
+        self._round_robin[value] = turn + 1
+        return (hash_value + turn) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+
+    def _maybe_activate(self) -> None:
+        sketch = self.sketch
+        if sketch.total < self.spec.hot_key_min_total:
+            return
+        threshold = self.spec.hot_key_share * sketch.total
+        for value, count, _error in sketch.topk():
+            if count < threshold:
+                break  # hottest-first ordering: nothing below qualifies
+            if value in self.hot_keys or self._is_punctuated(value):
+                continue
+            self._activate(value)
+
+    def _activate(self, value: Any) -> None:
+        self.hot_keys.add(value)
+        self.hot_activations += 1
+        home = shard_of(value, self.n_shards)
+        buffered = self._replica_buffer.pop(value, [])
+        for tup in buffered:
+            for target, shard in enumerate(self.shards):
+                if target == home:
+                    continue  # the home shard already holds the original
+                self.replica_copies += 1
+                shard.push(HotKeyReplica(tup), BUILD_PORT)
+
+    def _is_punctuated(self, value: Any) -> bool:
+        for port in (0, 1):
+            if value in self._punctuated[port]:
+                return True
+            for pattern in self._wide_patterns[port]:
+                if pattern.matches(value):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Punctuations
+    # ------------------------------------------------------------------
+
+    def _route_punctuation(self, punct: Punctuation, port: int) -> None:
+        join_index = self.join_indices[port]
+        pattern = punct.patterns[join_index]
+        self._note_punctuated(pattern, port)
+        covered_hot = [v for v in self.hot_keys if pattern.matches(v)]
+        if not covered_hot:
+            super()._route_punctuation(punct, port)
+            return
+        # A promise about a hot key concerns every shard: the key's
+        # state is replicated/spread across all of them.  Broadcast the
+        # pattern un-narrowed and register a full-cover subscription so
+        # the merger re-emits the logical promise exactly once.
+        self.punctuations_routed += 1
+        self.hot_broadcast_punctuations += 1
+        if is_join_exploitable(punct, self.join_fields[port]):
+            self.ledger.register(
+                pattern, [(shard, pattern) for shard in range(self.n_shards)]
+            )
+        for shard in self.shards:
+            self.punctuation_copies += 1
+            shard.push(punct, port)
+        self._retire_dead_hot_keys(covered_hot)
+
+    def _note_punctuated(self, pattern: Pattern, port: int) -> None:
+        if isinstance(pattern, Constant):
+            self._punctuated[port].add(pattern.value)
+            self._replica_buffer.pop(pattern.value, None)
+            return
+        if isinstance(pattern, EnumerationList):
+            for member in pattern.values:
+                self._punctuated[port].add(member)
+                self._replica_buffer.pop(member, None)
+            return
+        if pattern.is_empty:
+            return
+        # Range/wildcard promises: keep the whole pattern for the
+        # activation guard and drop every buffered key it covers.
+        self._wide_patterns[port].append(pattern)
+        for value in [v for v in self._replica_buffer if pattern.matches(v)]:
+            del self._replica_buffer[value]
+
+    def _retire_dead_hot_keys(self, candidates: List[Any]) -> None:
+        """Forget hot keys both streams have now promised away."""
+        for value in candidates:
+            if all(
+                value in self._punctuated[port]
+                or any(p.matches(value) for p in self._wide_patterns[port])
+                for port in (0, 1)
+            ):
+                self.hot_keys.discard(value)
+                self._round_robin.pop(value, None)
+                self.hot_deactivations += 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        out = super().counters()
+        out.update(
+            hot_activations=self.hot_activations,
+            hot_deactivations=self.hot_deactivations,
+            replica_copies=self.replica_copies,
+            hot_spread_tuples=self.hot_spread_tuples,
+            hot_broadcast_tuples=self.hot_broadcast_tuples,
+            hot_broadcast_punctuations=self.hot_broadcast_punctuations,
+        )
+        for key, value in self.sketch.counters().items():
+            out[f"sketch_{key}"] = value
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"HotKeyShardRouter(shards={self.n_shards}, "
+            f"hot={len(self.hot_keys)}, activations={self.hot_activations})"
+        )

@@ -1,0 +1,154 @@
+"""A space-bounded frequency sketch over join-key arrivals.
+
+Two classic structures compose into one deterministic estimator:
+
+* **SpaceSaving top-K** (Metwally et al.): at most ``top_k`` monitored
+  keys, each with a count and a max-overestimation error.  On streams
+  with at most ``top_k`` distinct keys the counts are *exact* (no
+  monitor is ever evicted — the hypothesis property pins this down).
+* **count-min** (Cormode & Muthukrishnan): ``depth`` rows of ``width``
+  counters addressed by pairwise-independent mixes of
+  :func:`~repro.storage.hash_table.stable_hash`, answering frequency
+  estimates for keys outside the monitored set.
+
+Everything is integer arithmetic over :func:`stable_hash`, so a seeded
+run produces the identical sketch state on every platform and process —
+the property all downstream decisions (splits, hot-key activation,
+eviction scoring) inherit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.storage.hash_table import stable_hash
+
+# Fixed odd multipliers/offsets deriving the count-min row hashes from
+# one stable_hash value (64-bit mixing constants; any fixed odd values
+# work, these are splitmix64's).
+_ROW_MULTIPLIERS = (
+    0x9E3779B97F4A7C15,
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+    0xD6E8FEB86659FD93,
+    0xA5A5A5A5A5A5A5A5,
+    0xC2B2AE3D27D4EB4F,
+)
+_MASK64 = (1 << 64) - 1
+
+
+class FrequencySketch:
+    """Deterministic SpaceSaving top-K over a count-min backing.
+
+    Parameters
+    ----------
+    top_k:
+        Maximum number of exactly-monitored keys (the hot set).
+    width, depth:
+        Count-min geometry; ``depth`` is capped by the number of fixed
+        row-mixing constants (6).
+    """
+
+    def __init__(self, top_k: int = 32, width: int = 1024, depth: int = 4) -> None:
+        if top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {top_k}")
+        if width < 1:
+            raise ConfigError(f"width must be >= 1, got {width}")
+        if not 1 <= depth <= len(_ROW_MULTIPLIERS):
+            raise ConfigError(
+                f"depth must be in [1, {len(_ROW_MULTIPLIERS)}], got {depth}"
+            )
+        self.top_k = top_k
+        self.width = width
+        self.depth = depth
+        self.total = 0
+        # Monitored keys: value -> (count, error).  ``error`` bounds how
+        # much of ``count`` may belong to earlier evicted keys.
+        self._monitored: Dict[Any, Tuple[int, int]] = {}
+        self._rows = [[0] * width for _ in range(depth)]
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(self, value: Any, hash_value: int | None = None, count: int = 1) -> None:
+        """Record *count* arrivals of *value*."""
+        if hash_value is None:
+            hash_value = stable_hash(value)
+        self.total += count
+        h = hash_value & _MASK64
+        for row in range(self.depth):
+            mixed = (h * _ROW_MULTIPLIERS[row] + row) & _MASK64
+            self._rows[row][mixed % self.width] += count
+        monitored = self._monitored
+        entry = monitored.get(value)
+        if entry is not None:
+            monitored[value] = (entry[0] + count, entry[1])
+            return
+        if len(monitored) < self.top_k:
+            monitored[value] = (count, 0)
+            return
+        # SpaceSaving eviction: replace the minimum-count monitor.  The
+        # tie-break on repr keeps the choice order-independent of dict
+        # insertion history only up to equal counts — counts and reprs
+        # together are deterministic for a seeded stream.
+        victim = min(monitored, key=lambda v: (monitored[v][0], repr(v)))
+        floor = monitored.pop(victim)[0]
+        monitored[value] = (floor + count, floor)
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def estimate(self, value: Any, hash_value: int | None = None) -> int:
+        """Estimated arrival count of *value* (never an underestimate
+        for monitored keys; count-min overestimates only)."""
+        entry = self._monitored.get(value)
+        if entry is not None:
+            return entry[0]
+        if hash_value is None:
+            hash_value = stable_hash(value)
+        h = hash_value & _MASK64
+        best = None
+        for row in range(self.depth):
+            mixed = (h * _ROW_MULTIPLIERS[row] + row) & _MASK64
+            cell = self._rows[row][mixed % self.width]
+            if best is None or cell < best:
+                best = cell
+        return best if best is not None else 0
+
+    def topk(self) -> List[Tuple[Any, int, int]]:
+        """Monitored keys as ``(value, count, error)``, hottest first.
+
+        Ordering is deterministic: count descending, then ``repr``.
+        """
+        return sorted(
+            ((value, count, error) for value, (count, error) in self._monitored.items()),
+            key=lambda item: (-item[1], repr(item[0])),
+        )
+
+    def share(self, value: Any, hash_value: int | None = None) -> float:
+        """Estimated fraction of all arrivals carrying *value*."""
+        if self.total == 0:
+            return 0.0
+        return self.estimate(value, hash_value) / self.total
+
+    def is_exact(self) -> bool:
+        """True while no monitor has been evicted (counts are exact)."""
+        return self.evictions == 0
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "observed": self.total,
+            "monitored": len(self._monitored),
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencySketch(top_k={self.top_k}, observed={self.total}, "
+            f"monitored={len(self._monitored)})"
+        )

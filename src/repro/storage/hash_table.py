@@ -70,6 +70,17 @@ class PartitionedHashTable:
     # Placement
     # ------------------------------------------------------------------
 
+    def partition_index_for(self, hash_value: int) -> int:
+        """Flat index of the bucket a hash value maps to.
+
+        The single placement decision of the table: subclasses (the
+        skew layer's :class:`~repro.skew.partitioner.AdaptiveTable`)
+        override exactly this, and every placement-sensitive caller —
+        insert, probe, purge-buffer grouping, the disk join's pairing —
+        routes through it.
+        """
+        return hash_value % self.n_partitions
+
     def partition_for(
         self, join_value: Any, hash_value: Optional[int] = None
     ) -> HybridPartition:
@@ -81,7 +92,7 @@ class PartitionedHashTable:
         """
         if hash_value is None:
             hash_value = stable_hash(join_value)
-        return self.partitions[hash_value % self.n_partitions]
+        return self.partitions[self.partition_index_for(hash_value)]
 
     def insert(
         self,
@@ -94,7 +105,7 @@ class PartitionedHashTable:
         if hash_value is None:
             hash_value = stable_hash(join_value)
         entry = StateEntry(tup, join_value, ats, hash_value)
-        self.partitions[hash_value % self.n_partitions].insert(entry)
+        self.partitions[self.partition_index_for(hash_value)].insert(entry)
         self.memory_count += 1
         self.total_inserted += 1
         return entry

@@ -25,7 +25,8 @@ state accretes exactly as the paper describes.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Tuple as PyTuple
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
 
 from repro.punctuations.punctuation import Punctuation
 from repro.sim.arrivals import poisson_tuple_spacing
@@ -118,6 +119,10 @@ class PunctuatedStreamGenerator:
 
     def __init__(self, spec: WorkloadSpec) -> None:
         self.spec = spec
+        # Cumulative Zipf weights, cached per open-window size: the
+        # window only resizes when a fresh value is introduced, so the
+        # cache stays tiny (a handful of sizes per run).
+        self._zipf_cum: Dict[int, List[float]] = {}
 
     def generate(self) -> GeneratedWorkload:
         spec = self.spec
@@ -135,12 +140,13 @@ class PunctuatedStreamGenerator:
             side = self._next_side(streams, spec.n_tuples_per_stream)
             stream = streams[side]
             now = stream.next_time
-            # Draw the key uniformly from this stream's open values.  A
-            # stream that punctuates slowly keeps a long tail of old
-            # values open; its tuples on values the *other* stream has
-            # already punctuated are exactly the ones PJoin drops on the
-            # fly (Section 4.3).
-            key = stream.rng.randrange(stream.lo, hi)
+            # Draw the key from this stream's open values (uniformly by
+            # default, Zipf-weighted under a skew spec).  A stream that
+            # punctuates slowly keeps a long tail of old values open;
+            # its tuples on values the *other* stream has already
+            # punctuated are exactly the ones PJoin drops on the fly
+            # (Section 4.3).
+            key = self._draw_key(stream, hi)
             tup = Tuple(
                 schemas[side],
                 (key, stream.seq, round(stream.rng.random(), 6)),
@@ -168,6 +174,32 @@ class PunctuatedStreamGenerator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _draw_key(self, stream: _StreamState, hi: int) -> int:
+        spec = self.spec
+        if spec.zipf_exponent is None:
+            # The pre-skew draw, RNG call sequence untouched: seeded
+            # uniform workloads stay byte-identical to older versions.
+            return stream.rng.randrange(stream.lo, hi)
+        window = hi - stream.lo
+        if window == 1:
+            return stream.lo
+        cum = self._zipf_cum.get(window)
+        if cum is None:
+            total = 0.0
+            cum = []
+            for rank in range(window):
+                total += 1.0 / float(rank + 1) ** spec.zipf_exponent
+                cum.append(total)
+            self._zipf_cum[window] = cum
+        rank = bisect_right(cum, stream.rng.random() * cum[-1])
+        if rank >= window:  # guard against float round-up at the edge
+            rank = window - 1
+        if spec.hot_set_rotate_every is not None:
+            # Key churn: shift which open values carry the hot ranks as
+            # the stream progresses, so a static split layout goes stale.
+            rank = (rank + stream.emitted // spec.hot_set_rotate_every) % window
+        return stream.lo + rank
 
     def _gap(self, stream: _StreamState) -> float:
         return stream.rng.expovariate(1.0 / self.spec.tuple_interarrival_ms)

@@ -141,7 +141,7 @@ class NaryWorkloadSpec:
                 f"active_values must be >= 1, got {self.active_values}"
             )
 
-    def with_overrides(self, **overrides) -> "NaryWorkloadSpec":
+    def with_overrides(self, **overrides: Any) -> "NaryWorkloadSpec":
         return replace(self, **overrides)
 
 
@@ -303,7 +303,7 @@ class NaryStreamGenerator:
 
 
 def generate_nary_workload(
-    spec: Optional[NaryWorkloadSpec] = None, **overrides
+    spec: Optional[NaryWorkloadSpec] = None, **overrides: Any
 ) -> NaryGeneratedWorkload:
     """Build a spec (or override one) and generate its streams."""
     if spec is None:

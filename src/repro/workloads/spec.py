@@ -41,6 +41,18 @@ class WorkloadSpec:
         order — the "ideal case" of the propagation experiment (§4.4).
     seed:
         Base RNG seed; every derived stream is seeded from it.
+    zipf_exponent:
+        When set, keys are drawn Zipf-distributed over the open window
+        instead of uniformly: the rank-``r`` open value gets weight
+        ``1 / (r + 1) ** zipf_exponent``.  ``None`` (the default) keeps
+        the uniform draw — and the exact RNG call sequence — of every
+        pre-skew workload.  Exponent ``0.0`` is uniform-by-weights but
+        still a distinct RNG sequence; use ``None`` for byte-identical
+        baselines.
+    hot_set_rotate_every:
+        With a Zipf draw, rotate which open values hold the hottest
+        ranks every this-many emitted tuples per stream (key churn).
+        ``None`` pins rank 0 to the oldest open value for its lifetime.
     """
 
     n_tuples_per_stream: int = 10_000
@@ -50,6 +62,8 @@ class WorkloadSpec:
     active_values: int = 10
     aligned_punctuations: bool = False
     seed: int = 42
+    zipf_exponent: Optional[float] = None
+    hot_set_rotate_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_tuples_per_stream < 1:
@@ -71,6 +85,21 @@ class WorkloadSpec:
             raise WorkloadError(
                 f"active_values must be >= 1, got {self.active_values}"
             )
+        if self.zipf_exponent is not None and self.zipf_exponent < 0:
+            raise WorkloadError(
+                f"zipf_exponent must be >= 0 or None, got {self.zipf_exponent}"
+            )
+        if self.hot_set_rotate_every is not None:
+            if self.zipf_exponent is None:
+                raise WorkloadError(
+                    "hot_set_rotate_every requires zipf_exponent "
+                    "(rotation permutes Zipf ranks)"
+                )
+            if self.hot_set_rotate_every < 1:
+                raise WorkloadError(
+                    "hot_set_rotate_every must be >= 1 or None, "
+                    f"got {self.hot_set_rotate_every}"
+                )
 
     @property
     def punct_spacings(self) -> PyTuple[Optional[float], Optional[float]]:

@@ -17,7 +17,7 @@ class TestRegistry:
     def test_all_figures_registered(self):
         assert set(ALL_FIGURES) == (
             {f"figure{i}" for i in range(5, 15)}
-            | {"fig_memory_sweep", "fig_nary_adaptive"}
+            | {"fig_memory_sweep", "fig_nary_adaptive", "fig_skew_sweep"}
         )
 
     def test_all_seven_ablations_registered(self):

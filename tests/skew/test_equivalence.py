@@ -1,0 +1,134 @@
+"""The skew layer's equivalence guarantee.
+
+Splits and coalesces happen at punctuation-aligned purge boundaries and
+move memory entries between leaves of one base bucket only, so the
+adaptive runs must reproduce the static run's result multiset and
+punctuation stream exactly — on every seed, at every Zipf exponent,
+with the governor attached or not.  The sharded hot-key variant
+carries the same guarantee through replication.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.core.config import PJoinConfig
+from repro.experiments.harness import (
+    governed,
+    pjoin_factory,
+    run_join_experiment,
+    sharding,
+    skewed,
+)
+from repro.memory.budget import GovernorSpec
+from repro.skew import SkewSpec
+from repro.workloads.generator import generate_workload
+
+CONFIG = PJoinConfig(n_partitions=8, purge_threshold=1)
+
+
+def zipf_workload(seed, exponent, tuples=1500):
+    return generate_workload(
+        n_tuples_per_stream=tuples,
+        punct_spacing_a=40,
+        punct_spacing_b=40,
+        active_values=48,
+        zipf_exponent=exponent,
+        seed=seed,
+    )
+
+
+def run(workload, label, skew=None, shards=None, governor=None):
+    with contextlib.ExitStack() as stack:
+        if shards is not None:
+            stack.enter_context(sharding(shards))
+        if skew is not None:
+            stack.enter_context(skewed(skew))
+        if governor is not None:
+            stack.enter_context(governed(governor))
+        return run_join_experiment(
+            pjoin_factory(CONFIG), workload, label=label, keep_items=True
+        )
+
+
+def signature(experiment_run):
+    return (
+        experiment_run.sink.result_multiset(),
+        sorted((tuple(p.patterns), p.ts)
+               for p in experiment_run.sink.punctuations),
+    )
+
+
+class TestAdaptiveEquivalence:
+    @pytest.mark.parametrize("seed", [3, 7, 23])
+    @pytest.mark.parametrize("exponent", [0.8, 1.4])
+    def test_adaptive_matches_static_on_seeded_zipf(self, seed, exponent):
+        workload = zipf_workload(seed, exponent)
+        static = run(workload, "static")
+        adaptive = run(workload, "adaptive", skew=SkewSpec())
+        assert signature(adaptive) == signature(static)
+
+    def test_restructuring_actually_happened(self):
+        workload = zipf_workload(7, 1.6, tuples=2500)
+        adaptive = run(workload, "adaptive", skew=SkewSpec())
+        counters = adaptive.join.counters()
+        assert counters["skew.splits"] > 0
+        assert counters["skew.entries_moved"] > 0
+
+    def test_split_reduces_charged_probe_time(self):
+        workload = zipf_workload(7, 1.6, tuples=2500)
+        static = run(workload, "static")
+        adaptive = run(workload, "adaptive", skew=SkewSpec())
+        assert adaptive.duration_ms < static.duration_ms
+
+    def test_adaptive_under_governor_stays_equivalent(self):
+        """Spilled (cold) buckets refuse restructure but never drift."""
+        workload = zipf_workload(11, 1.4)
+        spec = GovernorSpec(120.0, policy="skew-aware")
+        static = run(workload, "static", governor=spec)
+        adaptive = run(workload, "adaptive", skew=SkewSpec(), governor=spec)
+        assert signature(adaptive) == signature(static)
+        assert adaptive.join.counters()["governor.spills"] > 0
+
+
+class TestShardedHotKeyEquivalence:
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_hot_key_replication_matches_unsharded(self, seed):
+        workload = zipf_workload(seed, 1.4, tuples=2000)
+        static = run(workload, "static")
+        hot = run(
+            workload, "hot", shards=4,
+            skew=SkewSpec(hot_keys=True, adaptive=False),
+        )
+        assert hot.sink.result_multiset() == static.sink.result_multiset()
+        router = hot.join.router.counters()
+        assert router["hot_activations"] > 0
+        assert router["replica_copies"] > 0
+
+    def test_hot_key_replication_matches_plain_sharding(self):
+        workload = zipf_workload(7, 1.4, tuples=2000)
+        plain = run(workload, "plain", shards=4)
+        hot = run(
+            workload, "hot", shards=4,
+            skew=SkewSpec(hot_keys=True, adaptive=False),
+        )
+        assert hot.sink.result_multiset() == plain.sink.result_multiset()
+
+
+class TestDefaultPathByteIdentity:
+    def test_no_skew_run_is_byte_identical(self):
+        """skew=None must not change a single event or timestamp."""
+        workload = generate_workload(
+            n_tuples_per_stream=800, punct_spacing_a=30, punct_spacing_b=30,
+            seed=5,
+        )
+        plain = run(workload, "plain")
+        # An empty skewed() context (spec None) is the default path too.
+        with skewed(None):
+            nulled = run_join_experiment(
+                pjoin_factory(CONFIG), workload, label="nulled",
+                keep_items=True,
+            )
+        assert [(t.values, t.ts) for t in plain.sink.results] == \
+            [(t.values, t.ts) for t in nulled.sink.results]
+        assert plain.manifest["engine"] == nulled.manifest["engine"]

@@ -1,0 +1,106 @@
+"""AdaptiveTable unit tests: placement, split/coalesce, invariants."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.skew.partitioner import AdaptiveTable
+from repro.storage.hash_table import PartitionedHashTable
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "seq")
+
+
+def tup(key, seq=0):
+    return Tuple(SCHEMA, (key, seq), ts=0.0, validate=False)
+
+
+def fill(table, keys):
+    for seq, key in enumerate(keys):
+        table.insert(tup(key, seq), key, ats=float(seq))
+
+
+class TestPlacement:
+    def test_depth_zero_matches_stock_table(self):
+        """Unsplit, the adaptive table IS the stock table, placement-wise."""
+        adaptive, stock = AdaptiveTable(4), PartitionedHashTable(4)
+        for h in range(64):
+            assert adaptive.partition_index_for(h) == \
+                stock.partition_index_for(h)
+
+    def test_split_keys_by_next_hash_bits(self):
+        table = AdaptiveTable(4)
+        table.set_depth(0, 1)
+        # Base bucket 0 now has leaves 0..1; bucket 1 starts at offset 2.
+        assert table.partition_index_for(0) == 0   # (0 // 4) % 2 == 0
+        assert table.partition_index_for(4) == 1   # (4 // 4) % 2 == 1
+        assert table.partition_index_for(1) == 2
+        assert table.n_partitions == 4
+        assert table.leaf_count == 5
+
+    def test_flat_indices_stay_contiguous_after_restructure(self):
+        table = AdaptiveTable(4)
+        table.set_depth(2, 2)
+        table.set_depth(0, 1)
+        assert [p.index for p in table.partitions] == \
+            list(range(table.leaf_count))
+
+
+class TestSplitAndCoalesce:
+    def test_split_moves_entries_and_preserves_lookup(self):
+        table = AdaptiveTable(2)
+        keys = [0, 2, 4, 6, 8]  # all land in base bucket 0 (hash == key)
+        fill(table, keys)
+        moved = table.set_depth(0, 2)
+        assert moved == len(keys)
+        assert table.memory_count == len(keys)
+        assert table.splits == 1
+        for key in keys:
+            occupancy, matches = table.probe(key)
+            assert [e.join_value for e in matches] == [key]
+            assert occupancy < len(keys)  # the point of splitting
+
+    def test_coalesce_restores_single_leaf(self):
+        table = AdaptiveTable(2)
+        fill(table, [0, 2, 4])
+        table.set_depth(0, 2)
+        table.set_depth(0, 0)
+        assert table.coalesces == 1
+        assert table.leaf_count == 2
+        assert table.partitions[0].memory_count == 3
+
+    def test_moved_entries_keep_ats_and_hash(self):
+        table = AdaptiveTable(2)
+        fill(table, [0, 2, 4])
+        before = sorted(
+            (e.join_value, e.ats, e.join_hash) for e in table.iter_all()
+        )
+        table.set_depth(0, 1)
+        after = sorted(
+            (e.join_value, e.ats, e.join_hash) for e in table.iter_all()
+        )
+        assert after == before
+
+    def test_same_depth_is_a_noop(self):
+        table = AdaptiveTable(2)
+        fill(table, [0, 2])
+        assert table.set_depth(0, 0) == 0
+        assert table.splits == 0 and table.entries_moved == 0
+
+
+class TestGuards:
+    def test_unknown_base_bucket_rejected(self):
+        with pytest.raises(StorageError):
+            AdaptiveTable(2).set_depth(5, 1)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(StorageError):
+            AdaptiveTable(2).set_depth(0, -1)
+
+    def test_cold_entries_block_restructure(self):
+        table = AdaptiveTable(2)
+        fill(table, [0, 2, 4])
+        table.partitions[0].demote()  # governor-spilled bucket
+        assert not table.can_restructure(0)
+        with pytest.raises(StorageError):
+            table.set_depth(0, 1)

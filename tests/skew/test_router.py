@@ -1,0 +1,145 @@
+"""HotKeyShardRouter unit tests against recording fake shards.
+
+End-to-end equivalence lives in ``test_equivalence.py``; these tests
+pin the router's protocol decisions in isolation: activation flushes
+the build history as replicas, later build tuples broadcast, probe
+tuples spread, punctuated keys never activate, and hot punctuations
+broadcast un-narrowed with a full-cover alignment subscription.
+"""
+
+from repro.punctuations.patterns import Constant, WILDCARD
+from repro.punctuations.punctuation import Punctuation
+from repro.shard.merger import AlignmentLedger
+from repro.shard.routing import shard_of
+from repro.skew import HotKeyShardRouter, SkewSpec
+from repro.skew.replica import HotKeyReplica
+from repro.tuples.schema import Schema
+from repro.tuples.tuple import Tuple
+
+SCHEMA = Schema.of("key", "seq")
+K = 3
+
+SPEC = SkewSpec(
+    hot_keys=True, adaptive=False,
+    hot_key_share=0.5, hot_key_check_every=4, hot_key_min_total=8,
+)
+
+
+class FakeShard:
+    def __init__(self):
+        self.pushed = []
+
+    def push(self, item, port=0):
+        self.pushed.append((item, port))
+
+
+def make_router(spec=SPEC):
+    shards = [FakeShard() for _ in range(K)]
+    ledger = AlignmentLedger()
+    router = HotKeyShardRouter(
+        shards, [0, 0], ["key", "key"], ledger, spec, name="router"
+    )
+    return router, shards, ledger
+
+
+def tup(key, seq=0):
+    return Tuple(SCHEMA, (key, seq), ts=0.0, validate=False)
+
+
+def punct(key):
+    return Punctuation(SCHEMA, [Constant(key), WILDCARD], ts=0.0)
+
+
+def heat(router, key, n=12, port=1):
+    for seq in range(n):
+        router.push(tup(key, seq), port)
+
+
+class TestActivation:
+    def test_hot_build_history_replicates_to_non_home_shards(self):
+        router, shards, _ = make_router()
+        heat(router, "hot")
+        assert router.hot_activations == 1
+        assert "hot" in router.hot_keys
+        home = shard_of("hot", K)
+        for target, shard in enumerate(shards):
+            replicas = [i for i, _p in shard.pushed
+                        if isinstance(i, HotKeyReplica)]
+            if target == home:
+                assert not replicas  # home already holds the originals
+            else:
+                assert replicas  # flushed pre-activation history
+                assert all(r.tup.values[0] == "hot" for r in replicas)
+        assert router.replica_copies > 0
+
+    def test_build_tuples_broadcast_after_activation(self):
+        router, shards, _ = make_router()
+        heat(router, "hot")
+        marker = tup("hot", 99)
+        router.push(marker, 1)
+        assert all((marker, 1) in shard.pushed for shard in shards)
+        assert router.hot_broadcast_tuples >= 1
+
+    def test_probe_tuples_spread_round_robin_from_home(self):
+        router, shards, _ = make_router()
+        heat(router, "hot")
+        markers = [tup("hot", 100 + turn) for turn in range(K)]
+        for marker in markers:
+            router.push(marker, 0)
+        home = shard_of("hot", K)
+        for turn, marker in enumerate(markers):
+            target = (home + turn) % K
+            assert (marker, 0) in shards[target].pushed
+        assert router.hot_spread_tuples == K
+
+    def test_cold_keys_keep_stock_routing(self):
+        router, shards, _ = make_router()
+        marker = tup("cold")
+        router.push(marker, 0)
+        assert (marker, 0) in shards[shard_of("cold", K)].pushed
+        assert router.hot_activations == 0
+
+
+class TestPunctuationGuards:
+    def test_punctuated_key_never_activates(self):
+        router, _, _ = make_router()
+        router.push(punct("hot"), 0)
+        heat(router, "hot")
+        assert router.hot_activations == 0
+        assert "hot" not in router.hot_keys
+
+    def test_punctuation_drops_replica_buffer(self):
+        router, shards, _ = make_router(
+            SPEC.__class__(hot_keys=True, adaptive=False,
+                           hot_key_min_total=10_000)
+        )
+        heat(router, "hot", n=6)  # buffered, far below activation
+        router.push(punct("hot"), 1)
+        assert "hot" not in router._replica_buffer
+        assert not any(
+            isinstance(item, HotKeyReplica)
+            for shard in shards for item, _port in shard.pushed
+        )
+
+    def test_hot_punctuation_broadcasts_with_full_cover(self):
+        router, shards, ledger = make_router()
+        heat(router, "hot")
+        p = punct("hot")
+        router.push(p, 0)
+        assert all((p, 0) in shard.pushed for shard in shards)
+        assert router.hot_broadcast_punctuations == 1
+        # One subscription expecting a piece from every shard.
+        assert ledger.subscriptions_open == 1
+        for shard in range(K - 1):
+            assert ledger.settle(shard, p.patterns[0]) == (True, None)
+        matched, original = ledger.settle(K - 1, p.patterns[0])
+        assert matched and original == p.patterns[0]
+
+    def test_hot_key_retires_once_both_ports_punctuate(self):
+        router, _, _ = make_router()
+        heat(router, "hot")
+        router.push(punct("hot"), 0)
+        assert "hot" in router.hot_keys  # build side still open
+        router.push(punct("hot"), 1)
+        assert "hot" not in router.hot_keys
+        assert router.hot_deactivations == 1

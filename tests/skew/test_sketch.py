@@ -1,0 +1,92 @@
+"""FrequencySketch unit and property tests.
+
+The load-bearing property (the skew layer's decisions inherit it): on
+streams with at most ``top_k`` distinct keys the SpaceSaving counts are
+*exact* — no monitor is ever evicted — and on arbitrary streams the
+estimate never underestimates (SpaceSaving for monitored keys,
+count-min for the rest).
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.skew.sketch import FrequencySketch
+
+KEYS = st.one_of(st.integers(0, 99), st.text(min_size=1, max_size=3))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"top_k": 0}, {"width": 0}, {"depth": 0}, {"depth": 7},
+    ])
+    def test_bad_geometry_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FrequencySketch(**kwargs)
+
+
+class TestExactness:
+    @given(st.lists(st.sampled_from("abcdefgh"), max_size=200))
+    def test_topk_exact_with_few_distinct_keys(self, stream):
+        """<= top_k distinct keys -> every count exact, zero evictions."""
+        sketch = FrequencySketch(top_k=8, width=64, depth=2)
+        for key in stream:
+            sketch.observe(key)
+        truth = Counter(stream)
+        assert sketch.is_exact()
+        assert sketch.evictions == 0
+        assert {v: c for v, c, _err in sketch.topk()} == dict(truth)
+        for key, count in truth.items():
+            assert sketch.estimate(key) == count
+
+    @given(st.lists(KEYS, max_size=300))
+    def test_estimate_never_underestimates(self, stream):
+        sketch = FrequencySketch(top_k=4, width=32, depth=3)
+        for key in stream:
+            sketch.observe(key)
+        truth = Counter(stream)
+        assert sketch.total == len(stream)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestDeterminism:
+    def test_same_stream_same_state(self):
+        streams = [FrequencySketch(top_k=3, width=16, depth=2)
+                   for _ in range(2)]
+        for sketch in streams:
+            for key in [1, 2, 2, 3, 3, 3, 4, 5, 1, 3]:
+                sketch.observe(key)
+        a, b = streams
+        assert a.topk() == b.topk()
+        assert a.counters() == b.counters()
+
+    def test_topk_orders_hottest_first(self):
+        sketch = FrequencySketch(top_k=8)
+        for key, count in [("cold", 1), ("hot", 9), ("warm", 4)]:
+            sketch.observe(key, count=count)
+        assert [v for v, _c, _e in sketch.topk()] == ["hot", "warm", "cold"]
+
+    def test_eviction_carries_floor_as_error(self):
+        sketch = FrequencySketch(top_k=2, width=16, depth=2)
+        sketch.observe("a", count=5)
+        sketch.observe("b", count=2)
+        sketch.observe("c")  # evicts "b" (the minimum), inherits its floor
+        assert not sketch.is_exact()
+        assert sketch.evictions == 1
+        entries = {v: (c, e) for v, c, e in sketch.topk()}
+        assert entries["c"] == (3, 2)  # floor 2 + the one arrival, error 2
+        assert sketch.estimate("c") >= 1
+
+
+class TestShare:
+    def test_share_of_empty_sketch_is_zero(self):
+        assert FrequencySketch().share("x") == 0.0
+
+    def test_share_tracks_fraction(self):
+        sketch = FrequencySketch()
+        sketch.observe("hot", count=30)
+        sketch.observe("cold", count=10)
+        assert sketch.share("hot") == pytest.approx(0.75)

@@ -1,0 +1,105 @@
+"""The Zipf key draw and hot-set rotation of the stream generator.
+
+The skew knobs must be *additive*: a spec with ``zipf_exponent=None``
+takes the pre-skew uniform code path (same RNG call sequence, so every
+committed golden stays byte-identical), and a Zipf spec still honours
+stream validity — no key is ever emitted after its punctuation.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.punctuations.punctuation import Punctuation
+from repro.tuples.tuple import Tuple
+from repro.workloads.generator import generate_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def key_counts(workload, stream=0):
+    return Counter(t.values[0] for t in workload.tuples(stream))
+
+
+class TestSpecValidation:
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(zipf_exponent=-0.5)
+
+    def test_zero_exponent_is_legal_uniform(self):
+        assert WorkloadSpec(zipf_exponent=0.0).zipf_exponent == 0.0
+
+    def test_rotation_requires_zipf(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(hot_set_rotate_every=100)
+
+    def test_rotation_cadence_at_least_one(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(zipf_exponent=1.0, hot_set_rotate_every=0)
+
+
+class TestZipfDraw:
+    def test_deterministic_for_equal_seeds(self):
+        a = generate_workload(n_tuples_per_stream=400, zipf_exponent=1.2,
+                              seed=9)
+        b = generate_workload(n_tuples_per_stream=400, zipf_exponent=1.2,
+                              seed=9)
+        assert [t.values for t in a.tuples(0)] == \
+            [t.values for t in b.tuples(0)]
+
+    def test_high_exponent_concentrates_mass(self):
+        # No punctuations: the open window never slides, so rank 0 is
+        # one fixed key and the concentration shows up per absolute key.
+        uniform = generate_workload(
+            n_tuples_per_stream=3000, active_values=32, seed=4,
+            punct_spacing_a=None, punct_spacing_b=None,
+        )
+        skewed = generate_workload(
+            n_tuples_per_stream=3000, active_values=32, zipf_exponent=1.5,
+            seed=4, punct_spacing_a=None, punct_spacing_b=None,
+        )
+        top_uniform = key_counts(uniform).most_common(1)[0][1]
+        top_skewed = key_counts(skewed).most_common(1)[0][1]
+        assert top_skewed > 3 * top_uniform
+
+    def test_none_exponent_matches_the_uniform_path_exactly(self):
+        """zipf_exponent=None must not perturb the RNG call sequence."""
+        plain = generate_workload(n_tuples_per_stream=400, seed=11)
+        nulled = generate_workload(
+            WorkloadSpec(n_tuples_per_stream=400, seed=11,
+                         zipf_exponent=None)
+        )
+        for stream in (0, 1):
+            assert [(t.values, t.ts) for t in plain.tuples(stream)] == \
+                [(t.values, t.ts) for t in nulled.tuples(stream)]
+
+    def test_streams_stay_valid_under_zipf(self):
+        workload = generate_workload(
+            n_tuples_per_stream=1000, punct_spacing_a=25, punct_spacing_b=25,
+            zipf_exponent=1.4, seed=3,
+        )
+        for stream in (0, 1):
+            punctuated = []
+            for _ts, item in workload.schedules[stream]:
+                if isinstance(item, Punctuation):
+                    punctuated.append(item.patterns[0])
+                elif isinstance(item, Tuple):
+                    assert not any(
+                        p.matches(item.values[0]) for p in punctuated
+                    )
+
+
+class TestHotSetRotation:
+    def test_rotation_moves_the_hot_key(self):
+        still = generate_workload(
+            n_tuples_per_stream=2000, active_values=64, zipf_exponent=1.5,
+            seed=6,
+        )
+        rotated = generate_workload(
+            n_tuples_per_stream=2000, active_values=64, zipf_exponent=1.5,
+            hot_set_rotate_every=200, seed=6,
+        )
+        # Rotation spreads the head of the distribution over more keys:
+        # the single hottest key loses mass against the unrotated run.
+        assert key_counts(rotated).most_common(1)[0][1] < \
+            key_counts(still).most_common(1)[0][1]
